@@ -1,0 +1,294 @@
+// Benchmarks regenerating the paper's evaluation, one benchmark family per
+// table or figure. Sub-benchmarks name the workload preset (and policy
+// where the table compares policies), so
+//
+//	go test -bench=Table5 -benchmem
+//
+// reproduces Table 5's timing comparison as Go benchmark output, while
+//
+//	go run ./cmd/o2bench -table 5
+//
+// prints it in the paper's tabular layout. Budgets mirror the paper's
+// 4-hour timeout; runs that exceed them are skipped (reported as the
+// table's ">budget" cells).
+package o2
+
+import (
+	"fmt"
+
+	"testing"
+
+	"o2/internal/bench"
+	"o2/internal/cases"
+	"o2/internal/deadlock"
+	"o2/internal/ir"
+	"o2/internal/lang"
+	"o2/internal/osa"
+	"o2/internal/oversync"
+	"o2/internal/pta"
+	"o2/internal/race"
+	"o2/internal/racerd"
+	"o2/internal/shb"
+	"o2/internal/workload"
+)
+
+var benchOpts = bench.Opts{}
+
+// table5Presets is the representative subset benchmarked per policy; the
+// full 27-preset sweep runs through cmd/o2bench.
+var table5Presets = []string{"avrora", "tomcat", "k9mail", "telegram", "zookeeper"}
+
+// BenchmarkTable5_PTA measures pointer-analysis time per policy (the left
+// half of Table 5).
+func BenchmarkTable5_PTA(b *testing.B) {
+	entries := ir.DefaultEntryConfig()
+	for _, name := range table5Presets {
+		p, _ := workload.ByName(name)
+		prog := workload.Build(p, entries)
+		for _, pol := range bench.AllPolicies {
+			b.Run(fmt.Sprintf("%s/%s", name, pol.Name()), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					pr := bench.RunPTA(prog, pol, entries, benchOpts.StepBudget+500_000)
+					if pr.TimedOut {
+						b.Skipf("exceeded step budget (the paper's >4h cell)")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable5_Detection measures the full race-detection pipeline per
+// policy (the right half of Table 5).
+func BenchmarkTable5_Detection(b *testing.B) {
+	entries := ir.DefaultEntryConfig()
+	for _, name := range table5Presets {
+		p, _ := workload.ByName(name)
+		prog := workload.Build(p, entries)
+		for _, pol := range []pta.Policy{bench.P0, bench.POPA, bench.P1CFA} {
+			b.Run(fmt.Sprintf("%s/%s", name, pol.Name()), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					pr := bench.RunPTA(prog, pol, entries, 500_000)
+					if pr.TimedOut {
+						b.Skipf("exceeded step budget")
+					}
+					dr := bench.RunDetect(pr.A, race.O2Options(), false, 3_000_000)
+					if dr.TimedOut {
+						b.Skipf("exceeded pair budget")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable5_RacerD measures the RacerD-style comparator.
+func BenchmarkTable5_RacerD(b *testing.B) {
+	entries := ir.DefaultEntryConfig()
+	for _, name := range table5Presets {
+		p, _ := workload.ByName(name)
+		prog := workload.Build(p, entries)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				racerd.Analyze(prog, entries)
+			}
+		})
+	}
+}
+
+// BenchmarkTable6 measures the C/C++-style presets (0-ctx vs OPA vs 2-CFA).
+func BenchmarkTable6(b *testing.B) {
+	entries := ir.DefaultEntryConfig()
+	for _, p := range workload.Table6 {
+		prog := workload.Build(p, entries)
+		for _, pol := range []pta.Policy{bench.P0, bench.POPA, bench.P2CFA} {
+			b.Run(fmt.Sprintf("%s/%s", p.Name, pol.Name()), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					pr := bench.RunPTA(prog, pol, entries, 500_000)
+					if pr.TimedOut {
+						b.Skipf("exceeded step budget (the paper's OOM cell)")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable7 measures OSA against the TLOA-style escape analysis.
+func BenchmarkTable7(b *testing.B) {
+	entries := ir.DefaultEntryConfig()
+	for _, name := range []string{"avrora", "eclipse", "sunflow", "xalan"} {
+		p, _ := workload.ByName(name)
+		prog := workload.Build(p, entries)
+		b.Run(name+"/OSA", func(b *testing.B) {
+			pr := bench.RunPTA(prog, bench.POPA, entries, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				osa.Analyze(pr.A)
+			}
+		})
+		b.Run(name+"/TLOA", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, timedOut := bench.RunEscape(p, bench.Opts{StepBudget: 500_000}); timedOut {
+					b.Skipf("2-CFA substrate exceeded budget")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable8 measures end-to-end detection per policy on Dacapo-style
+// presets (the precision table's cost side).
+func BenchmarkTable8(b *testing.B) {
+	entries := ir.DefaultEntryConfig()
+	for _, name := range []string{"avrora", "lusearch", "pmd"} {
+		p, _ := workload.ByName(name)
+		prog := workload.Build(p, entries)
+		for _, pol := range []pta.Policy{bench.P0, bench.POPA} {
+			b.Run(fmt.Sprintf("%s/%s", name, pol.Name()), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					pr := bench.RunPTA(prog, pol, entries, 500_000)
+					if pr.TimedOut {
+						b.Skip()
+					}
+					bench.RunDetect(pr.A, race.O2Options(), false, 3_000_000)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable9 measures the distributed-system presets.
+func BenchmarkTable9(b *testing.B) {
+	entries := ir.DefaultEntryConfig()
+	for _, p := range workload.DistributedSystems() {
+		prog := workload.Build(p, entries)
+		b.Run(p.Name+"/O2", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pr := bench.RunPTA(prog, bench.POPA, entries, 500_000)
+				if pr.TimedOut {
+					b.Skip()
+				}
+				bench.RunDetect(pr.A, race.O2Options(), false, 3_000_000)
+			}
+		})
+	}
+}
+
+// BenchmarkTable10 measures O2 on every real-world case-study model.
+func BenchmarkTable10(b *testing.B) {
+	entries := ir.DefaultEntryConfig()
+	for _, c := range cases.Table10 {
+		prog, err := lang.Compile(c.Name+".mini", c.Source, entries)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pr := bench.RunPTA(prog, bench.POPA, entries, 0)
+				dr := bench.RunDetect(pr.A, race.O2Options(), c.Android, 0)
+				if len(dr.Report.Races) != c.Races {
+					b.Fatalf("%s: %d races, want %d", c.Name, len(dr.Report.Races), c.Races)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable3_Complexity measures propagation cost across the size
+// sweep per policy (the empirical counterpart of Table 3).
+func BenchmarkTable3_Complexity(b *testing.B) {
+	entries := ir.DefaultEntryConfig()
+	baseP, _ := workload.ByName("avrora")
+	for _, scale := range []int{1, 2, 4} {
+		p := workload.Scale(baseP, scale)
+		prog := workload.Build(p, entries)
+		for _, pol := range []pta.Policy{bench.P0, bench.POPA, bench.P2CFA} {
+			b.Run(fmt.Sprintf("x%d/%s", scale, pol.Name()), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					pr := bench.RunPTA(prog, pol, entries, 2_000_000)
+					if pr.TimedOut {
+						b.Skip()
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblation measures detection with each §4.1 optimization
+// disabled (and the D4-style naive mode).
+func BenchmarkAblation(b *testing.B) {
+	entries := ir.DefaultEntryConfig()
+	p, _ := workload.ByName("zookeeper")
+	prog := workload.Build(p, entries)
+	pr := bench.RunPTA(prog, bench.POPA, entries, 0)
+	sh := osa.Analyze(pr.A)
+	g := shb.Build(pr.A, shb.Config{})
+	variants := map[string]race.Options{
+		"full":        race.O2Options(),
+		"noRegions":   {RegionMerge: false, CanonicalLocksets: true, HBCache: true, OSAFilter: true},
+		"noCanonLock": {RegionMerge: true, CanonicalLocksets: false, HBCache: true, OSAFilter: true},
+		"noHBCache":   {RegionMerge: true, CanonicalLocksets: true, HBCache: false, OSAFilter: true},
+		"naive":       race.NaiveOptions(),
+	}
+	for _, name := range []string{"full", "noRegions", "noCanonLock", "noHBCache", "naive"} {
+		opts := variants[name]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				race.Detect(pr.A, sh, g, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkFigure2 measures the paper's running example end to end.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := AnalyzeSource("figure2.mini", cases.Figure2, DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Races()) != 1 {
+			b.Fatalf("figure 2 must report exactly 1 race")
+		}
+	}
+}
+
+// BenchmarkLinuxModel measures the §5.4 Linux kernel configuration.
+func BenchmarkLinuxModel(b *testing.B) {
+	entries := ir.DefaultEntryConfig()
+	prog := workload.Build(workload.Linux(), entries)
+	b.Run("O2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := pta.New(prog, pta.Config{Policy: bench.POPA, Entries: entries, ReplicateEvents: true})
+			if err := a.Solve(); err != nil {
+				b.Fatal(err)
+			}
+			sh := osa.Analyze(a)
+			g := shb.Build(a, shb.Config{})
+			race.Detect(a, sh, g, race.O2Options())
+		}
+	})
+}
+
+// BenchmarkExtensions measures the beyond-race-detection analyses
+// (deadlock, over-synchronization) on a distributed-system preset.
+func BenchmarkExtensions(b *testing.B) {
+	entries := ir.DefaultEntryConfig()
+	p, _ := workload.ByName("zookeeper")
+	prog := workload.Build(p, entries)
+	pr := bench.RunPTA(prog, bench.POPA, entries, 0)
+	sh := osa.Analyze(pr.A)
+	g := shb.Build(pr.A, shb.Config{})
+	b.Run("deadlock", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			deadlock.Analyze(pr.A, g)
+		}
+	})
+	b.Run("oversync", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			oversync.Analyze(pr.A, sh, g)
+		}
+	})
+}

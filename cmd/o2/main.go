@@ -1,0 +1,195 @@
+// Command o2 analyzes a minilang program for data races.
+//
+// Usage:
+//
+//	o2 [flags] file.mini [more.mini ...]
+//
+//	-context origin|0ctx|kcfa|kobj   context policy (default origin)
+//	-k N                             context depth (default 1)
+//	-android                         serialize event handlers (§4.2)
+//	-replicate-events                model concurrently re-entrant events
+//	-sharing                         print the origin-sharing report (OSA)
+//	-origins                         print the discovered origins
+//	-stats                           print analysis statistics
+//	-json                            machine-readable race report
+//	-deadlock                        also run lock-order deadlock analysis
+//	-oversync                        also flag unnecessary lock regions
+//	-explain                         witness for each race (spawns, locks, ordering)
+//	-dump-ir                         dump the lowered IR and exit
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"o2"
+	"o2/internal/ir"
+	"o2/internal/lang"
+	"o2/internal/pta"
+	"o2/internal/race"
+)
+
+func main() {
+	ctxKind := flag.String("context", "origin", "context policy: origin, 0ctx, kcfa, kobj")
+	k := flag.Int("k", 1, "context depth")
+	android := flag.Bool("android", false, "Android mode: serialize event handlers")
+	replicate := flag.Bool("replicate-events", false, "treat event handlers as concurrently re-entrant")
+	sharing := flag.Bool("sharing", false, "print the origin-sharing (OSA) report")
+	origins := flag.Bool("origins", false, "print discovered origins and attributes")
+	stats := flag.Bool("stats", false, "print analysis statistics")
+	asJSON := flag.Bool("json", false, "emit the race report as JSON")
+	deadlocks := flag.Bool("deadlock", false, "also run the lock-order deadlock analysis")
+	explain := flag.Bool("explain", false, "print a witness for each race (spawn sites, locksets, ordering)")
+	dumpIR := flag.Bool("dump-ir", false, "dump the lowered IR and exit")
+	oversyncF := flag.Bool("oversync", false, "also report lock regions guarding only origin-local data")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: o2 [flags] file.mini ...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	files := map[string]string{}
+	for _, name := range flag.Args() {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			fatal(err)
+		}
+		files[name] = string(src)
+	}
+	entries := ir.DefaultEntryConfig()
+	prog, err := lang.CompileFiles(files, entries)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *dumpIR {
+		prog.Print(os.Stdout)
+		return
+	}
+
+	cfg := o2.DefaultConfig()
+	cfg.Android = *android
+	cfg.ReplicateEvents = *replicate
+	switch *ctxKind {
+	case "origin":
+		cfg.Policy = pta.Policy{Kind: pta.KOrigin, K: *k}
+	case "0ctx":
+		cfg.Policy = pta.Policy{Kind: pta.Insensitive}
+	case "kcfa":
+		cfg.Policy = pta.Policy{Kind: pta.KCFA, K: *k}
+	case "kobj":
+		cfg.Policy = pta.Policy{Kind: pta.KObj, K: *k}
+	default:
+		fatal(fmt.Errorf("unknown context policy %q", *ctxKind))
+	}
+
+	res, err := o2.AnalyzeProgram(prog, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *origins {
+		fmt.Println("origins:")
+		for _, org := range res.Analysis.Origins.Origins {
+			fmt.Printf("  %s attrs=%s\n", org, res.Analysis.OriginAttrs(org.ID))
+		}
+		fmt.Println()
+	}
+	if *sharing {
+		fmt.Printf("origin-shared locations (%d):\n", len(res.Sharing.Shared))
+		for _, key := range res.Sharing.Shared {
+			origins := res.Sharing.OriginsOf(key)
+			names := make([]string, len(origins))
+			for i, o := range origins {
+				names[i] = res.Analysis.Origins.Get(o).String()
+			}
+			sort.Strings(names)
+			fmt.Printf("  %-24s shared by %v\n", key, names)
+		}
+		fmt.Println()
+	}
+	if *stats {
+		st := res.Analysis.Stats()
+		fmt.Printf("stats: %s\n", st)
+		fmt.Printf("times: pta=%v osa=%v shb=%v detect=%v total=%v\n",
+			res.PTATime, res.OSATime, res.SHBTime, res.DetectTime, res.TotalTime())
+		fmt.Printf("shb: %s, %d lock regions\n\n", res.Graph, res.Graph.Regions)
+	}
+
+	if *deadlocks {
+		rep := res.Deadlocks()
+		fmt.Printf("deadlock analysis: %d lock-order edges, %d warnings\n", rep.Edges, len(rep.Warnings))
+		for _, w := range rep.Warnings {
+			fmt.Println(w.String())
+		}
+		fmt.Println()
+	}
+	if *oversyncF {
+		rep := res.OverSync()
+		fmt.Printf("over-synchronization: %d regions, %d useful, %d unnecessary\n",
+			rep.Regions, rep.UsefulRegions, len(rep.Warnings))
+		for _, w := range rep.Warnings {
+			fmt.Println("  " + w.String())
+		}
+		fmt.Println()
+	}
+
+	races := res.Races()
+	if *asJSON {
+		type jsonAccess struct {
+			Op     string `json:"op"`
+			Pos    string `json:"pos"`
+			Fn     string `json:"fn"`
+			Origin string `json:"origin"`
+		}
+		type jsonRace struct {
+			Location string     `json:"location"`
+			A        jsonAccess `json:"a"`
+			B        jsonAccess `json:"b"`
+		}
+		out := make([]jsonRace, len(races))
+		for i, r := range races {
+			out[i] = jsonRace{
+				Location: r.Key.String(),
+				A:        jsonAccess{op(r.A.Write), r.A.Pos.String(), r.A.Fn, res.Analysis.Origins.Get(r.A.Origin).String()},
+				B:        jsonAccess{op(r.B.Write), r.B.Pos.String(), r.B.Fn, res.Analysis.Origins.Get(r.B.Origin).String()},
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		if len(races) == 0 {
+			fmt.Println("no races detected")
+		}
+		for i, r := range races {
+			if *explain {
+				fmt.Printf("race #%d %s\n", i+1, race.Explain(res.Analysis, res.Graph, &r))
+			} else {
+				fmt.Printf("race #%d %s\n", i+1, r.String())
+			}
+		}
+	}
+	if len(races) > 0 {
+		os.Exit(1)
+	}
+}
+
+func op(write bool) string {
+	if write {
+		return "write"
+	}
+	return "read"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "o2:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// Command o2bench regenerates the paper's evaluation tables over the
+// synthetic workload presets and case-study models.
+//
+// Usage:
+//
+//	o2bench -table all                 # every table
+//	o2bench -table 5                   # Table 5 only (also: 3,6,7,8,9,10)
+//	o2bench -table ablation            # §4.1 optimization ablation
+//	o2bench -table linux               # §5.4 Linux kernel statistics
+//	o2bench -quick                     # representative subset of presets
+//	o2bench -steps 1000000 -pairs 5000000  # budgets (the paper's ">4h")
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"o2/internal/bench"
+)
+
+func main() {
+	table := flag.String("table", "all", "table to regenerate: 3,5,6,7,8,9,10,ablation,extensions,android,linux,all")
+	steps := flag.Int64("steps", 0, "pointer-analysis step budget (0 = default)")
+	pairs := flag.Int64("pairs", 0, "race-detection pair budget (0 = default)")
+	quick := flag.Bool("quick", false, "run a representative subset of presets")
+	flag.Parse()
+
+	o := bench.Opts{StepBudget: *steps, PairBudget: *pairs, Quick: *quick}
+	w := os.Stdout
+
+	run := func(name string) {
+		switch name {
+		case "3":
+			bench.Table3(w, o)
+		case "5":
+			bench.Table5(w, o)
+		case "6":
+			bench.Table6(w, o)
+		case "7":
+			bench.Table7(w, o)
+		case "8":
+			bench.Table8(w, o)
+		case "9":
+			bench.Table9(w, o)
+		case "10":
+			bench.Table10(w)
+		case "ablation":
+			bench.Ablation(w, o)
+		case "extensions":
+			bench.Extensions(w, o)
+		case "android":
+			bench.Android(w, o)
+		case "linux":
+			bench.Linux(w, o)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown table %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	if *table == "all" {
+		for _, t := range []string{"3", "5", "6", "7", "8", "9", "10", "ablation", "extensions", "android", "linux"} {
+			run(t)
+		}
+		return
+	}
+	run(*table)
+}

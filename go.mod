@@ -1,0 +1,3 @@
+module o2
+
+go 1.22

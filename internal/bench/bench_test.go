@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"o2/internal/ir"
+	"o2/internal/workload"
+)
+
+var quick = Opts{Quick: true}
+
+func TestTable5Shapes(t *testing.T) {
+	var buf bytes.Buffer
+	left, right := Table5(&buf, quick)
+	if len(left.Rows) == 0 || len(right.Rows) != len(left.Rows) {
+		t.Fatalf("row counts: left %d right %d", len(left.Rows), len(right.Rows))
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table 5") {
+		t.Errorf("missing title")
+	}
+	// OPA must never hit the budget (column 3 of the left table).
+	for _, row := range left.Rows {
+		if row[3] == timeoutCell {
+			t.Errorf("%s: OPA must stay under budget", row[0])
+		}
+	}
+	// At least one deep-context cell must time out, mirroring the paper's
+	// >4h entries.
+	timeouts := 0
+	for _, row := range left.Rows {
+		for _, cell := range row[4:] {
+			if cell == timeoutCell {
+				timeouts++
+			}
+		}
+	}
+	if timeouts == 0 {
+		t.Errorf("expected deep-context timeouts in the quick subset")
+	}
+}
+
+func TestTable6Shapes(t *testing.T) {
+	var buf bytes.Buffer
+	tb := Table6(&buf, quick)
+	if len(tb.Rows) != 4*len(workload.Table6) {
+		t.Fatalf("want 4 metric rows per app, got %d", len(tb.Rows))
+	}
+	// O2's pointer count exceeds 0-ctx (contexted pointers) on every app.
+	for i := 1; i < len(tb.Rows); i += 4 {
+		row := tb.Rows[i]
+		if row[2] != "#Pointer" {
+			t.Fatalf("row layout changed: %v", row)
+		}
+	}
+}
+
+func TestTable7Shapes(t *testing.T) {
+	var buf bytes.Buffer
+	tb := Table7(&buf, quick)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("quick Table 7 should cover 4 presets, got %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[1] == timeoutCell {
+			t.Errorf("%s: OSA must complete", row[0])
+		}
+	}
+}
+
+func TestTable8Reductions(t *testing.T) {
+	var buf bytes.Buffer
+	tb := Table8(&buf, quick)
+	for _, row := range tb.Rows {
+		if row[3] == "-" {
+			continue
+		}
+		if !strings.HasSuffix(row[3], "%") {
+			t.Errorf("%s: reduction cell %q", row[0], row[3])
+		}
+	}
+}
+
+func TestTable9Shapes(t *testing.T) {
+	var buf bytes.Buffer
+	tb := Table9(&buf, quick)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("want 4 distributed systems, got %d", len(tb.Rows))
+	}
+}
+
+func TestTable10AllMatch(t *testing.T) {
+	var buf bytes.Buffer
+	results, tb := Table10(&buf)
+	if len(results) != 11 {
+		t.Fatalf("want 11 case studies, got %d", len(results))
+	}
+	for _, r := range results {
+		if r.Detected != r.Expected {
+			t.Errorf("%s: detected %d, want %d", r.Name, r.Detected, r.Expected)
+		}
+	}
+	if strings.Contains(buf.String(), "✗") {
+		t.Errorf("table contains mismatches:\n%s", buf.String())
+	}
+	_ = tb
+}
+
+func TestAblationSound(t *testing.T) {
+	var buf bytes.Buffer
+	tb := Ablation(&buf, quick)
+	// All variants of one app report the same race count.
+	counts := map[string]string{}
+	for _, row := range tb.Rows {
+		app, races := row[0], row[len(row)-1]
+		if strings.HasPrefix(races, "≥") {
+			continue // budget-limited counts are lower bounds
+		}
+		if prev, ok := counts[app]; ok && prev != races {
+			t.Errorf("%s: race counts differ across variants: %s vs %s", app, prev, races)
+		}
+		counts[app] = races
+	}
+}
+
+func TestTable3Monotone(t *testing.T) {
+	var buf bytes.Buffer
+	tb := Table3(&buf, quick)
+	if len(tb.Rows) < 2 {
+		t.Fatalf("need at least two scales")
+	}
+}
+
+func TestLinuxModel(t *testing.T) {
+	var buf bytes.Buffer
+	tb := Linux(&buf, Opts{})
+	if tb == nil {
+		t.Fatalf("linux model exceeded budget")
+	}
+	if !strings.Contains(buf.String(), "races reported") {
+		t.Errorf("missing races row")
+	}
+}
+
+func TestRunPipeline(t *testing.T) {
+	p, _ := workload.ByName("avrora")
+	pl := RunPipeline(p, POPA, Opts{})
+	if pl.TimedOut {
+		t.Fatalf("avrora should complete")
+	}
+	if pl.Total <= 0 || len(pl.Detect.Report.Races) == 0 {
+		t.Errorf("pipeline produced no output")
+	}
+	_ = ir.DefaultEntryConfig()
+}
+
+func TestExtensionsTable(t *testing.T) {
+	var buf bytes.Buffer
+	tb := Extensions(&buf, quick)
+	if len(tb.Rows) == 0 {
+		t.Fatalf("no rows")
+	}
+	for _, row := range tb.Rows {
+		if row[2] == "0" {
+			t.Errorf("%s: expected the inverted-lock deadlock", row[0])
+		}
+		if row[5] == "0" {
+			t.Errorf("%s: expected unnecessary regions", row[0])
+		}
+	}
+}
+
+func TestAndroidTable(t *testing.T) {
+	var buf bytes.Buffer
+	tb := Android(&buf, quick)
+	for _, row := range tb.Rows {
+		if row[3] != "0" {
+			t.Errorf("%s: android mode left event-event races: %s", row[0], row[3])
+		}
+		if row[4] == "0" {
+			t.Errorf("%s: thread-event races should survive android mode", row[0])
+		}
+	}
+}

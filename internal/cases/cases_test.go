@@ -1,0 +1,161 @@
+package cases
+
+import (
+	"testing"
+
+	"o2/internal/ir"
+	"o2/internal/lang"
+	"o2/internal/osa"
+	"o2/internal/pta"
+	"o2/internal/race"
+	"o2/internal/shb"
+)
+
+func run(t *testing.T, c Case, policy pta.Policy) *race.Report {
+	t.Helper()
+	entries := ir.DefaultEntryConfig()
+	prog, err := lang.Compile(c.Name+".mini", c.Source, entries)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", c.Name, err)
+	}
+	a := pta.New(prog, pta.Config{Policy: policy, Entries: entries})
+	if err := a.Solve(); err != nil {
+		t.Fatalf("%s: solve: %v", c.Name, err)
+	}
+	sharing := osa.Analyze(a)
+	g := shb.Build(a, shb.Config{AndroidEvents: c.Android})
+	return race.Detect(a, sharing, g, race.O2Options())
+}
+
+// TestTable10Counts verifies that O2 reports exactly the confirmed race
+// count of the paper's Table 10 on each case-study model.
+func TestTable10Counts(t *testing.T) {
+	for _, c := range Table10 {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			rep := run(t, c, pta.Policy{Kind: pta.KOrigin, K: 1})
+			if len(rep.Races) != c.Races {
+				for _, r := range rep.Races {
+					t.Logf("%s", r.String())
+				}
+				t.Fatalf("%s: want %d races, got %d", c.Name, c.Races, len(rep.Races))
+			}
+		})
+	}
+}
+
+// TestTable10ThreadEventInteraction verifies the paper's central claim for
+// §5.4: the marked races arise from thread×event interaction, so at least
+// one reported race in those cases spans a thread origin and an event
+// origin (or a replicated event pair standing for concurrent calls).
+func TestTable10ThreadEventInteraction(t *testing.T) {
+	entries := ir.DefaultEntryConfig()
+	for _, c := range Table10 {
+		if !c.ThreadEvent {
+			continue
+		}
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			prog, err := lang.Compile(c.Name+".mini", c.Source, entries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := pta.New(prog, pta.Config{Policy: pta.Policy{Kind: pta.KOrigin, K: 1}, Entries: entries})
+			if err := a.Solve(); err != nil {
+				t.Fatal(err)
+			}
+			sharing := osa.Analyze(a)
+			g := shb.Build(a, shb.Config{AndroidEvents: c.Android})
+			rep := race.Detect(a, sharing, g, race.O2Options())
+			cross := false
+			for _, r := range rep.Races {
+				ka := a.Origins.Get(r.A.Origin).Kind
+				kb := a.Origins.Get(r.B.Origin).Kind
+				if ka != kb {
+					cross = true
+				}
+			}
+			if !cross {
+				t.Errorf("%s: expected at least one thread-vs-event race", c.Name)
+			}
+		})
+	}
+}
+
+// TestFalsePositiveModes pins the documented false-positive behaviour
+// (§5.2/§5.4): these programs are race-free at run time, yet the analysis
+// reports the listed counts. A change in either direction should be
+// deliberate.
+func TestFalsePositiveModes(t *testing.T) {
+	for _, c := range FalsePositives {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			rep := runSrc(t, c.Name, c.Source, pta.Policy{Kind: pta.KOrigin, K: 1}, false)
+			if len(rep.Races) != c.Races {
+				for _, r := range rep.Races {
+					t.Logf("%s", r.String())
+				}
+				t.Fatalf("%s: want %d documented false positives, got %d", c.Name, c.Races, len(rep.Races))
+			}
+		})
+	}
+}
+
+// The unknown-lock false positive disappears once the primitive is
+// configured — the paper's "customized locks through configurations".
+func TestUnknownLockFPFixedByConfiguration(t *testing.T) {
+	entries := ir.DefaultEntryConfig()
+	entries.LockFuncs = append(entries.LockFuncs, "arch_local_irq_save")
+	entries.UnlockFuncs = append(entries.UnlockFuncs, "arch_local_irq_restore")
+	prog, err := lang.Compile("t.mini", UnknownLockFP.Source, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pta.New(prog, pta.Config{Policy: pta.Policy{Kind: pta.KOrigin, K: 1}, Entries: entries})
+	if err := a.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	sharing := osa.Analyze(a)
+	g := shb.Build(a, shb.Config{})
+	rep := race.Detect(a, sharing, g, race.O2Options())
+	if len(rep.Races) != 0 {
+		t.Fatalf("configuring the primitive should remove the false positive: %d races", len(rep.Races))
+	}
+}
+
+func runSrc(t *testing.T, name, src string, policy pta.Policy, android bool) *race.Report {
+	t.Helper()
+	entries := ir.DefaultEntryConfig()
+	prog, err := lang.Compile(name+".mini", src, entries)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", name, err)
+	}
+	a := pta.New(prog, pta.Config{Policy: policy, Entries: entries})
+	if err := a.Solve(); err != nil {
+		t.Fatalf("%s: solve: %v", name, err)
+	}
+	sharing := osa.Analyze(a)
+	g := shb.Build(a, shb.Config{AndroidEvents: android})
+	return race.Detect(a, sharing, g, race.O2Options())
+}
+
+// The case-study races are real: imprecise baselines must also find them
+// (possibly plus false positives), never fewer.
+func TestTable10BaselinesFindAtLeastAsMany(t *testing.T) {
+	for _, c := range Table10 {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			for _, pol := range []pta.Policy{
+				{Kind: pta.Insensitive},
+				{Kind: pta.KCFA, K: 1},
+				{Kind: pta.KObj, K: 1},
+			} {
+				rep := run(t, c, pol)
+				if len(rep.Races) < c.Races {
+					t.Errorf("%s under %s: %d races, want >= %d",
+						c.Name, pol.Name(), len(rep.Races), c.Races)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,400 @@
+package cases
+
+// Case is one real-world race case study from §5.4 / Table 10. Source
+// transcribes the paper's described racing code into minilang, keeping the
+// original thread/event structure, locking and aliasing; Races is the
+// paper's confirmed race count, which O2 must report exactly.
+type Case struct {
+	Name string
+	// Races is Table 10's confirmed-race count.
+	Races int
+	// ThreadEvent marks races caused by thread×event interaction — the
+	// ones the paper attributes to origin unification (missed when events
+	// and threads are analyzed separately).
+	ThreadEvent bool
+	// Android runs the case in Android mode (§4.2).
+	Android bool
+	Source  string
+	About   string
+}
+
+// Table10 lists the case studies in paper order.
+var Table10 = []Case{LinuxCase, TDengineCase, RedisCase, OVSCase, CPQueueCase,
+	MRLockCase, MemcachedCase, FirefoxCase, ZooKeeperCase, HBaseCase, TomcatCase}
+
+// ByName returns the named case study.
+func ByName(name string) (Case, bool) {
+	for _, c := range Table10 {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Case{}, false
+}
+
+// LinuxCase models the kernel races of §5.4: the vsyscall timezone race
+// (concurrent update_vsyscall_tz writes to vdata[CS_HRES_COARSE] from two
+// invocations of the settimeofday system call) plus races between system
+// calls, a kernel thread and an interrupt handler on timekeeper state.
+// System calls are modeled as event handlers allocated in a loop, which
+// replicates their origins — the paper's "two origins representing
+// concurrent calls of the same system call".
+var LinuxCase = Case{
+	Name:        "linux",
+	Races:       6,
+	ThreadEvent: true,
+	About:       "vsyscall tz array race + timekeeper/driver/irq races (kernel bugzilla, confirmed)",
+	Source: `
+// Kernel state.
+class VdsoData { field tz_minuteswest; field tz_dsttime; }
+class Timekeeper { field offs_boot; field coarse_nsec; field mult; }
+class GpioChip { field irq_state; field events; }
+
+// __x64_sys_settimeofday: writes the vdso data without a lock. Two
+// concurrent invocations of the call race on vdata[CS_HRES_COARSE].
+class SysSettimeofday {
+  field vdata; field tk;
+  SysSettimeofday(v, t) { this.vdata = v; this.tk = t; }
+  handleEvent(req) {
+    v = this.vdata;
+    v[0] = req;            // RACE 1: concurrent writes to vdata element
+    t = this.tk;
+    x = t.coarse_nsec;     // RACE 2: vs timekeeping kthread write
+  }
+}
+
+// __x64_sys_adjtimex: reads timekeeper state without a lock.
+class SysAdjtimex {
+  field tk;
+  SysAdjtimex(t) { this.tk = t; }
+  handleEvent(req) {
+    t = this.tk;
+    x = t.mult;            // RACE 3: vs kthread write of mult
+    y = t.offs_boot;       // RACE 4: vs kthread write of offs_boot
+  }
+}
+
+// Timekeeping kernel thread: periodic unlocked updates.
+class TimekeepingThread {
+  field tk;
+  TimekeepingThread(t) { this.tk = t; }
+  run() {
+    t = this.tk;
+    t.coarse_nsec = this;  // RACE 2 counterpart (missing lock)
+    t.mult = this;         // RACE 3 counterpart
+    t.offs_boot = this;    // RACE 4 counterpart
+  }
+}
+
+// GPIO driver file-operation entry (read): races with its IRQ handler.
+class GpioRead {
+  field chip;
+  GpioRead(c) { this.chip = c; }
+  handleEvent(req) {
+    c = this.chip;
+    x = c.irq_state;       // RACE 5: vs irq handler write
+    c.events = req;        // RACE 6: vs irq handler write of events
+  }
+}
+
+// request_threaded_irq handler.
+class GpioIrq {
+  field chip;
+  GpioIrq(c) { this.chip = c; }
+  run() {
+    c = this.chip;
+    c.irq_state = this;    // RACE 5 counterpart
+    c.events = this;       // RACE 6 counterpart
+  }
+}
+
+main {
+  vdata = new VArray();
+  tk = new Timekeeper();
+  chip = new GpioChip();
+
+  // Concurrent invocations of each system call: allocate the handler in a
+  // loop so its origin is replicated.
+  while (pending) {
+    s1 = new SysSettimeofday(vdata, tk);
+    r1 = new Req();
+    s1.handleEvent(r1);
+  }
+  while (pending) {
+    s2 = new SysAdjtimex(tk);
+    r2 = new Req();
+    s2.handleEvent(r2);
+  }
+
+  kt = new TimekeepingThread(tk);
+  kt.start();
+
+  rd = new GpioRead(chip);
+  rq = new Req();
+  rd.handleEvent(rq);
+  irq = new GpioIrq(chip);
+  irq.start();
+}
+`,
+}
+
+// MemcachedCase models the slab-rebalancing race of §5.4: the
+// do_slabs_reassign event handler reads slabclass state without the lock
+// that do_slabs_newslab's worker threads hold, plus the stats/settings and
+// stop_main_loop flag races the paper reports.
+var MemcachedCase = Case{
+	Name:        "memcached",
+	Races:       3,
+	ThreadEvent: true,
+	About:       "slab reassign vs newslab (missing lock), stats flag, stop_main_loop (confirmed by developers)",
+	Source: `
+class SlabClass { field slabs; field list; }
+class Settings { field maxbytes; field stop_main_loop; }
+
+// Event: do_slabs_reassign — reads slabs count with NO lock.
+class ReassignEvent {
+  field sc;
+  ReassignEvent(sc) { this.sc = sc; }
+  handleEvent(ev) {
+    s = this.sc;
+    x = s.slabs;           // RACE 1: unlocked read vs locked write
+  }
+}
+
+// Thread: do_slabs_newslab — updates slab list under the slabs lock.
+class NewSlabThread {
+  field sc; field lock;
+  NewSlabThread(sc, l) { this.sc = sc; this.lock = l; }
+  run() {
+    s = this.sc;
+    l = this.lock;
+    sync (l) {
+      s.slabs = this;      // RACE 1 counterpart
+      lst = s.list;
+      lst[0] = this;
+    }
+  }
+}
+
+// Thread: worker updating settings without synchronization.
+class WorkerThread {
+  field st;
+  WorkerThread(st) { this.st = st; }
+  run() {
+    s = this.st;
+    s.maxbytes = this;     // RACE 2: settings written by thread...
+  }
+}
+
+// Event: main-loop event reading settings and the stop flag.
+class LoopEvent {
+  field st;
+  LoopEvent(st) { this.st = st; }
+  handleEvent(ev) {
+    s = this.st;
+    x = s.maxbytes;        // RACE 2 counterpart: ...read by event
+    s.stop_main_loop = ev; // RACE 3: flag write vs signal thread
+  }
+}
+
+// Thread: signal handler thread flipping the stop flag.
+class SignalThread {
+  field st;
+  SignalThread(st) { this.st = st; }
+  run() {
+    s = this.st;
+    s.stop_main_loop = this; // RACE 3 counterpart
+  }
+}
+
+main {
+  sc = new SlabClass();
+  lk = new SlabsLock();
+  st = new Settings();
+
+  re = new ReassignEvent(sc);
+  ev = new Ev();
+  re.handleEvent(ev);
+
+  ns = new NewSlabThread(sc, lk);
+  ns.start();
+
+  w = new WorkerThread(st);
+  w.start();
+
+  le = new LoopEvent(st);
+  le.handleEvent(ev);
+
+  sg = new SignalThread(st);
+  sg.start();
+}
+`,
+}
+
+// FirefoxCase models the Firefox Focus GeckoAppShell application-context
+// race (Bug-1581940): the Gecko background thread reads the static app
+// context while the UI thread's onCreate handler checks and sets it.
+var FirefoxCase = Case{
+	Name:        "firefox",
+	Races:       2,
+	ThreadEvent: true,
+	Android:     true,
+	About:       "GeckoAppShell.getAppCtx/setAppCtx unsynchronized between UI event and Gecko thread",
+	Source: `
+class GeckoAppShell { static field appCtx; }
+
+// Gecko background thread: bind() reads the app context.
+class GeckoBinder {
+  GeckoBinder() { }
+  run() {
+    c = GeckoAppShell.appCtx;    // RACE: read without synchronization
+    d = this.probe();
+  }
+  probe() {
+    e = GeckoAppShell.appCtx;    // RACE: second read site (second bug)
+    return e;
+  }
+}
+
+// UI thread: MainActivity.onCreate -> attachTo(context).
+class CreateHandler {
+  field ctx;
+  CreateHandler(c) { this.ctx = c; }
+  onReceive(ev) {
+    a = this.ctx;
+    GeckoAppShell.appCtx = a;    // RACE counterpart: unsynchronized write
+  }
+}
+
+main {
+  appCtx = new Context();
+  g = new GeckoBinder();
+  g.start();
+  h = new CreateHandler(appCtx);
+  ev = new Ev();
+  h.onReceive(ev);
+}
+`,
+}
+
+// ZooKeeperCase models ZOOKEEPER-3819: DataTree.createNode adds paths to
+// an ephemerals list under sync(list) while deserialize adds without the
+// lock; both run on different server threads.
+var ZooKeeperCase = Case{
+	Name:        "zookeeper",
+	Races:       1,
+	ThreadEvent: true,
+	About:       "DataTree ephemerals list.add with missing lock in deserialize (ZOOKEEPER-3819)",
+	Source: `
+class DataTree { field ephemerals; }
+class PathList { field paths; }
+
+// Create-node request: arrives as an event, adds the path under
+// sync(list).
+class CreateNodeRequest {
+  field dt;
+  CreateNodeRequest(dt) { this.dt = dt; }
+  handleEvent(req) {
+    t = this.dt;
+    lst = t.ephemerals;
+    sync (lst) {
+      lst.paths = req;     // locked add
+    }
+  }
+}
+
+// Server thread deserializing the same session concurrently.
+class DeserializeThread {
+  field dt;
+  DeserializeThread(dt) { this.dt = dt; }
+  run() {
+    t = this.dt;
+    lst = t.ephemerals;
+    lst.paths = this;      // RACE: missing lock
+  }
+}
+
+main {
+  dt = new DataTree();
+  lst = new PathList();
+  dt.ephemerals = lst;
+  c = new CreateNodeRequest(dt);
+  req = new Req();
+  d = new DeserializeThread(dt);
+  d.start();
+  c.handleEvent(req);
+}
+`,
+}
+
+// HBaseCase models HBASE-24374: Encryption.getKeyProvider reads and
+// populates keyProviderCache without locks from concurrent handlers.
+var HBaseCase = Case{
+	Name:        "hbase",
+	Races:       1,
+	ThreadEvent: true,
+	About:       "Encryption.keyProviderCache concurrent get/put without locks (HBASE-24374)",
+	Source: `
+class Encryption { static field keyProviderCache; }
+
+class RpcHandler {
+  RpcHandler() { }
+  handleEvent(req) {
+    Encryption.keyProviderCache = req; // RACE: unlocked put
+  }
+}
+class CompactionThread {
+  CompactionThread() { }
+  run() {
+    c = Encryption.keyProviderCache;   // RACE counterpart: unlocked get
+  }
+}
+main {
+  cache = new Cache();
+  Encryption.keyProviderCache = cache;
+  h = new RpcHandler();
+  req = new Req();
+  h.handleEvent(req);
+  t = new CompactionThread();
+  t.start();
+}
+`,
+}
+
+// TomcatCase models the Tomcat connector-counter race.
+var TomcatCase = Case{
+	Name:        "tomcat",
+	Races:       1,
+	ThreadEvent: true,
+	About:       "connector state flag read by acceptor event vs written by lifecycle thread",
+	Source: `
+class Connector { field state; field lock; }
+
+class AcceptorEvent {
+  field c;
+  AcceptorEvent(c) { this.c = c; }
+  handleEvent(ev) {
+    k = this.c;
+    x = k.state;          // RACE: unlocked read in the accept path
+  }
+}
+class LifecycleThread {
+  field c;
+  LifecycleThread(c) { this.c = c; }
+  run() {
+    k = this.c;
+    k.state = this;               // RACE counterpart: unlocked write
+  }
+}
+main {
+  c = new Connector();
+  l = new StateLock();
+  c.lock = l;
+  a = new AcceptorEvent(c);
+  ev = new Ev();
+  a.handleEvent(ev);
+  t = new LifecycleThread(c);
+  t.start();
+}
+`,
+}

@@ -1,0 +1,304 @@
+package cases
+
+// TDengineCase models the six TDengine races: the vnode write path
+// (event-driven RPC handlers) against the background commit and sync
+// threads on cache, WAL and version state.
+var TDengineCase = Case{
+	Name:        "tdengine",
+	Races:       6,
+	ThreadEvent: true,
+	About:       "vnode cache/WAL/version fields shared between RPC events and commit/sync threads",
+	Source: `
+class Vnode {
+  field cache_size; field wal_level; field version;
+  field applied; field committing; field dropped;
+}
+
+// RPC write-message handler (event).
+class WriteMsgHandler {
+  field v;
+  WriteMsgHandler(v) { this.v = v; }
+  handleEvent(msg) {
+    n = this.v;
+    n.cache_size = msg;     // RACE 1
+    n.version = msg;        // RACE 2
+    x = n.committing;       // RACE 3 (read side)
+  }
+}
+
+// Background commit thread.
+class CommitThread {
+  field v;
+  CommitThread(v) { this.v = v; }
+  run() {
+    n = this.v;
+    x = n.cache_size;       // RACE 1 counterpart
+    n.committing = this;    // RACE 3 counterpart
+    n.applied = this;       // RACE 4
+  }
+}
+
+// Replica sync thread.
+class SyncThread {
+  field v;
+  SyncThread(v) { this.v = v; }
+  run() {
+    n = this.v;
+    x = n.version;          // RACE 2 counterpart
+    y = n.applied;          // RACE 4 counterpart
+    n.wal_level = this;     // RACE 5
+    n.dropped = this;       // RACE 6
+  }
+}
+
+// Drop-vnode handler (event).
+class DropHandler {
+  field v;
+  DropHandler(v) { this.v = v; }
+  handleEvent(msg) {
+    n = this.v;
+    x = n.wal_level;        // RACE 5 counterpart
+    y = n.dropped;          // RACE 6 counterpart
+  }
+}
+
+main {
+  v = new Vnode();
+  w = new WriteMsgHandler(v);
+  m = new Msg();
+  w.handleEvent(m);
+  c = new CommitThread(v);
+  c.start();
+  s = new SyncThread(v);
+  s.start();
+  d = new DropHandler(v);
+  d.handleEvent(m);
+}
+`,
+}
+
+// RedisCase models the five Redis/RedisGraph races between the event loop
+// (command handlers) and background threads (bio/AOF) on server state.
+var RedisCase = Case{
+	Name:        "redis",
+	Races:       5,
+	ThreadEvent: true,
+	About:       "server.dirty/aof_buf/clients/expires/repl_offset between event loop and bio threads",
+	Source: `
+class Server {
+  field dirty; field aof_buf; field clients; field expires; field repl_offset;
+}
+
+// Command handler on the event loop.
+class CommandHandler {
+  field srv;
+  CommandHandler(s) { this.srv = s; }
+  handleEvent(cmd) {
+    s = this.srv;
+    s.dirty = cmd;          // RACE 1
+    s.aof_buf = cmd;        // RACE 2
+    s.clients = cmd;        // RACE 3
+  }
+}
+
+// Background AOF fsync thread.
+class BioAofThread {
+  field srv;
+  BioAofThread(s) { this.srv = s; }
+  run() {
+    s = this.srv;
+    x = s.dirty;            // RACE 1 counterpart
+    y = s.aof_buf;          // RACE 2 counterpart
+    s.repl_offset = this;   // RACE 5
+  }
+}
+
+// Background lazy-free thread. Note the nested spawn: Redis creates its
+// bio threads from a starter thread (the paper observed nested thread
+// creations in Redis motivating k-origin).
+class LazyFreeThread {
+  field srv;
+  LazyFreeThread(s) { this.srv = s; }
+  run() {
+    s = this.srv;
+    x = s.clients;          // RACE 3 counterpart
+    s.expires = this;       // RACE 4
+  }
+}
+
+// Replication cron handler (event).
+class ReplCronHandler {
+  field srv;
+  ReplCronHandler(s) { this.srv = s; }
+  handleEvent(t) {
+    s = this.srv;
+    x = s.expires;          // RACE 4 counterpart
+    y = s.repl_offset;      // RACE 5 counterpart
+  }
+}
+
+// Starter thread spawning the bio threads (nested origins).
+class BioStarter {
+  field srv;
+  BioStarter(s) { this.srv = s; }
+  run() {
+    s = this.srv;
+    a = new BioAofThread(s);
+    a.start();
+    l = new LazyFreeThread(s);
+    l.start();
+  }
+}
+
+main {
+  s = new Server();
+  st = new BioStarter(s);
+  st.start();
+  h = new CommandHandler(s);
+  cmd = new Cmd();
+  h.handleEvent(cmd);
+  r = new ReplCronHandler(s);
+  r.handleEvent(cmd);
+}
+`,
+}
+
+// OVSCase models the three Open vSwitch races between the netlink upcall
+// handler and the revalidator thread.
+var OVSCase = Case{
+	Name:        "ovs",
+	Races:       3,
+	ThreadEvent: true,
+	About:       "flow table size / stats / config between upcall events and revalidator thread",
+	Source: `
+class Udpif { field n_flows; field stats; field conf; }
+
+class UpcallHandler {
+  field u;
+  UpcallHandler(u) { this.u = u; }
+  handleEvent(pkt) {
+    d = this.u;
+    d.n_flows = pkt;        // RACE 1
+    x = d.stats;            // RACE 2 (read side)
+    y = d.conf;             // RACE 3 (read side)
+  }
+}
+
+class RevalidatorThread {
+  field u;
+  RevalidatorThread(u) { this.u = u; }
+  run() {
+    d = this.u;
+    x = d.n_flows;          // RACE 1 counterpart
+    d.stats = this;         // RACE 2 counterpart
+    d.conf = this;          // RACE 3 counterpart
+  }
+}
+
+main {
+  u = new Udpif();
+  h = new UpcallHandler(u);
+  p = new Pkt();
+  h.handleEvent(p);
+  r = new RevalidatorThread(u);
+  r.start();
+}
+`,
+}
+
+// CPQueueCase models the seven races in the cpqueue lock-free concurrent
+// priority queue: two symmetric worker threads mutate queue bookkeeping
+// without synchronization (lock-free code is racy by design at the memory
+// level; the paper counts the seven confirmed harmful ones).
+var CPQueueCase = Case{
+	Name:  "cpqueue",
+	Races: 7,
+	About: "head/tail/size/top/bottom/version/active of the lock-free queue across two workers",
+	Source: `
+class Queue {
+  field head; field tail; field size; field top;
+  field bottom; field version; field active;
+}
+
+class QueueWorker {
+  field q;
+  QueueWorker(q) { this.q = q; }
+  run() {
+    x = this.q;
+    x.head = this;          // RACE 1 (both instances write)
+    x.tail = this;          // RACE 2
+    x.size = this;          // RACE 3
+    x.top = this;           // RACE 4
+    x.bottom = this;        // RACE 5
+    x.version = this;       // RACE 6
+    x.active = this;        // RACE 7
+  }
+}
+
+main {
+  q = new Queue();
+  w1 = new QueueWorker(q);
+  w2 = new QueueWorker(q);
+  w1.start();
+  w2.start();
+}
+`,
+}
+
+// MRLockCase models the five races found in the mrlock multi-resource
+// lock implementation itself: the lock's own bookkeeping fields are
+// accessed by acquirer and releaser threads without protection.
+var MRLockCase = Case{
+	Name:  "mrlock",
+	Races: 5,
+	About: "flag/owner/depth/waiters/ticket of the lock structure across acquire/release threads",
+	Source: `
+class MRLock {
+  field flag; field owner; field depth; field waiters; field ticket;
+}
+
+class Acquirer {
+  field l;
+  Acquirer(l) { this.l = l; }
+  run() {
+    k = this.l;
+    k.flag = this;          // RACE 1
+    k.owner = this;         // RACE 2
+    x = k.depth;            // RACE 3 (read side)
+    k.ticket = this;        // RACE 5
+  }
+}
+
+class Releaser {
+  field l;
+  Releaser(l) { this.l = l; }
+  run() {
+    k = this.l;
+    x = k.flag;             // RACE 1 counterpart
+    y = k.owner;            // RACE 2 counterpart
+    k.depth = this;         // RACE 3 counterpart
+    k.waiters = this;       // RACE 4
+  }
+}
+
+class Spinner {
+  field l;
+  Spinner(l) { this.l = l; }
+  run() {
+    k = this.l;
+    x = k.waiters;          // RACE 4 counterpart
+    y = k.ticket;           // RACE 5 counterpart
+  }
+}
+
+main {
+  l = new MRLock();
+  a = new Acquirer(l);
+  r = new Releaser(l);
+  s = new Spinner(l);
+  a.start();
+  r.start();
+  s.start();
+}
+`,
+}

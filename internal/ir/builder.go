@@ -1,0 +1,185 @@
+package ir
+
+// B is a fluent builder for a function body. It is used by tests and the
+// synthetic workload generator; the minilang frontend lowers through it too.
+type B struct {
+	F    *Func
+	pos  Pos
+	loop int // >0 while inside a lexical loop
+}
+
+// NewB returns a builder appending to f's body.
+func NewB(f *Func) *B { return &B{F: f} }
+
+// At sets the source position attached to subsequently emitted instructions.
+func (b *B) At(p Pos) *B { b.pos = p; return b }
+
+// Line sets only the line of the current position.
+func (b *B) Line(n int) *B { b.pos.Line = n; return b }
+
+func (b *B) emit(i Instr) {
+	b.F.Body = append(b.F.Body, i)
+}
+
+// V returns (creating if needed) the named variable in the function.
+func (b *B) V(name string) *Var { return b.F.Var(name) }
+
+// New emits x = new C(args) and returns the Alloc for further inspection.
+func (b *B) New(dst string, c *Class, args ...string) *Alloc {
+	a := &Alloc{base: base{b.pos}, Dst: b.V(dst), Class: c, Args: b.vs(args), InLoop: b.loop > 0}
+	b.emit(a)
+	return a
+}
+
+// Copy emits dst = src.
+func (b *B) Copy(dst, src string) *B {
+	b.emit(&Copy{base{b.pos}, b.V(dst), b.V(src)})
+	return b
+}
+
+// Load emits dst = obj.field.
+func (b *B) Load(dst, obj, field string) *B {
+	b.emit(&LoadField{base{b.pos}, b.V(dst), b.V(obj), field})
+	return b
+}
+
+// Store emits obj.field = src.
+func (b *B) Store(obj, field, src string) *B {
+	b.emit(&StoreField{base{b.pos}, b.V(obj), field, b.V(src)})
+	return b
+}
+
+// LoadIdx emits dst = arr[*].
+func (b *B) LoadIdx(dst, arr string) *B {
+	b.emit(&LoadIndex{base{b.pos}, b.V(dst), b.V(arr)})
+	return b
+}
+
+// StoreIdx emits arr[*] = src.
+func (b *B) StoreIdx(arr, src string) *B {
+	b.emit(&StoreIndex{base{b.pos}, b.V(arr), b.V(src)})
+	return b
+}
+
+// LoadStatic emits dst = C.field.
+func (b *B) LoadStatic(dst string, c *Class, field string) *B {
+	b.emit(&LoadStatic{base{b.pos}, b.V(dst), c, field})
+	return b
+}
+
+// StoreStatic emits C.field = src.
+func (b *B) StoreStatic(c *Class, field, src string) *B {
+	b.emit(&StoreStatic{base{b.pos}, c, field, b.V(src)})
+	return b
+}
+
+// Call emits dst = recv.method(args); pass dst == "" for no result.
+func (b *B) Call(dst, recv, method string, args ...string) *B {
+	var d *Var
+	if dst != "" {
+		d = b.V(dst)
+	}
+	b.emit(&Call{base: base{b.pos}, Dst: d, Recv: b.V(recv), Method: method, Args: b.vs(args)})
+	return b
+}
+
+// SuperCall emits a statically-dispatched constructor call
+// this.Super.init(args): the target is fixed but the receiver binds
+// through this's points-to set, so the superclass constructor is analyzed
+// under each receiver's context (Figure 3 of the paper).
+func (b *B) SuperCall(init *Func, args ...string) *B {
+	b.emit(&Call{base: base{b.pos}, Recv: b.V("this"), Method: "$super", Args: b.vs(args), Static: init})
+	return b
+}
+
+// CallStatic emits dst = f(args) for a direct call to f.
+func (b *B) CallStatic(dst string, f *Func, args ...string) *B {
+	var d *Var
+	if dst != "" {
+		d = b.V(dst)
+	}
+	b.emit(&Call{base: base{b.pos}, Dst: d, Method: f.Name, Args: b.vs(args), Static: f})
+	return b
+}
+
+// AddrOf emits dst = &fn (a function-pointer value).
+func (b *B) AddrOf(dst string, fn *Func) *B {
+	b.emit(&FuncAddr{base{b.pos}, b.V(dst), fn})
+	return b
+}
+
+// CallIndirect emits dst = (*fp)(args), an indirect call through the
+// function pointer fp.
+func (b *B) CallIndirect(dst, fp string, args ...string) *B {
+	var d *Var
+	if dst != "" {
+		d = b.V(dst)
+	}
+	b.emit(&Call{base: base{b.pos}, Dst: d, Indirect: b.V(fp), Args: b.vs(args)})
+	return b
+}
+
+// PthreadCreate emits handle = pthread_create(fp, arg): a thread origin per
+// function fp may point to, with arg as the origin attribute.
+func (b *B) PthreadCreate(handle, fp, arg string) *B {
+	b.emit(&Call{base: base{b.pos}, Dst: b.V(handle), Builtin: "pthread_create",
+		Args: []*Var{b.V(fp), b.V(arg)}, InLoop: b.loop > 0})
+	return b
+}
+
+// PthreadJoin emits pthread_join(handle).
+func (b *B) PthreadJoin(handle string) *B {
+	b.emit(&Call{base: base{b.pos}, Builtin: "pthread_join", Args: []*Var{b.V(handle)}})
+	return b
+}
+
+// EventRegister emits event_register(fp, arg): an event-handler origin per
+// function fp may point to.
+func (b *B) EventRegister(fp, arg string) *B {
+	b.emit(&Call{base: base{b.pos}, Builtin: "event_register",
+		Args: []*Var{b.V(fp), b.V(arg)}, InLoop: b.loop > 0})
+	return b
+}
+
+// Lock emits monitorenter obj.
+func (b *B) Lock(obj string) *B {
+	b.emit(&MonitorEnter{base{b.pos}, b.V(obj)})
+	return b
+}
+
+// Unlock emits monitorexit obj.
+func (b *B) Unlock(obj string) *B {
+	b.emit(&MonitorExit{base{b.pos}, b.V(obj)})
+	return b
+}
+
+// Ret emits return v (v == "" for void).
+func (b *B) Ret(v string) *B {
+	var rv *Var
+	if v != "" {
+		rv = b.V(v)
+		if b.F.Ret == nil {
+			b.F.Ret = b.F.Var("$ret")
+		}
+		b.emit(&Copy{base{b.pos}, b.F.Ret, rv})
+	}
+	b.emit(&Return{base{b.pos}, rv})
+	return b
+}
+
+// InLoop runs fn with the loop flag set, marking allocations as loop
+// allocations (which replicate origins).
+func (b *B) InLoop(fn func()) *B {
+	b.loop++
+	fn()
+	b.loop--
+	return b
+}
+
+func (b *B) vs(names []string) []*Var {
+	out := make([]*Var, len(names))
+	for i, n := range names {
+		out[i] = b.V(n)
+	}
+	return out
+}

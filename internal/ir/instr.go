@@ -1,0 +1,192 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Instr is a single IR instruction.
+type Instr interface {
+	Pos() Pos
+	String() string
+}
+
+type base struct{ P Pos }
+
+func (b base) Pos() Pos { return b.P }
+
+// Alloc is "x = new C(a1,...,an)". If the allocated class is a thread or
+// event-handler class, the allocation is an origin allocation (rule ⑧ of
+// Table 2) and the arguments become the new origin's attributes.
+type Alloc struct {
+	base
+	Dst   *Var
+	Class *Class
+	Args  []*Var
+	Site  int // program-wide allocation-site ID, set by Finalize
+	// InLoop marks allocations lexically inside a loop; origin allocations
+	// in loops are replicated per the paper (§3.2, Wrapper Functions and
+	// Loops).
+	InLoop bool
+}
+
+func (a *Alloc) String() string {
+	return fmt.Sprintf("%s = new %s(%s)", a.Dst, a.Class.Name, vars(a.Args))
+}
+
+// Copy is "x = y".
+type Copy struct {
+	base
+	Dst, Src *Var
+}
+
+func (c *Copy) String() string { return fmt.Sprintf("%s = %s", c.Dst, c.Src) }
+
+// LoadField is "x = y.f".
+type LoadField struct {
+	base
+	Dst, Obj *Var
+	Field    string
+}
+
+func (l *LoadField) String() string { return fmt.Sprintf("%s = %s.%s", l.Dst, l.Obj, l.Field) }
+
+// StoreField is "x.f = y".
+type StoreField struct {
+	base
+	Obj   *Var
+	Field string
+	Src   *Var
+}
+
+func (s *StoreField) String() string { return fmt.Sprintf("%s.%s = %s", s.Obj, s.Field, s.Src) }
+
+// ArrayField is the synthetic field name modeling all array elements.
+const ArrayField = "*"
+
+// LoadIndex is "x = y[i]"; indices are not distinguished (field "*").
+type LoadIndex struct {
+	base
+	Dst, Arr *Var
+}
+
+func (l *LoadIndex) String() string { return fmt.Sprintf("%s = %s[*]", l.Dst, l.Arr) }
+
+// StoreIndex is "x[i] = y".
+type StoreIndex struct {
+	base
+	Arr, Src *Var
+}
+
+func (s *StoreIndex) String() string { return fmt.Sprintf("%s[*] = %s", s.Arr, s.Src) }
+
+// LoadStatic is "x = C.f" for a static field.
+type LoadStatic struct {
+	base
+	Dst   *Var
+	Class *Class
+	Field string
+}
+
+func (l *LoadStatic) String() string { return fmt.Sprintf("%s = %s.%s", l.Dst, l.Class.Name, l.Field) }
+
+// StoreStatic is "C.f = y" for a static field.
+type StoreStatic struct {
+	base
+	Class *Class
+	Field string
+	Src   *Var
+}
+
+func (s *StoreStatic) String() string {
+	return fmt.Sprintf("%s.%s = %s", s.Class.Name, s.Field, s.Src)
+}
+
+// Call is "x = y.m(a1,...,an)" (virtual, Recv != nil), "x = f(a1,...,an)"
+// (static, Static != nil), an indirect call through a function pointer
+// (Indirect != nil), or a recognized builtin (Builtin != ""). Origin-entry
+// dispatch (thread start, event dispatch) and joins are ordinary Calls
+// classified by EntryConfig against the resolved target's simple name.
+type Call struct {
+	base
+	Dst    *Var // may be nil
+	Recv   *Var // receiver for virtual calls; nil for static calls
+	Method string
+	Args   []*Var
+	Static *Func // resolved target for static calls
+	// Indirect is the function-pointer variable of an indirect call
+	// "x = (*fp)(args)" — the paper's C-side "indirect function targets".
+	Indirect *Var
+	// Builtin names a recognized C-style concurrency primitive:
+	// "pthread_create", "pthread_join", "event_register".
+	Builtin string
+	// InLoop marks builtin spawn calls lexically inside a loop; like loop
+	// origin allocations, they replicate the spawned origin.
+	InLoop bool
+	Site   int // program-wide call-site ID, set by Finalize
+}
+
+func (c *Call) String() string {
+	var b strings.Builder
+	if c.Dst != nil {
+		fmt.Fprintf(&b, "%s = ", c.Dst)
+	}
+	switch {
+	case c.Recv != nil:
+		fmt.Fprintf(&b, "%s.%s(%s)", c.Recv, c.Method, vars(c.Args))
+	case c.Indirect != nil:
+		fmt.Fprintf(&b, "(*%s)(%s)", c.Indirect, vars(c.Args))
+	case c.Builtin != "":
+		fmt.Fprintf(&b, "%s(%s)", c.Builtin, vars(c.Args))
+	default:
+		fmt.Fprintf(&b, "%s(%s)", c.Method, vars(c.Args))
+	}
+	return b.String()
+}
+
+// FuncAddr is "x = &f": x points to the function object of f.
+type FuncAddr struct {
+	base
+	Dst    *Var
+	Target *Func
+}
+
+func (f *FuncAddr) String() string { return fmt.Sprintf("%s = &%s", f.Dst, f.Target.Name) }
+
+// MonitorEnter acquires the monitor of the object x points to
+// (synchronized(x) {).
+type MonitorEnter struct {
+	base
+	Obj *Var
+}
+
+func (m *MonitorEnter) String() string { return fmt.Sprintf("monitorenter %s", m.Obj) }
+
+// MonitorExit releases the monitor of the object x points to.
+type MonitorExit struct {
+	base
+	Obj *Var
+}
+
+func (m *MonitorExit) String() string { return fmt.Sprintf("monitorexit %s", m.Obj) }
+
+// Return is "return x" (Val may be nil for void returns).
+type Return struct {
+	base
+	Val *Var
+}
+
+func (r *Return) String() string {
+	if r.Val == nil {
+		return "return"
+	}
+	return "return " + r.Val.String()
+}
+
+func vars(vs []*Var) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,362 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClassHierarchy(t *testing.T) {
+	p := NewProgram()
+	animal := p.Class("Animal")
+	animal.Fields = []string{"name"}
+	dog := p.Class("Dog")
+	dog.Super = animal
+	pup := p.Class("Puppy")
+	pup.Super = dog
+
+	speak := p.NewFunc(animal, "speak")
+	bark := p.NewFunc(dog, "speak") // override
+
+	if got := pup.Lookup("speak"); got != bark {
+		t.Errorf("Puppy.speak resolved to %v, want Dog override", got)
+	}
+	if got := animal.Lookup("speak"); got != speak {
+		t.Errorf("Animal.speak resolved to %v", got)
+	}
+	if pup.Lookup("missing") != nil {
+		t.Errorf("missing method should resolve to nil")
+	}
+	if !pup.HasField("name") {
+		t.Errorf("Puppy should inherit field name")
+	}
+	if animal.HasField("tail") {
+		t.Errorf("Animal has no tail field")
+	}
+	if !pup.IsSubclassOf(animal) || animal.IsSubclassOf(pup) {
+		t.Errorf("subclass relation wrong")
+	}
+}
+
+func TestSubclassesDeterministic(t *testing.T) {
+	p := NewProgram()
+	base := p.Class("Base")
+	for _, n := range []string{"C", "A", "B"} {
+		c := p.Class(n)
+		c.Super = base
+	}
+	subs := p.Subclasses(base)
+	if len(subs) != 4 {
+		t.Fatalf("want 4 subclasses incl. Base, got %d", len(subs))
+	}
+	for i := 1; i < len(subs); i++ {
+		if subs[i-1].Name >= subs[i].Name {
+			t.Errorf("subclasses not sorted: %v", subs)
+		}
+	}
+}
+
+func TestFuncVarsAndParams(t *testing.T) {
+	p := NewProgram()
+	c := p.Class("C")
+	m := p.NewFunc(c, "m", "a", "b")
+	if len(m.Params) != 3 || m.Params[0].Name != "this" {
+		t.Fatalf("method params should start with this: %v", m.Params)
+	}
+	v1 := m.Var("x")
+	v2 := m.Var("x")
+	if v1 != v2 {
+		t.Errorf("Var should intern by name")
+	}
+	if m.Simple() != "m" {
+		t.Errorf("Simple() = %q", m.Simple())
+	}
+	free := p.NewFunc(nil, "f")
+	if len(free.Params) != 0 || free.Simple() != "f" {
+		t.Errorf("free function shape wrong")
+	}
+}
+
+func TestFinalizeNumbersSites(t *testing.T) {
+	p := NewProgram()
+	c := p.Class("C")
+	mainFn := p.NewFunc(nil, "main")
+	b := NewB(mainFn)
+	b.New("x", c)
+	b.New("y", c)
+	b.Call("", "x", "m")
+	b.Call("", "y", "m")
+	p.NewFunc(c, "m")
+	if err := p.Finalize(DefaultEntryConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumAllocSites != 2 || p.NumCallSites != 2 {
+		t.Errorf("site numbering: %d allocs, %d calls", p.NumAllocSites, p.NumCallSites)
+	}
+	allocs := 0
+	for _, in := range mainFn.Body {
+		if a, ok := in.(*Alloc); ok {
+			if a.Site != allocs {
+				t.Errorf("alloc site %d, want %d", a.Site, allocs)
+			}
+			allocs++
+		}
+	}
+	// Finalize is idempotent.
+	if err := p.Finalize(DefaultEntryConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumAllocSites != 2 {
+		t.Errorf("second Finalize renumbered sites")
+	}
+}
+
+func TestFinalizeRequiresMain(t *testing.T) {
+	p := NewProgram()
+	if err := p.Finalize(DefaultEntryConfig()); err == nil {
+		t.Fatal("Finalize should fail without main")
+	}
+}
+
+func TestFinalizeFlagsOriginClasses(t *testing.T) {
+	p := NewProgram()
+	w := p.Class("Worker")
+	p.NewFunc(w, "run")
+	h := p.Class("Handler")
+	p.NewFunc(h, "handleEvent", "ev")
+	sub := p.Class("SubWorker")
+	sub.Super = w
+	plain := p.Class("Plain")
+	p.NewFunc(plain, "work")
+	p.NewFunc(nil, "main")
+	if err := p.Finalize(DefaultEntryConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if !w.IsThread || w.IsEvent {
+		t.Errorf("Worker flags: thread=%v event=%v", w.IsThread, w.IsEvent)
+	}
+	if !h.IsEvent || h.IsThread {
+		t.Errorf("Handler flags: thread=%v event=%v", h.IsThread, h.IsEvent)
+	}
+	if !sub.IsThread {
+		t.Errorf("SubWorker should inherit thread entry")
+	}
+	if plain.IsThread || plain.IsEvent {
+		t.Errorf("Plain should not be an origin class")
+	}
+}
+
+func TestEntryConfigClassification(t *testing.T) {
+	e := DefaultEntryConfig()
+	cases := []struct {
+		m                          string
+		thread, event, start, join bool
+	}{
+		{"run", true, false, false, false},
+		{"call", true, false, false, false},
+		{"handleEvent", false, true, false, false},
+		{"onReceive", false, true, false, false},
+		{"actionPerformed", false, true, false, false},
+		{"start", false, false, true, false},
+		{"join", false, false, false, true},
+		{"random", false, false, false, false},
+	}
+	for _, c := range cases {
+		if e.IsThreadEntry(c.m) != c.thread || e.IsEventEntry(c.m) != c.event ||
+			e.IsStart(c.m) != c.start || e.IsJoin(c.m) != c.join {
+			t.Errorf("classification of %q wrong", c.m)
+		}
+		if e.IsEntry(c.m) != (c.thread || c.event) {
+			t.Errorf("IsEntry(%q) wrong", c.m)
+		}
+	}
+}
+
+func TestBuilderEmitsAllForms(t *testing.T) {
+	p := NewProgram()
+	c := p.Class("C")
+	p.Statics = append(p.Statics, "C.g")
+	f := p.NewFunc(nil, "main")
+	b := NewB(f).At(Pos{File: "t.mini", Line: 10})
+	b.New("x", c, "y")
+	b.Copy("z", "x")
+	b.Load("v", "x", "f")
+	b.Store("x", "f", "v")
+	b.LoadIdx("e", "x")
+	b.StoreIdx("x", "e")
+	b.LoadStatic("s", c, "g")
+	b.StoreStatic(c, "g", "s")
+	b.Call("r", "x", "m", "z")
+	b.Lock("x")
+	b.Unlock("x")
+	b.Ret("r")
+
+	wantTypes := []string{"*ir.Alloc", "*ir.Copy", "*ir.LoadField", "*ir.StoreField",
+		"*ir.LoadIndex", "*ir.StoreIndex", "*ir.LoadStatic", "*ir.StoreStatic",
+		"*ir.Call", "*ir.MonitorEnter", "*ir.MonitorExit", "*ir.Copy", "*ir.Return"}
+	if len(f.Body) != len(wantTypes) {
+		t.Fatalf("body has %d instrs, want %d", len(f.Body), len(wantTypes))
+	}
+	for i, in := range f.Body {
+		got := typeName(in)
+		if got != wantTypes[i] {
+			t.Errorf("instr %d is %s, want %s", i, got, wantTypes[i])
+		}
+		if in.Pos().Line != 10 {
+			t.Errorf("instr %d lost position", i)
+		}
+		if in.String() == "" {
+			t.Errorf("instr %d has empty String()", i)
+		}
+	}
+	if f.Ret == nil {
+		t.Errorf("Ret(...) should create the $ret variable")
+	}
+}
+
+func TestBuilderLoopMarksAllocs(t *testing.T) {
+	p := NewProgram()
+	c := p.Class("C")
+	f := p.NewFunc(nil, "main")
+	b := NewB(f)
+	outside := b.New("a", c)
+	var inside *Alloc
+	b.InLoop(func() { inside = b.New("b", c) })
+	after := b.New("c", c)
+	if outside.InLoop || after.InLoop {
+		t.Errorf("allocations outside loops must not be loop-marked")
+	}
+	if !inside.InLoop {
+		t.Errorf("allocation inside InLoop must be loop-marked")
+	}
+}
+
+func TestPosString(t *testing.T) {
+	if got := (Pos{File: "a.mini", Line: 3}).String(); got != "a.mini:3" {
+		t.Errorf("Pos.String() = %q", got)
+	}
+	if got := (Pos{Line: 7}).String(); !strings.Contains(got, "builtin") {
+		t.Errorf("builtin Pos.String() = %q", got)
+	}
+}
+
+func TestInstrStrings(t *testing.T) {
+	p := NewProgram()
+	c := p.Class("C")
+	f := p.NewFunc(nil, "main")
+	b := NewB(f)
+	b.New("x", c, "a", "b")
+	b.Call("r", "x", "m", "a")
+	if s := f.Body[0].String(); !strings.Contains(s, "new C") {
+		t.Errorf("Alloc.String() = %q", s)
+	}
+	if s := f.Body[1].String(); !strings.Contains(s, ".m(") || !strings.Contains(s, "r = ") {
+		t.Errorf("Call.String() = %q", s)
+	}
+}
+
+func typeName(v interface{}) string {
+	switch v.(type) {
+	case *Alloc:
+		return "*ir.Alloc"
+	case *Copy:
+		return "*ir.Copy"
+	case *LoadField:
+		return "*ir.LoadField"
+	case *StoreField:
+		return "*ir.StoreField"
+	case *LoadIndex:
+		return "*ir.LoadIndex"
+	case *StoreIndex:
+		return "*ir.StoreIndex"
+	case *LoadStatic:
+		return "*ir.LoadStatic"
+	case *StoreStatic:
+		return "*ir.StoreStatic"
+	case *Call:
+		return "*ir.Call"
+	case *MonitorEnter:
+		return "*ir.MonitorEnter"
+	case *MonitorExit:
+		return "*ir.MonitorExit"
+	case *Return:
+		return "*ir.Return"
+	}
+	return "?"
+}
+
+func TestEntryConfigWaitNotify(t *testing.T) {
+	e := DefaultEntryConfig()
+	if !e.IsWait("wait") || e.IsWait("notify") {
+		t.Errorf("wait classification wrong")
+	}
+	for _, m := range []string{"notify", "notifyAll", "signal"} {
+		if !e.IsNotify(m) {
+			t.Errorf("%q should be a notify method", m)
+		}
+	}
+	if e.IsNotify("wait") || e.IsNotify("run") {
+		t.Errorf("notify classification too broad")
+	}
+}
+
+func TestClassVolatileDeclaration(t *testing.T) {
+	p := NewProgram()
+	c := p.Class("C")
+	c.Volatiles["f"] = true
+	sub := p.Class("Sub")
+	sub.Super = c
+	if !sub.IsVolatile("f") || sub.IsVolatile("g") {
+		t.Errorf("IsVolatile wrong")
+	}
+}
+
+func TestProgramPrint(t *testing.T) {
+	p := NewProgram()
+	c := p.Class("Worker")
+	c.Fields = []string{"s"}
+	c.Volatiles["flag"] = true
+	c.Fields = append(c.Fields, "flag")
+	run := p.NewFunc(c, "run")
+	NewB(run).At(Pos{File: "x.mini", Line: 3}).Load("v", "this", "s")
+	mainFn := p.NewFunc(nil, "main")
+	b := NewB(mainFn)
+	b.New("w", c)
+	b.Call("", "w", "start")
+	if err := p.Finalize(DefaultEntryConfig()); err != nil {
+		t.Fatal(err)
+	}
+	out := p.String()
+	for _, want := range []string{
+		"class Worker", "// thread", "volatile field flag", "field s",
+		"func Worker.run(this)", "func main()", "x.mini:3", "new Worker",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFuncAddrAndBuiltins(t *testing.T) {
+	p := NewProgram()
+	worker := p.NewFunc(nil, "worker", "arg")
+	mainFn := p.NewFunc(nil, "main")
+	b := NewB(mainFn)
+	b.AddrOf("fp", worker)
+	b.PthreadCreate("h", "fp", "arg")
+	b.PthreadJoin("h")
+	b.EventRegister("fp", "arg")
+	b.CallIndirect("r", "fp", "arg")
+	if err := p.Finalize(DefaultEntryConfig()); err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, in := range mainFn.Body {
+		kinds = append(kinds, in.String())
+	}
+	joined := strings.Join(kinds, "\n")
+	for _, want := range []string{"&worker", "pthread_create", "pthread_join", "event_register", "(*main.fp)"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("builtin forms missing %q in:\n%s", want, joined)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package ir
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Print writes a readable dump of the whole program: classes with their
+// fields and flags, then every function body with numbered instructions.
+// The output is deterministic and is what `o2 -dump-ir` shows.
+func (p *Program) Print(w io.Writer) {
+	names := make([]string, 0, len(p.Classes))
+	for n := range p.Classes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c := p.Classes[n]
+		var flags []string
+		if c.IsThread {
+			flags = append(flags, "thread")
+		}
+		if c.IsEvent {
+			flags = append(flags, "event")
+		}
+		fl := ""
+		if len(flags) > 0 {
+			fl = " // " + strings.Join(flags, ", ")
+		}
+		ext := ""
+		if c.Super != nil {
+			ext = " extends " + c.Super.Name
+		}
+		fmt.Fprintf(w, "class %s%s {%s\n", c.Name, ext, fl)
+		for _, f := range c.Fields {
+			mod := ""
+			if c.Volatiles[f] {
+				mod = "volatile "
+			}
+			fmt.Fprintf(w, "  %sfield %s\n", mod, f)
+		}
+		fmt.Fprintln(w, "}")
+	}
+	if len(p.Statics) > 0 {
+		fmt.Fprintf(w, "statics: %s\n", strings.Join(p.Statics, ", "))
+	}
+	fmt.Fprintln(w)
+
+	for _, f := range p.Funcs {
+		f.Print(w)
+		fmt.Fprintln(w)
+	}
+}
+
+// Print writes the function signature and numbered body.
+func (f *Func) Print(w io.Writer) {
+	params := make([]string, len(f.Params))
+	for i, pv := range f.Params {
+		params[i] = pv.Name
+	}
+	ann := ""
+	if f.OriginEntry {
+		ann = "origin "
+	}
+	fmt.Fprintf(w, "%sfunc %s(%s) {\n", ann, f.Name, strings.Join(params, ", "))
+	for i, in := range f.Body {
+		fmt.Fprintf(w, "  %3d  %-40s ; %s\n", i, in.String(), in.Pos())
+	}
+	fmt.Fprintln(w, "}")
+}
+
+// String renders the whole program via Print.
+func (p *Program) String() string {
+	var sb strings.Builder
+	p.Print(&sb)
+	return sb.String()
+}

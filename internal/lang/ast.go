@@ -1,0 +1,142 @@
+package lang
+
+// AST node types for minilang. The grammar is deliberately statement-
+// oriented: every expression position accepts only simple operands
+// (identifier, this, null, integer literal), so lowering to IR needs no
+// temporaries beyond those for literals.
+
+// File is a parsed compilation unit.
+type File struct {
+	Name    string
+	Classes []*ClassDecl
+	Funcs   []*FuncDecl // free functions, including main
+}
+
+// ClassDecl declares a class.
+type ClassDecl struct {
+	Name    string
+	Super   string // "" if none
+	Fields  []FieldDecl
+	Methods []*FuncDecl
+	Line    int
+}
+
+// FieldDecl declares an instance or static field.
+type FieldDecl struct {
+	Name     string
+	Static   bool
+	Volatile bool
+	Line     int
+}
+
+// FuncDecl declares a method, constructor (name "init"), free function, or
+// main.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+	// Origin marks an annotated origin entry ("origin m(...) { ... }").
+	Origin bool
+	Line   int
+}
+
+// Stmt is a minilang statement.
+type Stmt interface{ stmtLine() int }
+
+type stmtBase struct{ Line int }
+
+func (s stmtBase) stmtLine() int { return s.Line }
+
+// AssignStmt is "lhs = rhs;".
+type AssignStmt struct {
+	stmtBase
+	Lhs LValue
+	Rhs Expr
+}
+
+// CallStmt is a call in statement position.
+type CallStmt struct {
+	stmtBase
+	Call *CallExpr
+}
+
+// SyncStmt is "sync (x) { body }".
+type SyncStmt struct {
+	stmtBase
+	Obj  string
+	Body []Stmt
+}
+
+// IfStmt is "if (...) { Then } [else { Else }]"; the condition is ignored.
+type IfStmt struct {
+	stmtBase
+	Then, Else []Stmt
+}
+
+// WhileStmt is "while (...) { Body }"; the condition is ignored. Origin
+// allocations inside the body are marked as loop allocations.
+type WhileStmt struct {
+	stmtBase
+	Body []Stmt
+}
+
+// ReturnStmt is "return [x];".
+type ReturnStmt struct {
+	stmtBase
+	Val Expr // nil for void
+}
+
+// LValue is an assignable location.
+type LValue interface{ lvalue() }
+
+// VarRef names a local variable or parameter.
+type VarRef struct{ Name string }
+
+// FieldRef is base.field (base is an identifier or this).
+type FieldRef struct{ Base, Field string }
+
+// IndexRef is base[...] (the index expression is ignored).
+type IndexRef struct{ Base string }
+
+// StaticRef is Class.field where Class names a declared class.
+type StaticRef struct{ Class, Field string }
+
+func (VarRef) lvalue()    {}
+func (FieldRef) lvalue()  {}
+func (IndexRef) lvalue()  {}
+func (StaticRef) lvalue() {}
+
+// Expr is a right-hand side.
+type Expr interface{ expr() }
+
+// NewExpr is "new C(args)".
+type NewExpr struct {
+	Class string
+	Args  []Expr
+}
+
+// CallExpr is "recv.method(args)" (Recv != "") or "fn(args)" (Recv == "").
+type CallExpr struct {
+	Recv   string
+	Method string
+	Args   []Expr
+}
+
+// FuncAddrExpr is "&f": the address of a free function.
+type FuncAddrExpr struct{ Name string }
+
+// NullLit is the null literal; it points to nothing.
+type NullLit struct{}
+
+// IntLit is an integer (or string) literal; opaque to the analysis.
+type IntLit struct{ Text string }
+
+func (VarRef) expr()       {}
+func (FieldRef) expr()     {}
+func (IndexRef) expr()     {}
+func (StaticRef) expr()    {}
+func (*NewExpr) expr()     {}
+func (FuncAddrExpr) expr() {}
+func (*CallExpr) expr()    {}
+func (NullLit) expr()      {}
+func (IntLit) expr()       {}

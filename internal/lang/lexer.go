@@ -1,0 +1,120 @@
+// Package lang implements minilang, the small Java-like input language of
+// the reproduction. Minilang provides exactly the constructs the paper's
+// analyses reason about: classes with single inheritance and virtual
+// dispatch, instance and static fields, arrays, threads (classes with a
+// thread entry method, started via start()/join()), event handlers
+// (classes with an event entry method, invoked by dispatch), and
+// synchronized blocks. Conditions of if/while are parsed but not analyzed;
+// both branches are retained, matching the flow-insensitive analyses.
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tPunct   // one of ( ) { } [ ] ; , = .
+	tKeyword // class extends field static main func new sync if else while return null
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+var keywords = map[string]bool{
+	"class": true, "extends": true, "field": true, "static": true,
+	"main": true, "func": true, "new": true, "sync": true,
+	"if": true, "else": true, "while": true, "return": true, "null": true,
+	"super": true, "volatile": true, "origin": true,
+}
+
+type lexer struct {
+	src  string
+	file string
+	pos  int
+	line int
+	toks []token
+}
+
+// lex tokenizes src, reporting the first lexical error.
+func lex(file, src string) ([]token, error) {
+	l := &lexer{src: src, file: file, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			if l.pos+1 >= len(l.src) {
+				return nil, fmt.Errorf("%s:%d: unterminated block comment", l.file, l.line)
+			}
+			l.pos += 2
+		case isIdentStart(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			text := l.src[start:l.pos]
+			kind := tIdent
+			if keywords[text] {
+				kind = tKeyword
+			}
+			l.toks = append(l.toks, token{kind, text, l.line})
+		case c >= '0' && c <= '9':
+			start := l.pos
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tInt, l.src[start:l.pos], l.line})
+		case strings.ContainsRune("(){}[];,=.!<>&|+-*%", rune(c)):
+			// Comparison/logic/arithmetic characters only appear inside
+			// (ignored) conditions and indices; the parser skips them.
+			l.toks = append(l.toks, token{tPunct, string(c), l.line})
+			l.pos++
+		case c == '"':
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] != '"' {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("%s:%d: unterminated string", l.file, l.line)
+			}
+			l.pos++
+			l.toks = append(l.toks, token{tInt, l.src[start:l.pos], l.line}) // strings act as opaque literals
+		default:
+			return nil, fmt.Errorf("%s:%d: unexpected character %q", l.file, l.line, c)
+		}
+	}
+	l.toks = append(l.toks, token{tEOF, "", l.line})
+	return l.toks, nil
+}
+
+func isIdentStart(c rune) bool { return c == '_' || c == '$' || unicode.IsLetter(c) }
+func isIdentPart(c rune) bool  { return isIdentStart(c) || unicode.IsDigit(c) }

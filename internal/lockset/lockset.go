@@ -1,0 +1,120 @@
+// Package lockset implements the paper's compact lockset representation
+// (§4.1, "Check Lockset"): every distinct combination of mutexes is
+// assigned a canonical integer ID, access nodes carry only the ID, and
+// intersection results between IDs are cached.
+package lockset
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// ID is a canonical lockset identifier. Empty is the empty lockset.
+type ID int32
+
+// Empty is the canonical ID of the empty lockset.
+const Empty ID = 0
+
+// GlobalEventLock is the sentinel lock element modeling the Android main
+// thread's event serialization (§4.2): all event handlers of one loop hold
+// it, so no event–event pair is reported while thread–event pairs remain.
+const GlobalEventLock uint32 = 0
+
+// Table interns locksets and caches intersection queries.
+type Table struct {
+	sets  [][]uint32
+	index map[string]ID
+	inter map[uint64]bool
+	// stats
+	CanonCalls int
+	InterHits  int
+	InterMiss  int
+}
+
+// NewTable returns an empty table containing only the empty lockset.
+func NewTable() *Table {
+	t := &Table{index: map[string]ID{}, inter: map[uint64]bool{}}
+	t.sets = append(t.sets, nil)
+	t.index[""] = Empty
+	return t
+}
+
+// Canon returns the canonical ID for the given lock objects (duplicates
+// allowed; order irrelevant).
+func (t *Table) Canon(objs []uint32) ID {
+	t.CanonCalls++
+	if len(objs) == 0 {
+		return Empty
+	}
+	s := append([]uint32(nil), objs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	// dedupe
+	out := s[:1]
+	for _, x := range s[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	key := setKey(out)
+	if id, ok := t.index[key]; ok {
+		return id
+	}
+	id := ID(len(t.sets))
+	t.sets = append(t.sets, out)
+	t.index[key] = id
+	return id
+}
+
+// Set returns the sorted elements of a canonical lockset. The returned
+// slice must not be modified.
+func (t *Table) Set(id ID) []uint32 { return t.sets[id] }
+
+// Len returns the number of distinct locksets interned (including empty).
+func (t *Table) Len() int { return len(t.sets) }
+
+// Intersects reports whether two locksets share a lock, caching results.
+func (t *Table) Intersects(a, b ID) bool {
+	if a == Empty || b == Empty {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := uint64(a)<<32 | uint64(uint32(b))
+	if r, ok := t.inter[key]; ok {
+		t.InterHits++
+		return r
+	}
+	t.InterMiss++
+	r := IntersectSorted(t.sets[a], t.sets[b])
+	t.inter[key] = r
+	return r
+}
+
+// IntersectSorted reports whether two sorted slices share an element. It is
+// the uncached primitive used by the naive (D4-style) baseline detector.
+func IntersectSorted(x, y []uint32) bool {
+	i, j := 0, 0
+	for i < len(x) && j < len(y) {
+		switch {
+		case x[i] == y[j]:
+			return true
+		case x[i] < y[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+func setKey(s []uint32) string {
+	buf := make([]byte, 4*len(s))
+	for i, x := range s {
+		binary.LittleEndian.PutUint32(buf[i*4:], x)
+	}
+	return string(buf)
+}

@@ -1,0 +1,107 @@
+package lockset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonBasics(t *testing.T) {
+	tb := NewTable()
+	if tb.Canon(nil) != Empty {
+		t.Fatalf("empty lockset must be Empty")
+	}
+	a := tb.Canon([]uint32{3, 1, 2})
+	b := tb.Canon([]uint32{2, 3, 1})
+	c := tb.Canon([]uint32{1, 2})
+	if a != b {
+		t.Errorf("order must not matter")
+	}
+	if a == c {
+		t.Errorf("different sets must intern differently")
+	}
+	d := tb.Canon([]uint32{1, 1, 2, 2})
+	if d != c {
+		t.Errorf("duplicates must be removed: %v vs %v", tb.Set(d), tb.Set(c))
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	tb := NewTable()
+	a := tb.Canon([]uint32{1, 2})
+	b := tb.Canon([]uint32{2, 3})
+	c := tb.Canon([]uint32{4})
+	if !tb.Intersects(a, b) {
+		t.Errorf("{1,2} ∩ {2,3} should be nonempty")
+	}
+	if tb.Intersects(a, c) || tb.Intersects(c, a) {
+		t.Errorf("{1,2} ∩ {4} should be empty")
+	}
+	if tb.Intersects(a, Empty) || tb.Intersects(Empty, a) {
+		t.Errorf("empty lockset intersects nothing")
+	}
+	if !tb.Intersects(a, a) {
+		t.Errorf("a set intersects itself")
+	}
+}
+
+func TestIntersectsCache(t *testing.T) {
+	tb := NewTable()
+	a := tb.Canon([]uint32{1})
+	b := tb.Canon([]uint32{1, 2})
+	tb.Intersects(a, b)
+	misses := tb.InterMiss
+	tb.Intersects(a, b)
+	tb.Intersects(b, a) // symmetric query hits the same entry
+	if tb.InterMiss != misses {
+		t.Errorf("repeated queries should hit the cache")
+	}
+	if tb.InterHits < 2 {
+		t.Errorf("cache hits not recorded: %d", tb.InterHits)
+	}
+}
+
+func TestIntersectSorted(t *testing.T) {
+	cases := []struct {
+		x, y []uint32
+		want bool
+	}{
+		{nil, nil, false},
+		{[]uint32{1}, nil, false},
+		{[]uint32{1, 5, 9}, []uint32{2, 5}, true},
+		{[]uint32{1, 3}, []uint32{2, 4}, false},
+	}
+	for _, c := range cases {
+		if got := IntersectSorted(c.x, c.y); got != c.want {
+			t.Errorf("IntersectSorted(%v,%v) = %v", c.x, c.y, got)
+		}
+	}
+}
+
+// Property: canonical IDs are bijective with the set contents, and the
+// cached Intersects agrees with the primitive on every pair.
+func TestQuickCanonicalAgreesWithPrimitive(t *testing.T) {
+	tb := NewTable()
+	f := func(xs, ys []uint8) bool {
+		xv := make([]uint32, len(xs))
+		for i, x := range xs {
+			xv[i] = uint32(x % 32)
+		}
+		yv := make([]uint32, len(ys))
+		for i, y := range ys {
+			yv[i] = uint32(y % 32)
+		}
+		a, b := tb.Canon(xv), tb.Canon(yv)
+		want := IntersectSorted(tb.Set(a), tb.Set(b))
+		if tb.Intersects(a, b) != want {
+			return false
+		}
+		// Same contents → same ID.
+		if tb.Canon(append([]uint32{}, xv...)) != a {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,234 @@
+// Package osa implements the paper's origin-sharing analysis (Algorithm 1,
+// §3.3): a linear traversal of the reachable program that computes, for
+// every abstract heap location ⟨object, field⟩ (and every static field),
+// the set of origins that read it and the set that write it. A location is
+// origin-shared when at least two origins access it with at least one
+// write, or when a replicated origin (two or more concurrent instances)
+// writes it.
+package osa
+
+import (
+	"fmt"
+	"sort"
+
+	"o2/internal/ir"
+	"o2/internal/pta"
+)
+
+// Key identifies an abstract memory location: either ⟨Obj⟩.Field
+// (Static == "") or a static field signature.
+type Key struct {
+	Obj    pta.ObjID
+	Field  string
+	Static string
+}
+
+func (k Key) String() string {
+	if k.Static != "" {
+		return k.Static
+	}
+	return fmt.Sprintf("o%d.%s", k.Obj, k.Field)
+}
+
+// Access records one access statement discovered during the traversal.
+type Access struct {
+	Key    Key
+	Origin pta.OriginID
+	Write  bool
+	Instr  ir.Instr
+	Fn     *ir.Func
+}
+
+// Result is the output of the analysis.
+type Result struct {
+	A *pta.Analysis
+	// Readers and Writers map each location to the set of origins reading
+	// or writing it (bitset over OriginID).
+	Readers map[Key]*pta.Bits
+	Writers map[Key]*pta.Bits
+	// Shared lists the origin-shared locations in deterministic order.
+	Shared    []Key
+	sharedSet map[Key]bool
+	// Accesses are all recorded access statements (per contexted function
+	// per origin, deduplicated by memoization).
+	Accesses []Access
+	// SharedAccesses counts access statements on shared locations (the
+	// #S-access column of Table 7).
+	SharedAccesses int
+	// SharedObjects counts distinct abstract objects with at least one
+	// shared field (the #S-obj column of Table 9).
+	SharedObjects int
+	// Visited counts visited ⟨function, context, origin⟩ triples.
+	Visited int
+}
+
+// IsShared reports whether the location is origin-shared.
+func (r *Result) IsShared(k Key) bool { return r.sharedSet[k] }
+
+// OriginsOf returns the sorted origins accessing the location.
+func (r *Result) OriginsOf(k Key) []pta.OriginID {
+	set := &pta.Bits{}
+	if b := r.Readers[k]; b != nil {
+		set.UnionWith(b)
+	}
+	if b := r.Writers[k]; b != nil {
+		set.UnionWith(b)
+	}
+	out := make([]pta.OriginID, 0, set.Len())
+	set.ForEach(func(o uint32) { out = append(out, pta.OriginID(o)) })
+	return out
+}
+
+type visitKey struct {
+	fn     pta.FnCtxID
+	origin pta.OriginID
+}
+
+// Analyze runs the origin-sharing analysis over a solved pointer analysis.
+func Analyze(a *pta.Analysis) *Result {
+	r := &Result{
+		A:         a,
+		Readers:   map[Key]*pta.Bits{},
+		Writers:   map[Key]*pta.Bits{},
+		sharedSet: map[Key]bool{},
+	}
+	v := &visitor{a: a, r: r, seen: map[visitKey]bool{}}
+	v.visit(a.MainNode(), pta.MainOrigin)
+	r.finish()
+	return r
+}
+
+type visitor struct {
+	a    *pta.Analysis
+	r    *Result
+	seen map[visitKey]bool
+}
+
+func (v *visitor) visit(fn pta.FnCtxID, origin pta.OriginID) {
+	k := visitKey{fn, origin}
+	if v.seen[k] {
+		return
+	}
+	v.seen[k] = true
+	v.r.Visited++
+	fc := v.a.CG.Get(fn)
+	for idx, in := range fc.Fn.Body {
+		switch in := in.(type) {
+		case *ir.LoadField:
+			v.access(fc, origin, in, in.Obj, in.Field, false)
+		case *ir.StoreField:
+			v.access(fc, origin, in, in.Obj, in.Field, true)
+		case *ir.LoadIndex:
+			v.access(fc, origin, in, in.Arr, ir.ArrayField, false)
+		case *ir.StoreIndex:
+			v.access(fc, origin, in, in.Arr, ir.ArrayField, true)
+		case *ir.LoadStatic:
+			v.static(fc, origin, in, in.Class.Name+"."+in.Field, false)
+		case *ir.StoreStatic:
+			v.static(fc, origin, in, in.Class.Name+"."+in.Field, true)
+		case *ir.Call:
+			for _, e := range v.a.CG.EdgesAt(fn, idx) {
+				switch e.Kind {
+				case pta.EdgeCall, pta.EdgeInit:
+					// Constructors of origin allocations execute in the
+					// allocating (parent) origin, even though OPA analyzes
+					// their pointers under the new origin's context.
+					v.visit(e.Callee, origin)
+				case pta.EdgeSpawn:
+					v.visit(e.Callee, e.Origin)
+				}
+			}
+		case *ir.Alloc:
+			for _, e := range v.a.CG.EdgesAt(fn, idx) {
+				if e.Kind == pta.EdgeCall || e.Kind == pta.EdgeInit {
+					v.visit(e.Callee, origin)
+				}
+			}
+		}
+	}
+}
+
+func (v *visitor) access(fc pta.FnCtx, origin pta.OriginID, in ir.Instr, base *ir.Var, field string, write bool) {
+	pts := v.a.PointsTo(base, fc.Ctx)
+	pts.ForEach(func(o uint32) {
+		key := Key{Obj: pta.ObjID(o), Field: field}
+		v.record(key, origin, write, in, fc.Fn)
+	})
+}
+
+func (v *visitor) static(fc pta.FnCtx, origin pta.OriginID, in ir.Instr, sig string, write bool) {
+	v.record(Key{Static: sig}, origin, write, in, fc.Fn)
+}
+
+func (v *visitor) record(key Key, origin pta.OriginID, write bool, in ir.Instr, fn *ir.Func) {
+	m := v.r.Readers
+	if write {
+		m = v.r.Writers
+	}
+	b := m[key]
+	if b == nil {
+		b = &pta.Bits{}
+		m[key] = b
+	}
+	b.Add(uint32(origin))
+	v.r.Accesses = append(v.r.Accesses, Access{Key: key, Origin: origin, Write: write, Instr: in, Fn: fn})
+}
+
+func (r *Result) finish() {
+	keys := map[Key]bool{}
+	for k := range r.Readers {
+		keys[k] = true
+	}
+	for k := range r.Writers {
+		keys[k] = true
+	}
+	sharedObjs := map[pta.ObjID]bool{}
+	for k := range keys {
+		w := r.Writers[k]
+		if w == nil || w.IsEmpty() {
+			continue
+		}
+		all := &pta.Bits{}
+		if rd := r.Readers[k]; rd != nil {
+			all.UnionWith(rd)
+		}
+		all.UnionWith(w)
+		shared := all.Len() >= 2
+		if !shared {
+			// A replicated origin has concurrent instances: a write from it
+			// is shared with its sibling instance.
+			w.ForEach(func(o uint32) {
+				if r.A.Origins.Get(pta.OriginID(o)).Replicated {
+					shared = true
+				}
+			})
+		}
+		if shared {
+			r.sharedSet[k] = true
+			r.Shared = append(r.Shared, k)
+			if k.Static == "" {
+				sharedObjs[k.Obj] = true
+			}
+		}
+	}
+	sort.Slice(r.Shared, func(i, j int) bool {
+		a, b := r.Shared[i], r.Shared[j]
+		if a.Obj != b.Obj {
+			return a.Obj < b.Obj
+		}
+		if a.Field != b.Field {
+			return a.Field < b.Field
+		}
+		return a.Static < b.Static
+	})
+	r.SharedObjects = len(sharedObjs)
+	// Count distinct access statements touching a shared location (one
+	// statement may be visited under several origins or contexts).
+	sharedInstrs := map[ir.Instr]bool{}
+	for _, acc := range r.Accesses {
+		if r.sharedSet[acc.Key] {
+			sharedInstrs[acc.Instr] = true
+		}
+	}
+	r.SharedAccesses = len(sharedInstrs)
+}

@@ -1,0 +1,241 @@
+package osa_test
+
+import (
+	"testing"
+
+	"o2/internal/ir"
+	"o2/internal/lang"
+	"o2/internal/osa"
+	"o2/internal/pta"
+)
+
+func analyze(t *testing.T, src string) (*pta.Analysis, *osa.Result) {
+	t.Helper()
+	prog, err := lang.Compile("t.mini", src, ir.DefaultEntryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pta.New(prog, pta.Config{Policy: pta.Policy{Kind: pta.KOrigin, K: 1}, Entries: ir.DefaultEntryConfig()})
+	if err := a.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	return a, osa.Analyze(a)
+}
+
+func sharedFields(r *osa.Result) map[string]bool {
+	out := map[string]bool{}
+	for _, k := range r.Shared {
+		if k.Static != "" {
+			out[k.Static] = true
+		} else {
+			out[k.Field] = true
+		}
+	}
+	return out
+}
+
+func TestSharedVsLocal(t *testing.T) {
+	_, r := analyze(t, `
+class S { field shared_rw; field shared_ro; field local; }
+class W {
+  field s;
+  W(s) { this.s = s; }
+  run() {
+    x = this.s;
+    x.shared_rw = this;      // written by both workers: shared
+    v = x.shared_ro;         // only read by workers: written by main only
+    d = new Data();
+    d.local = x;             // per-origin object: local
+  }
+}
+class Data { field local; }
+main {
+  s = new S();
+  s.shared_ro = s;
+  w1 = new W(s);
+  w2 = new W(s);
+  w1.start();
+  w2.start();
+}
+`)
+	sf := sharedFields(r)
+	if !sf["shared_rw"] {
+		t.Errorf("shared_rw must be origin-shared")
+	}
+	if !sf["shared_ro"] {
+		t.Errorf("shared_ro is written by main and read by workers: shared")
+	}
+	if sf["local"] {
+		t.Errorf("per-origin Data.local must not be shared")
+	}
+}
+
+func TestReadOnlyNotShared(t *testing.T) {
+	_, r := analyze(t, `
+class S { field cfg; }
+class W {
+  field s;
+  W(s) { this.s = s; }
+  run() { x = this.s; v = x.cfg; }
+}
+main {
+  s = new S();
+  w1 = new W(s);
+  w2 = new W(s);
+  w1.start();
+  w2.start();
+}
+`)
+	if sharedFields(r)["cfg"] {
+		t.Errorf("a field nobody writes is not shared")
+	}
+}
+
+func TestStaticSingleOriginNotShared(t *testing.T) {
+	// The paper's precision point over escape analysis: a static used by
+	// one origin only stays local.
+	_, r := analyze(t, `
+class G { static field onlyMain; static field crossed; }
+class W {
+  run() { x = G.crossed; }
+}
+main {
+  a = new Obj();
+  G.onlyMain = a;
+  b = G.onlyMain;
+  G.crossed = a;
+  w = new W();
+  w.start();
+}
+`)
+	sf := sharedFields(r)
+	if sf["G.onlyMain"] {
+		t.Errorf("static used by main only must not be shared")
+	}
+	if !sf["G.crossed"] {
+		t.Errorf("static written by main and read by a thread is shared")
+	}
+}
+
+func TestArraySharing(t *testing.T) {
+	_, r := analyze(t, `
+class W {
+  field a;
+  W(a) { this.a = a; }
+  run() { x = this.a; x[0] = this; }
+}
+main {
+  arr = new Arr();
+  w1 = new W(arr);
+  w2 = new W(arr);
+  w1.start();
+  w2.start();
+}
+`)
+	found := false
+	for _, k := range r.Shared {
+		if k.Field == ir.ArrayField {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("array written by two origins must be shared via its * field")
+	}
+}
+
+func TestReplicatedOriginSelfSharing(t *testing.T) {
+	// Under a non-origin policy, a loop-spawned origin keeps the
+	// replication flag, so its lone write is self-shared.
+	prog, err := lang.Compile("t.mini", `
+class S { field v; }
+class W {
+  field s;
+  W(s) { this.s = s; }
+  run() { x = this.s; x.v = this; }
+}
+main {
+  s = new S();
+  while (i) {
+    w = new W(s);
+    w.start();
+  }
+}
+`, ir.DefaultEntryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pta.New(prog, pta.Config{Policy: pta.Policy{Kind: pta.Insensitive}, Entries: ir.DefaultEntryConfig()})
+	if err := a.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	r := osa.Analyze(a)
+	if !sharedFields(r)["v"] {
+		t.Errorf("replicated origin's write must be self-shared")
+	}
+}
+
+func TestOriginsOfAndCounts(t *testing.T) {
+	_, r := analyze(t, `
+class S { field v; }
+class W {
+  field s;
+  W(s) { this.s = s; }
+  run() { x = this.s; x.v = this; }
+}
+main {
+  s = new S();
+  w1 = new W(s);
+  w2 = new W(s);
+  w1.start();
+  w2.start();
+}
+`)
+	var key osa.Key
+	for _, k := range r.Shared {
+		if k.Field == "v" {
+			key = k
+		}
+	}
+	origins := r.OriginsOf(key)
+	if len(origins) != 2 {
+		t.Fatalf("v shared by %d origins, want 2", len(origins))
+	}
+	if !r.IsShared(key) {
+		t.Errorf("IsShared inconsistent with Shared list")
+	}
+	if r.SharedAccesses == 0 || r.SharedObjects == 0 || r.Visited == 0 {
+		t.Errorf("counters not populated: %+v", r)
+	}
+}
+
+func TestConstructorRunsInParentOrigin(t *testing.T) {
+	// The constructor executes in the allocating origin even though OPA
+	// analyzes it under the new origin's context: a ctor-write plus a
+	// handler-read is main-vs-event sharing.
+	a, r := analyze(t, `
+class H {
+  field cfg;
+  H(c) { this.cfg = c; }
+  handleEvent(ev) { x = this.cfg; }
+}
+main {
+  c = new Cfg();
+  h = new H(c);
+  ev = new Ev();
+  h.handleEvent(ev);
+}
+`)
+	foundMainWrite := false
+	for _, k := range r.Shared {
+		if k.Field == "cfg" {
+			for _, o := range r.OriginsOf(k) {
+				if a.Origins.Get(o).Kind == pta.KindMain {
+					foundMainWrite = true
+				}
+			}
+		}
+	}
+	if !foundMainWrite {
+		t.Errorf("constructor write should be attributed to the main origin")
+	}
+}

@@ -1,0 +1,148 @@
+package oversync_test
+
+import (
+	"testing"
+
+	"o2/internal/ir"
+	"o2/internal/lang"
+	"o2/internal/osa"
+	"o2/internal/oversync"
+	"o2/internal/pta"
+	"o2/internal/shb"
+)
+
+func analyze(t *testing.T, src string) *oversync.Report {
+	t.Helper()
+	prog, err := lang.Compile("t.mini", src, ir.DefaultEntryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pta.New(prog, pta.Config{Policy: pta.Policy{Kind: pta.KOrigin, K: 1}, Entries: ir.DefaultEntryConfig()})
+	if err := a.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	sharing := osa.Analyze(a)
+	g := shb.Build(a, shb.Config{})
+	return oversync.Analyze(a, sharing, g)
+}
+
+func TestLocalOnlyRegionFlagged(t *testing.T) {
+	rep := analyze(t, `
+class Data { field v; }
+class W {
+  field l;
+  W(l) { this.l = l; }
+  run() {
+    k = this.l;
+    d = new Data();          // origin-local
+    sync (k) { d.v = this; } // guards only local data: unnecessary
+  }
+}
+main {
+  l = new Lock();
+  w1 = new W(l);
+  w2 = new W(l);
+  w1.start();
+  w2.start();
+}
+`)
+	if len(rep.Warnings) == 0 {
+		t.Fatalf("local-only region should be flagged (regions=%d useful=%d)",
+			rep.Regions, rep.UsefulRegions)
+	}
+	for _, w := range rep.Warnings {
+		if w.Accesses == 0 {
+			t.Errorf("flagged region with no accesses: %s", w)
+		}
+	}
+}
+
+func TestSharedRegionNotFlagged(t *testing.T) {
+	rep := analyze(t, `
+class S { field v; }
+class W {
+  field s; field l;
+  W(s, l) { this.s = s; this.l = l; }
+  run() {
+    x = this.s;
+    k = this.l;
+    sync (k) { x.v = this; }   // guards genuinely shared data
+  }
+}
+main {
+  s = new S();
+  l = new Lock();
+  w1 = new W(s, l);
+  w2 = new W(s, l);
+  w1.start();
+  w2.start();
+}
+`)
+	if len(rep.Warnings) != 0 {
+		t.Fatalf("useful region flagged: %v", rep.Warnings)
+	}
+	if rep.UsefulRegions != 2 {
+		t.Errorf("want 2 useful region instances (one per origin), got %d", rep.UsefulRegions)
+	}
+}
+
+func TestNestedSharedProtectsOuter(t *testing.T) {
+	rep := analyze(t, `
+class S { field v; }
+class W {
+  field s; field l1; field l2;
+  W(s, a, b) { this.s = s; this.l1 = a; this.l2 = b; }
+  run() {
+    x = this.s;
+    a = this.l1;
+    b = this.l2;
+    sync (a) {
+      sync (b) { x.v = this; }   // shared access inside the inner region
+    }
+  }
+}
+main {
+  s = new S();
+  a = new LockA();
+  b = new LockB();
+  w1 = new W(s, a, b);
+  w2 = new W(s, a, b);
+  w1.start();
+  w2.start();
+}
+`)
+	if len(rep.Warnings) != 0 {
+		t.Fatalf("outer region is useful through its nested shared access: %v", rep.Warnings)
+	}
+}
+
+func TestMixedRegionNotFlagged(t *testing.T) {
+	rep := analyze(t, `
+class S { field v; }
+class Data { field w; }
+class W {
+  field s; field l;
+  W(s, l) { this.s = s; this.l = l; }
+  run() {
+    x = this.s;
+    k = this.l;
+    d = new Data();
+    sync (k) {
+      d.w = this;   // local...
+      x.v = this;   // ...but also shared: region is useful
+    }
+  }
+}
+main {
+  s = new S();
+  l = new Lock();
+  w1 = new W(s, l);
+  w2 = new W(s, l);
+  w1.start();
+  w2.start();
+}
+`)
+	if len(rep.Warnings) != 0 {
+		t.Fatalf("mixed region flagged: %v", rep.Warnings)
+	}
+}

@@ -1,0 +1,189 @@
+package pta
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsBasics(t *testing.T) {
+	var b Bits
+	if !b.IsEmpty() || b.Len() != 0 || b.Has(0) {
+		t.Fatalf("zero value should be empty")
+	}
+	if !b.Add(5) || b.Add(5) {
+		t.Errorf("Add should report change exactly once")
+	}
+	if !b.Has(5) || b.Has(4) || b.Len() != 1 {
+		t.Errorf("membership wrong after Add")
+	}
+	b.Add(64) // crosses a word boundary
+	b.Add(1000)
+	if got := b.Slice(); len(got) != 3 || got[0] != 5 || got[1] != 64 || got[2] != 1000 {
+		t.Errorf("Slice = %v", got)
+	}
+}
+
+func TestBitsUnionWith(t *testing.T) {
+	var a, b Bits
+	a.Add(1)
+	a.Add(70)
+	b.Add(70)
+	b.Add(200)
+	if !a.UnionWith(&b) {
+		t.Errorf("union should change a")
+	}
+	if a.UnionWith(&b) {
+		t.Errorf("second union should be a no-op")
+	}
+	want := []uint32{1, 70, 200}
+	if got := a.Slice(); len(got) != len(want) {
+		t.Errorf("union result = %v", got)
+	}
+}
+
+func TestBitsIntersects(t *testing.T) {
+	var a, b Bits
+	a.Add(3)
+	b.Add(900)
+	if a.Intersects(&b) {
+		t.Errorf("disjoint sets intersect")
+	}
+	b.Add(3)
+	if !a.Intersects(&b) {
+		t.Errorf("sets sharing 3 do not intersect")
+	}
+	var empty Bits
+	if a.Intersects(&empty) || empty.Intersects(&a) {
+		t.Errorf("empty set intersects")
+	}
+}
+
+func TestBitsCopyIsDeep(t *testing.T) {
+	var a Bits
+	a.Add(10)
+	c := a.Copy()
+	c.Add(11)
+	if a.Has(11) {
+		t.Errorf("Copy shares storage")
+	}
+}
+
+// TestBitsQuickSetSemantics checks Bits against a map-based model with
+// random operation sequences.
+func TestBitsQuickSetSemantics(t *testing.T) {
+	f := func(ops []uint16) bool {
+		var b Bits
+		model := map[uint32]bool{}
+		for _, op := range ops {
+			v := uint32(op % 2048)
+			switch op % 3 {
+			case 0, 1:
+				changed := b.Add(v)
+				if changed == model[v] {
+					return false // Add must report change iff absent
+				}
+				model[v] = true
+			case 2:
+				if b.Has(v) != model[v] {
+					return false
+				}
+			}
+		}
+		if b.Len() != len(model) {
+			return false
+		}
+		var keys []uint32
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		got := b.Slice()
+		if len(got) != len(keys) {
+			return false
+		}
+		for i := range keys {
+			if got[i] != keys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBitsQuickUnionIntersect checks the algebra of union and
+// intersection against the model.
+func TestBitsQuickUnionIntersect(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		var a, b Bits
+		ma, mb := map[uint32]bool{}, map[uint32]bool{}
+		for _, x := range xs {
+			a.Add(uint32(x % 4096))
+			ma[uint32(x%4096)] = true
+		}
+		for _, y := range ys {
+			b.Add(uint32(y % 4096))
+			mb[uint32(y%4096)] = true
+		}
+		inter := false
+		for k := range ma {
+			if mb[k] {
+				inter = true
+			}
+		}
+		if a.Intersects(&b) != inter || b.Intersects(&a) != inter {
+			return false
+		}
+		u := a.Copy()
+		u.UnionWith(&b)
+		if u.Len() != len(union(ma, mb)) {
+			return false
+		}
+		// union is monotone: contains both operands
+		ok := true
+		a.ForEach(func(v uint32) {
+			if !u.Has(v) {
+				ok = false
+			}
+		})
+		b.ForEach(func(v uint32) {
+			if !u.Has(v) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func union(a, b map[uint32]bool) map[uint32]bool {
+	u := map[uint32]bool{}
+	for k := range a {
+		u[k] = true
+	}
+	for k := range b {
+		u[k] = true
+	}
+	return u
+}
+
+func TestBitsForEachOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var b Bits
+	for i := 0; i < 500; i++ {
+		b.Add(uint32(rng.Intn(10000)))
+	}
+	last := -1
+	b.ForEach(func(v uint32) {
+		if int(v) <= last {
+			t.Fatalf("ForEach out of order: %d after %d", v, last)
+		}
+		last = int(v)
+	})
+}

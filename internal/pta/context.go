@@ -1,0 +1,155 @@
+package pta
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// CtxID identifies an interned analysis context. Context 0 is always the
+// empty context.
+type CtxID uint32
+
+// EmptyCtx is the empty (context-insensitive / main-origin) context.
+const EmptyCtx CtxID = 0
+
+// ctxTable interns context element strings. A context is a sequence of
+// uint64 elements whose meaning depends on the policy:
+//   - k-CFA: call-site IDs;
+//   - k-obj: allocation-site IDs of the receiver chain;
+//   - origin: origin elements, each (allocSite<<20 | wrapperCallSite+1),
+//     so origins allocated through the same wrapper from different call
+//     sites stay distinct (the paper's k=1 call-site extension).
+type ctxTable struct {
+	elems [][]uint64
+	index map[string]CtxID
+}
+
+func newCtxTable() *ctxTable {
+	t := &ctxTable{index: map[string]CtxID{}}
+	t.elems = append(t.elems, nil) // CtxID 0 = empty
+	t.index[""] = 0
+	return t
+}
+
+func ctxKey(elems []uint64) string {
+	if len(elems) == 0 {
+		return ""
+	}
+	buf := make([]byte, 8*len(elems))
+	for i, e := range elems {
+		binary.LittleEndian.PutUint64(buf[i*8:], e)
+	}
+	return string(buf)
+}
+
+// Intern returns the CtxID for the element sequence, creating it if new.
+func (t *ctxTable) Intern(elems []uint64) CtxID {
+	k := ctxKey(elems)
+	if id, ok := t.index[k]; ok {
+		return id
+	}
+	id := CtxID(len(t.elems))
+	cp := make([]uint64, len(elems))
+	copy(cp, elems)
+	t.elems = append(t.elems, cp)
+	t.index[k] = id
+	return id
+}
+
+// Elems returns the element sequence of ctx. The returned slice must not be
+// modified.
+func (t *ctxTable) Elems(ctx CtxID) []uint64 { return t.elems[ctx] }
+
+// Append returns the context ctx extended with elem, truncated to the most
+// recent k elements (k <= 0 means unbounded).
+func (t *ctxTable) Append(ctx CtxID, elem uint64, k int) CtxID {
+	old := t.elems[ctx]
+	elems := make([]uint64, 0, len(old)+1)
+	elems = append(elems, old...)
+	elems = append(elems, elem)
+	if k > 0 && len(elems) > k {
+		elems = elems[len(elems)-k:]
+	}
+	return t.Intern(elems)
+}
+
+// Truncate returns ctx limited to its most recent k elements.
+func (t *ctxTable) Truncate(ctx CtxID, k int) CtxID {
+	elems := t.elems[ctx]
+	if k <= 0 {
+		return t.Intern(nil)
+	}
+	if len(elems) <= k {
+		return ctx
+	}
+	return t.Intern(elems[len(elems)-k:])
+}
+
+func (t *ctxTable) String(ctx CtxID) string {
+	elems := t.elems[ctx]
+	if len(elems) == 0 {
+		return "[]"
+	}
+	parts := make([]string, len(elems))
+	for i, e := range elems {
+		parts[i] = fmt.Sprintf("%d", e)
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// PolicyKind selects the context abstraction of the analysis.
+type PolicyKind int
+
+const (
+	// Insensitive is the context-insensitive baseline (0-ctx in the paper).
+	Insensitive PolicyKind = iota
+	// KCFA is k-call-site sensitivity with heap context.
+	KCFA
+	// KObj is k-object sensitivity with heap context.
+	KObj
+	// KOrigin is the paper's origin-sensitivity (OPA); k is the origin
+	// nesting depth (k=1 in the paper's main configuration).
+	KOrigin
+)
+
+func (k PolicyKind) String() string {
+	switch k {
+	case Insensitive:
+		return "0-ctx"
+	case KCFA:
+		return "k-CFA"
+	case KObj:
+		return "k-obj"
+	case KOrigin:
+		return "k-origin"
+	}
+	return "unknown"
+}
+
+// Policy configures the context abstraction: the kind and its depth k.
+type Policy struct {
+	Kind PolicyKind
+	K    int
+}
+
+// Name returns a short display name such as "2-CFA" or "1-origin".
+func (p Policy) Name() string {
+	switch p.Kind {
+	case Insensitive:
+		return "0-ctx"
+	case KCFA:
+		return fmt.Sprintf("%d-CFA", p.K)
+	case KObj:
+		return fmt.Sprintf("%d-obj", p.K)
+	case KOrigin:
+		return fmt.Sprintf("%d-origin", p.K)
+	}
+	return "unknown"
+}
+
+// originElem packs an origin allocation site and the 1-call-site wrapper
+// extension into a context element.
+func originElem(allocSite, wrapperSite int) uint64 {
+	return uint64(allocSite)<<20 | uint64(wrapperSite+1)
+}

@@ -1,0 +1,112 @@
+package pta
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCtxTableInterning(t *testing.T) {
+	tb := newCtxTable()
+	if tb.Intern(nil) != EmptyCtx {
+		t.Fatalf("empty context must intern to 0")
+	}
+	a := tb.Intern([]uint64{1, 2})
+	b := tb.Intern([]uint64{1, 2})
+	c := tb.Intern([]uint64{2, 1})
+	if a != b {
+		t.Errorf("equal contexts interned differently")
+	}
+	if a == c {
+		t.Errorf("different contexts interned the same")
+	}
+	if got := tb.Elems(a); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Elems = %v", got)
+	}
+}
+
+func TestCtxAppendTruncates(t *testing.T) {
+	tb := newCtxTable()
+	ctx := EmptyCtx
+	for i := uint64(1); i <= 5; i++ {
+		ctx = tb.Append(ctx, i, 2)
+	}
+	if got := tb.Elems(ctx); len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Errorf("k=2 window = %v, want [4 5]", got)
+	}
+	// Unbounded append.
+	ctx = EmptyCtx
+	for i := uint64(1); i <= 5; i++ {
+		ctx = tb.Append(ctx, i, 0)
+	}
+	if got := tb.Elems(ctx); len(got) != 5 {
+		t.Errorf("unbounded append truncated: %v", got)
+	}
+}
+
+func TestCtxTruncate(t *testing.T) {
+	tb := newCtxTable()
+	ctx := tb.Intern([]uint64{1, 2, 3})
+	if got := tb.Elems(tb.Truncate(ctx, 2)); len(got) != 2 || got[0] != 2 {
+		t.Errorf("Truncate(2) = %v", got)
+	}
+	if tb.Truncate(ctx, 5) != ctx {
+		t.Errorf("Truncate beyond length must be identity")
+	}
+	if tb.Truncate(ctx, 0) != EmptyCtx {
+		t.Errorf("Truncate(0) must be empty")
+	}
+}
+
+// TestCtxQuickInterningBijective: interning the same element sequence twice
+// yields the same ID, and distinct sequences yield distinct IDs.
+func TestCtxQuickInterningBijective(t *testing.T) {
+	tb := newCtxTable()
+	seen := map[CtxID][]uint64{}
+	f := func(elems []uint64) bool {
+		if len(elems) > 8 {
+			elems = elems[:8]
+		}
+		id := tb.Intern(elems)
+		if id != tb.Intern(elems) {
+			return false
+		}
+		if prev, ok := seen[id]; ok {
+			if len(prev) != len(elems) {
+				return false
+			}
+			for i := range prev {
+				if prev[i] != elems[i] {
+					return false
+				}
+			}
+		}
+		seen[id] = append([]uint64{}, elems...)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	cases := map[string]Policy{
+		"0-ctx":    {Kind: Insensitive},
+		"2-CFA":    {Kind: KCFA, K: 2},
+		"1-obj":    {Kind: KObj, K: 1},
+		"1-origin": {Kind: KOrigin, K: 1},
+	}
+	for want, pol := range cases {
+		if pol.Name() != want {
+			t.Errorf("Name() = %q, want %q", pol.Name(), want)
+		}
+	}
+}
+
+func TestOriginElemDistinguishesWrapperSites(t *testing.T) {
+	a := originElem(3, 10)
+	b := originElem(3, 11)
+	c := originElem(3, -1) // no wrapper
+	if a == b || a == c || b == c {
+		t.Errorf("origin elements must distinguish wrapper call sites")
+	}
+}

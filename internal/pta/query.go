@@ -1,0 +1,182 @@
+package pta
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"o2/internal/ir"
+)
+
+// Stats summarizes an analysis run (the #Pointer / #Object / #Edge columns
+// of the paper's Table 6).
+type Stats struct {
+	Policy     string
+	Pointers   int // variable nodes created (contexted pointers)
+	Objects    int // abstract heap objects
+	Edges      int // PAG edges
+	Contexts   int // interned contexts
+	CGNodes    int // reachable contexted functions
+	CGEdges    int
+	Origins    int
+	Steps      int64
+	TimedOut   bool
+	Replicated int
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: %d pointers, %d objects, %d edges, %d ctxs, cg %d/%d, %d origins",
+		s.Policy, s.Pointers, s.Objects, s.Edges, s.Contexts, s.CGNodes, s.CGEdges, s.Origins)
+}
+
+// Stats returns run statistics.
+func (a *Analysis) Stats() Stats {
+	vars := 0
+	for _, n := range a.heap.nodes {
+		if n.kind == nodeVar {
+			vars++
+		}
+	}
+	repl := 0
+	for _, o := range a.Origins.Origins {
+		if o.Replicated {
+			repl++
+		}
+	}
+	return Stats{
+		Policy:     a.Cfg.Policy.Name(),
+		Pointers:   vars,
+		Objects:    a.heap.NumObjs(),
+		Edges:      a.numEdges,
+		Contexts:   len(a.ctxs.elems),
+		CGNodes:    a.CG.NumNodes(),
+		CGEdges:    a.CG.Edges,
+		Origins:    a.Origins.Len(),
+		Steps:      a.steps,
+		TimedOut:   a.err == ErrBudget,
+		Replicated: repl,
+	}
+}
+
+var emptyBits Bits
+
+// PointsTo returns the points-to set of variable v under context ctx. The
+// returned set must not be modified. Returns an empty set if the node does
+// not exist.
+func (a *Analysis) PointsTo(v *ir.Var, ctx CtxID) *Bits {
+	if id, ok := a.heap.varIdx[varKey{v, ctx}]; ok {
+		return &a.pts[id]
+	}
+	return &emptyBits
+}
+
+// FieldPointsTo returns the points-to set of ⟨obj⟩.field.
+func (a *Analysis) FieldPointsTo(obj ObjID, field string) *Bits {
+	if id, ok := a.heap.fldIdx[fieldKey{obj, field}]; ok {
+		return &a.pts[id]
+	}
+	return &emptyBits
+}
+
+// StaticPointsTo returns the points-to set of static field "Class.field".
+func (a *Analysis) StaticPointsTo(sig string) *Bits {
+	if id, ok := a.heap.statIdx[sig]; ok {
+		return &a.pts[id]
+	}
+	return &emptyBits
+}
+
+// Obj returns the descriptor of an abstract object.
+func (a *Analysis) Obj(id ObjID) *ObjInfo { return a.heap.obj(id) }
+
+// NumObjs returns the number of abstract objects.
+func (a *Analysis) NumObjs() int { return a.heap.NumObjs() }
+
+// CtxString renders a context for diagnostics.
+func (a *Analysis) CtxString(ctx CtxID) string { return a.ctxs.String(ctx) }
+
+// ObjString renders an abstract object as ⟨site@pos, ctx⟩.
+func (a *Analysis) ObjString(id ObjID) string {
+	o := a.heap.obj(id)
+	return fmt.Sprintf("o%d(%s@%s)", id, o.Class().Name, o.Pos())
+}
+
+// OriginOfCtx maps an analysis context back to the origin whose code runs
+// under it. For the KOrigin policy the mapping is direct; for other
+// policies it returns false (callers must track origins during call-graph
+// traversal instead).
+func (a *Analysis) OriginOfCtx(ctx CtxID) (OriginID, bool) {
+	if a.Cfg.Policy.Kind != KOrigin {
+		return 0, false
+	}
+	chain, _ := a.originChain(ctx)
+	if chain == EmptyCtx {
+		return MainOrigin, true
+	}
+	for _, o := range a.Origins.Origins {
+		if o.Ctx == chain {
+			return o.ID, true
+		}
+	}
+	return 0, false
+}
+
+// OriginAttrs renders the attribute pointers of an origin: each attribute
+// variable with the allocation sites it may point to. This is the
+// user-facing part of the origin abstraction (§3.1).
+func (a *Analysis) OriginAttrs(id OriginID) string {
+	o := a.Origins.Get(id)
+	if len(o.AttrVars) == 0 {
+		return "()"
+	}
+	parts := make([]string, 0, len(o.AttrVars))
+	for _, v := range o.AttrVars {
+		pts := a.PointsTo(v, o.AttrCtx)
+		objs := make([]string, 0, pts.Len())
+		pts.ForEach(func(ob uint32) { objs = append(objs, a.ObjString(ObjID(ob))) })
+		parts = append(parts, fmt.Sprintf("%s→{%s}", v.Name, strings.Join(objs, ",")))
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// ReachableFuncs returns the distinct functions reachable in the call
+// graph, sorted by name.
+func (a *Analysis) ReachableFuncs() []*ir.Func {
+	seen := map[*ir.Func]bool{}
+	var out []*ir.Func
+	for _, fc := range a.CG.nodes {
+		if !seen[fc.Fn] {
+			seen[fc.Fn] = true
+			out = append(out, fc.Fn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// MainNode returns the call-graph node of the program entry.
+func (a *Analysis) MainNode() FnCtxID {
+	id, _ := a.CG.Lookup(a.Prog.Main, EmptyCtx)
+	return id
+}
+
+// ForEachFieldNode invokes fn for every object-field node in the PAG with
+// its points-to set, in unspecified order.
+func (a *Analysis) ForEachFieldNode(fn func(obj ObjID, field string, pts *Bits)) {
+	for k, id := range a.heap.fldIdx {
+		fn(k.obj, k.field, &a.pts[id])
+	}
+}
+
+// ForEachStaticNode invokes fn for every static-field node in the PAG.
+func (a *Analysis) ForEachStaticNode(fn func(sig string, pts *Bits)) {
+	for sig, id := range a.heap.statIdx {
+		fn(sig, &a.pts[id])
+	}
+}
+
+// MayAlias reports whether two contexted variables may point to a common
+// object.
+func (a *Analysis) MayAlias(v1 *ir.Var, c1 CtxID, v2 *ir.Var, c2 CtxID) bool {
+	return a.PointsTo(v1, c1).Intersects(a.PointsTo(v2, c2))
+}

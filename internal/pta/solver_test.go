@@ -1,0 +1,591 @@
+package pta_test
+
+import (
+	"testing"
+
+	"o2/internal/ir"
+	"o2/internal/lang"
+	"o2/internal/pta"
+)
+
+func solve(t *testing.T, src string, pol pta.Policy) *pta.Analysis {
+	t.Helper()
+	prog, err := lang.Compile("t.mini", src, ir.DefaultEntryConfig())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	a := pta.New(prog, pta.Config{Policy: pol, Entries: ir.DefaultEntryConfig()})
+	if err := a.Solve(); err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	return a
+}
+
+func origin1() pta.Policy { return pta.Policy{Kind: pta.KOrigin, K: 1} }
+
+// ptsOf returns the points-to set of a variable in a function, under the
+// single context the function is reachable in (test programs arrange one).
+func ptsOf(t *testing.T, a *pta.Analysis, fnName, varName string) []uint32 {
+	t.Helper()
+	fn := a.Prog.LookupFunc(fnName)
+	if fn == nil {
+		t.Fatalf("no function %s", fnName)
+	}
+	var out []uint32
+	found := false
+	for id := 0; id < a.CG.NumNodes(); id++ {
+		fc := a.CG.Get(pta.FnCtxID(id))
+		if fc.Fn == fn {
+			pts := a.PointsTo(fn.Var(varName), fc.Ctx)
+			out = append(out, pts.Slice()...)
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("%s not reachable", fnName)
+	}
+	return out
+}
+
+// Rule ①②: allocation and copy.
+func TestRuleAllocCopy(t *testing.T) {
+	a := solve(t, `
+class C { }
+main {
+  x = new C();
+  y = x;
+  z = y;
+}
+`, origin1())
+	if got := ptsOf(t, a, "main", "z"); len(got) != 1 {
+		t.Fatalf("pts(z) = %v, want one object", got)
+	}
+	if a.NumObjs() != 1 {
+		t.Errorf("one allocation should intern one object, got %d", a.NumObjs())
+	}
+}
+
+// Rule ③④: field store and load flow through the heap.
+func TestRuleFieldStoreLoad(t *testing.T) {
+	a := solve(t, `
+class Box { field v; }
+class C { }
+main {
+  b = new Box();
+  c = new C();
+  b.v = c;
+  out = b.v;
+}
+`, origin1())
+	got := ptsOf(t, a, "main", "out")
+	want := ptsOf(t, a, "main", "c")
+	if len(got) != 1 || len(want) != 1 || got[0] != want[0] {
+		t.Errorf("field round-trip: pts(out)=%v pts(c)=%v", got, want)
+	}
+}
+
+// Rule ⑤⑥: arrays are a single * field — all elements conflate.
+func TestRuleArrays(t *testing.T) {
+	a := solve(t, `
+class C { }
+class D { }
+main {
+  arr = new Arr();
+  c = new C();
+  d = new D();
+  arr[0] = c;
+  arr[1] = d;
+  out = arr[99];
+}
+`, origin1())
+	if got := ptsOf(t, a, "main", "out"); len(got) != 2 {
+		t.Errorf("array load should see both stores: %v", got)
+	}
+}
+
+// Rule ⑦: virtual dispatch by receiver type.
+func TestRuleVirtualDispatch(t *testing.T) {
+	a := solve(t, `
+class Animal { speak() { r = new AnimalSound(); return r; } }
+class Dog extends Animal { speak() { r = new DogSound(); return r; } }
+main {
+  d = new Dog();
+  s = d.speak();
+}
+`, origin1())
+	dog := a.Prog.Classes["Dog"]
+	got := ptsOf(t, a, "main", "s")
+	if len(got) != 1 {
+		t.Fatalf("pts(s) = %v", got)
+	}
+	if cls := a.Obj(pta.ObjID(got[0])).Class().Name; cls != "DogSound" {
+		t.Errorf("dispatch reached %s, want DogSound (receiver %s)", cls, dog)
+	}
+	if a.Prog.LookupFunc("Animal.speak") == nil {
+		t.Fatal("setup broken")
+	}
+	// Animal.speak must NOT be reachable: only Dog instances exist.
+	for id := 0; id < a.CG.NumNodes(); id++ {
+		if a.CG.Get(pta.FnCtxID(id)).Fn.Name == "Animal.speak" {
+			t.Errorf("Animal.speak should be unreachable")
+		}
+	}
+}
+
+// Static (free-function) calls bind parameters and returns.
+func TestStaticCallBinding(t *testing.T) {
+	a := solve(t, `
+class C { }
+func id(p) { return p; }
+main {
+  c = new C();
+  r = id(c);
+}
+`, origin1())
+	got := ptsOf(t, a, "main", "r")
+	if len(got) != 1 {
+		t.Errorf("return flow broken: %v", got)
+	}
+}
+
+// Rule ⑧: origin allocations switch context — the Figure 3 scenario.
+func TestOriginAllocContextSwitch(t *testing.T) {
+	src := `
+class T { field f; T() { this.f = new Box(); } run() { } }
+class TA extends T { TA() { super(); } }
+class TB extends T { TB() { super(); } }
+main {
+  a = new TA();
+  b = new TB();
+  a.start();
+  b.start();
+}
+`
+	// Under origins: two Box objects (one per origin).
+	a := solve(t, src, origin1())
+	boxes := 0
+	for o := 1; o <= a.NumObjs(); o++ {
+		if a.Obj(pta.ObjID(o)).Class().Name == "Box" {
+			boxes++
+		}
+	}
+	if boxes != 2 {
+		t.Errorf("OPA should split the super-constructor allocation per origin: %d Boxes", boxes)
+	}
+
+	// Under 0-ctx: a single conflated Box.
+	a0 := solve(t, src, pta.Policy{Kind: pta.Insensitive})
+	boxes = 0
+	for o := 1; o <= a0.NumObjs(); o++ {
+		if a0.Obj(pta.ObjID(o)).Class().Name == "Box" {
+			boxes++
+		}
+	}
+	if boxes != 1 {
+		t.Errorf("0-ctx should conflate the Box: %d", boxes)
+	}
+}
+
+// Rule ⑨: origin entries spawn new origins; attributes flow in.
+func TestOriginEntrySpawn(t *testing.T) {
+	a := solve(t, `
+class S { }
+class W {
+  field s;
+  W(s) { this.s = s; }
+  run() { x = this.s; }
+}
+main {
+  s = new S();
+  w1 = new W(s);
+  w2 = new W(s);
+  w1.start();
+  w2.start();
+}
+`, origin1())
+	if a.Origins.Len() != 3 {
+		t.Fatalf("want main + 2 origins, got %d", a.Origins.Len())
+	}
+	spawns := 0
+	for id := 0; id < a.CG.NumNodes(); id++ {
+		for _, e := range a.CG.Out(pta.FnCtxID(id)) {
+			if e.Kind == pta.EdgeSpawn {
+				spawns++
+			}
+		}
+	}
+	if spawns != 2 {
+		t.Errorf("want 2 spawn edges, got %d", spawns)
+	}
+	// Both origins' runs see the same shared S but have distinct contexts.
+	got := ptsOf(t, a, "W.run", "x")
+	if len(got) != 2 { // visited under two contexts, same object twice
+		t.Errorf("run contexts = %v", got)
+	}
+	if got[0] != got[1] {
+		t.Errorf("both origins should see the same shared S")
+	}
+}
+
+// Join statements create join edges.
+func TestJoinEdges(t *testing.T) {
+	a := solve(t, `
+class W { run() { } }
+main {
+  w = new W();
+  w.start();
+  w.join();
+}
+`, origin1())
+	joins := 0
+	for id := 0; id < a.CG.NumNodes(); id++ {
+		for _, e := range a.CG.Out(pta.FnCtxID(id)) {
+			if e.Kind == pta.EdgeJoin && e.Origin != pta.MainOrigin {
+				joins++
+			}
+		}
+	}
+	if joins != 1 {
+		t.Errorf("want 1 join edge, got %d", joins)
+	}
+}
+
+// The wrapper k=1 extension: origins created through the same wrapper from
+// different call sites stay distinct under OPA.
+func TestWrapperCallSiteExtension(t *testing.T) {
+	src := `
+class S { }
+class W {
+  field s;
+  W(s) { this.s = s; }
+  run() { d = new Local(); d.v = this; }
+}
+class Local { field v; }
+func spawn(s) {
+  w = new W(s);
+  w.start();
+  return w;
+}
+main {
+  s1 = new S();
+  s2 = new S();
+  a = spawn(s1);
+  b = spawn(s2);
+}
+`
+	a := solve(t, src, origin1())
+	workerOrigins := 0
+	for _, org := range a.Origins.Origins {
+		if org.Kind == pta.KindThread {
+			workerOrigins++
+		}
+	}
+	if workerOrigins != 2 {
+		t.Errorf("wrapper extension should create 2 origins, got %d", workerOrigins)
+	}
+	// Per-origin Local objects must not conflate.
+	locals := 0
+	for o := 1; o <= a.NumObjs(); o++ {
+		if a.Obj(pta.ObjID(o)).Class().Name == "Local" {
+			locals++
+		}
+	}
+	if locals != 2 {
+		t.Errorf("per-origin locals conflated through the wrapper: %d", locals)
+	}
+}
+
+// Loop-allocated origins become twin origins under OPA (§3.2).
+func TestLoopOriginTwins(t *testing.T) {
+	a := solve(t, `
+class W { run() { } }
+main {
+  while (i) {
+    w = new W();
+    w.start();
+  }
+}
+`, origin1())
+	threads := 0
+	for _, org := range a.Origins.Origins {
+		if org.Kind == pta.KindThread {
+			threads++
+			if org.Replicated {
+				t.Errorf("OPA twins should not use the replication flag")
+			}
+		}
+	}
+	if threads != 2 {
+		t.Errorf("loop origin should have a twin: %d thread origins", threads)
+	}
+
+	// Under 0-ctx the same program keeps one origin with the flag.
+	a0 := solve(t, `
+class W { run() { } }
+main {
+  while (i) {
+    w = new W();
+    w.start();
+  }
+}
+`, pta.Policy{Kind: pta.Insensitive})
+	threads = 0
+	for _, org := range a0.Origins.Origins {
+		if org.Kind == pta.KindThread {
+			threads++
+			if !org.Replicated {
+				t.Errorf("0-ctx loop origin must carry the replication flag")
+			}
+		}
+	}
+	if threads != 1 {
+		t.Errorf("0-ctx should keep one flagged origin, got %d", threads)
+	}
+}
+
+// k-CFA separates allocations per call path only up to depth k.
+func TestKCFADepthWindow(t *testing.T) {
+	src := `
+class Box { }
+func l1(a) { r = l2(a); return r; }
+func l2(a) { r = new Box(); return r; }
+main {
+  x1 = l1(null);   // path A
+  x2 = l1(null);   // path B
+  y1 = l2(null);   // direct
+}
+`
+	// 1-CFA: l2 contexts = {site in l1, direct site} → 2 Boxes;
+	a1 := solve(t, src, pta.Policy{Kind: pta.KCFA, K: 1})
+	if n := countClass(a1, "Box"); n != 2 {
+		t.Errorf("1-CFA Boxes = %d, want 2", n)
+	}
+	// 2-CFA: paths (mainA,l1), (mainB,l1), (main,direct) → 3 Boxes.
+	a2 := solve(t, src, pta.Policy{Kind: pta.KCFA, K: 2})
+	if n := countClass(a2, "Box"); n != 3 {
+		t.Errorf("2-CFA Boxes = %d, want 3", n)
+	}
+	// 0-ctx: 1 Box.
+	a0 := solve(t, src, pta.Policy{Kind: pta.Insensitive})
+	if n := countClass(a0, "Box"); n != 1 {
+		t.Errorf("0-ctx Boxes = %d, want 1", n)
+	}
+}
+
+// k-obj separates allocations by receiver chain.
+func TestKObjReceiverSeparation(t *testing.T) {
+	src := `
+class H { mk() { b = new Box(); return b; } }
+main {
+  h1 = new H();
+  h2 = new H();
+  x = h1.mk();
+  y = h2.mk();
+}
+`
+	a1 := solve(t, src, pta.Policy{Kind: pta.KObj, K: 1})
+	if n := countClass(a1, "Box"); n != 2 {
+		t.Errorf("1-obj Boxes = %d, want 2 (per-receiver)", n)
+	}
+	a0 := solve(t, src, pta.Policy{Kind: pta.Insensitive})
+	if n := countClass(a0, "Box"); n != 1 {
+		t.Errorf("0-ctx Boxes = %d, want 1", n)
+	}
+	// A single receiver conflates under k-obj regardless of k: the
+	// singleton pattern origins can separate but receivers cannot.
+	single := `
+class H { mk() { b = new Box(); return b; } }
+class W {
+  field h;
+  W(h) { this.h = h; }
+  run() { x = this.h; b = x.mk(); b.v = this; }
+}
+class Box { field v; }
+main {
+  h = new H();
+  w1 = new W(h);
+  w2 = new W(h);
+  w1.start();
+  w2.start();
+}
+`
+	aObj := solve(t, single, pta.Policy{Kind: pta.KObj, K: 2})
+	if n := countClass(aObj, "Box"); n != 1 {
+		t.Errorf("2-obj should conflate singleton-made Boxes: %d", n)
+	}
+	aOri := solve(t, single, origin1())
+	if n := countClass(aOri, "Box"); n != 2 {
+		t.Errorf("origins should separate singleton-made Boxes per origin: %d", n)
+	}
+}
+
+// K-origin: nested spawns distinguish grandchildren when k ≥ 2.
+func TestKOriginNesting(t *testing.T) {
+	src := `
+class Inner {
+  run() { d = new Deep(); d.v = this; }
+}
+class Outer {
+  run() {
+    i = new Inner();
+    i.start();
+  }
+}
+class Deep { field v; }
+main {
+  o1 = new Outer();
+  o2 = new Outer();
+  o1.start();
+  o2.start();
+}
+`
+	// With k=1, the Inner origins of both Outers share the allocation-site
+	// identity and conflate their Deep objects... they are distinguished by
+	// wrapper site only if allocation sites differ. Here Inner is allocated
+	// at ONE site inside Outer.run, so 1-origin merges both inners.
+	a1 := solve(t, src, pta.Policy{Kind: pta.KOrigin, K: 1})
+	n1 := countClass(a1, "Deep")
+	// k=2 keeps the parent origin in the chain: two Inner origins.
+	a2 := solve(t, src, pta.Policy{Kind: pta.KOrigin, K: 2})
+	n2 := countClass(a2, "Deep")
+	if !(n2 > n1) {
+		t.Errorf("2-origin should split nested origins: k=1 %d Deep, k=2 %d Deep", n1, n2)
+	}
+}
+
+// Budget enforcement.
+func TestStepBudget(t *testing.T) {
+	prog, err := lang.Compile("t.mini", `
+class C { field f; }
+main {
+  a = new C();
+  b = new C();
+  a.f = b;
+  x = a.f;
+}
+`, ir.DefaultEntryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pta.New(prog, pta.Config{Policy: origin1(), Entries: ir.DefaultEntryConfig(), StepBudget: 1})
+	if err := a.Solve(); err != pta.ErrBudget {
+		t.Errorf("want ErrBudget, got %v", err)
+	}
+	if !a.Stats().TimedOut {
+		t.Errorf("stats should record the timeout")
+	}
+}
+
+// Null flows nowhere; calls on null receivers are no-ops.
+func TestNullReceiver(t *testing.T) {
+	a := solve(t, `
+class C { m() { } }
+main {
+  x = null;
+  x.m();
+}
+`, origin1())
+	if a.CG.NumNodes() != 1 {
+		t.Errorf("call on null should resolve no targets: %d nodes", a.CG.NumNodes())
+	}
+}
+
+// Static fields flow across origins.
+func TestStaticFieldFlow(t *testing.T) {
+	a := solve(t, `
+class G { static field shared; }
+class C { }
+class W {
+  run() { x = G.shared; }
+}
+main {
+  c = new C();
+  G.shared = c;
+  w = new W();
+  w.start();
+}
+`, origin1())
+	got := ptsOf(t, a, "W.run", "x")
+	if len(got) != 1 {
+		t.Errorf("static flow broken: %v", got)
+	}
+}
+
+func countClass(a *pta.Analysis, cls string) int {
+	n := 0
+	for o := 1; o <= a.NumObjs(); o++ {
+		if a.Obj(pta.ObjID(o)).Class().Name == cls {
+			n++
+		}
+	}
+	return n
+}
+
+// TimeBudget aborts long analyses like StepBudget does.
+func TestTimeBudget(t *testing.T) {
+	prog, err := lang.Compile("t.mini", `
+class C { field f; }
+func touch(a, d) {
+  a.f = d;
+  r = a.f;
+  return r;
+}
+main {
+  a = new C();
+  d = new C();
+  x = touch(a, d);
+  y = touch(a, x);
+}
+`, ir.DefaultEntryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pta.New(prog, pta.Config{
+		Policy:     pta.Policy{Kind: pta.KOrigin, K: 1},
+		Entries:    ir.DefaultEntryConfig(),
+		TimeBudget: 1, // nanosecond: expires before the first deadline check passes
+	})
+	err = a.Solve()
+	// The deadline is only polled every 4096 steps; tiny programs may
+	// finish first. Either a clean finish or ErrBudget is acceptable, any
+	// other error is not.
+	if err != nil && err != pta.ErrBudget {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// Indirect calls respect the context policy: a function pointer invoked
+// from two origins analyzes its target per origin under OPA.
+func TestIndirectCallPerOriginContexts(t *testing.T) {
+	src := `
+class Box { field v; }
+func mk(a) {
+  b = new Box();
+  b.v = a;
+  return b;
+}
+class W {
+  field fp;
+  W(fp) { this.fp = fp; }
+  run() {
+    f = this.fp;
+    b = f(this);
+  }
+}
+main {
+  fp = &mk;
+  w1 = new W(fp);
+  w2 = new W(fp);
+  w1.start();
+  w2.start();
+}
+`
+	a := solve(t, src, origin1())
+	if n := countClass(a, "Box"); n != 2 {
+		t.Errorf("indirect target should analyze per origin: %d Boxes", n)
+	}
+	a0 := solve(t, src, pta.Policy{Kind: pta.Insensitive})
+	if n := countClass(a0, "Box"); n != 1 {
+		t.Errorf("0-ctx should conflate: %d Boxes", n)
+	}
+}

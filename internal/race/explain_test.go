@@ -1,0 +1,99 @@
+package race_test
+
+import (
+	"strings"
+	"testing"
+
+	"o2/internal/pta"
+	"o2/internal/race"
+)
+
+func TestExplainUnlockedRace(t *testing.T) {
+	prog := `
+class S { field v; }
+class W {
+  field s;
+  W(s) { this.s = s; }
+  run() { x = this.s; x.v = this; }
+}
+main {
+  s = new S();
+  w1 = new W(s);
+  w2 = new W(s);
+  w1.start();
+  w2.start();
+}
+`
+	a, rep := detectSHB(t, prog)
+	if len(rep.report.Races) != 1 {
+		t.Fatalf("setup: %d races", len(rep.report.Races))
+	}
+	out := race.Explain(a, rep.graph, &rep.report.Races[0])
+	for _, want := range []string{
+		"race on", "thread origin", "spawned at", "attrs=",
+		"neither access holds any lock", "no happens-before path",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explanation missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainDisjointLocks(t *testing.T) {
+	prog := `
+class S { field v; }
+class W {
+  field s; field l;
+  W(s, l) { this.s = s; this.l = l; }
+  run() {
+    x = this.s;
+    k = this.l;
+    sync (k) { x.v = this; }
+  }
+}
+main {
+  s = new S();
+  l1 = new LockA();
+  l2 = new LockB();
+  w1 = new W(s, l1);
+  w2 = new W(s, l2);
+  w1.start();
+  w2.start();
+}
+`
+	a, rep := detectSHB(t, prog)
+	if len(rep.report.Races) != 1 {
+		t.Fatalf("setup: %d races", len(rep.report.Races))
+	}
+	out := race.Explain(a, rep.graph, &rep.report.Races[0])
+	if !strings.Contains(out, "disjoint locksets") {
+		t.Errorf("explanation should name the disjoint locks:\n%s", out)
+	}
+}
+
+func TestExplainReplicatedOrigin(t *testing.T) {
+	prog := `
+class S { field v; }
+class W {
+  field s;
+  W(s) { this.s = s; }
+  run() { x = this.s; x.v = this; }
+}
+main {
+  s = new S();
+  while (i) {
+    w = new W(s);
+    w.start();
+  }
+}
+`
+	// Under 0-ctx the twin is a replication flag: the explanation names it.
+	a, rep := detectSHBWith(t, prog, pta.Policy{Kind: pta.Insensitive})
+	if len(rep.report.Races) != 1 {
+		t.Fatalf("setup: %d races", len(rep.report.Races))
+	}
+	out := race.Explain(a, rep.graph, &rep.report.Races[0])
+	if !strings.Contains(out, "concurrent instances of a replicated origin") {
+		t.Errorf("explanation should mention replication:\n%s", out)
+	}
+}

@@ -1,0 +1,298 @@
+// Package race implements O2's static data race detection engine (§4): a
+// hybrid happens-before + lockset analysis over the SHB graph, restricted
+// to OSA's origin-shared locations, with the paper's three sound
+// optimizations — integer-ID intra-origin happens-before, canonical
+// lockset IDs with cached intersections, and lock-region merging. Each
+// optimization can be disabled for the ablation benchmarks; disabling all
+// of them (plus the OSA filter) yields the D4-style naive baseline.
+package race
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"o2/internal/ir"
+	"o2/internal/lockset"
+	"o2/internal/osa"
+	"o2/internal/pta"
+	"o2/internal/shb"
+)
+
+// Options toggles the engine's optimizations (all true = full O2).
+type Options struct {
+	// RegionMerge merges accesses to the same location within one lock
+	// region into a representative access (§4.1 third optimization).
+	RegionMerge bool
+	// CanonicalLocksets uses canonical lockset IDs with cached
+	// intersections; when false, locksets are intersected element-wise on
+	// every check (§4.1 second optimization).
+	CanonicalLocksets bool
+	// HBCache caches cross-origin reachability frontiers; when false every
+	// pair does a fresh graph traversal (§4.1 first optimization — the
+	// intra-origin integer comparison itself is structural and stays).
+	HBCache bool
+	// OSAFilter restricts checking to OSA's origin-shared locations; when
+	// false all locations with accesses from two segments are checked.
+	OSAFilter bool
+	// PairBudget bounds the number of candidate pairs examined (0 =
+	// unlimited); exceeding it stops detection and sets Report.TimedOut —
+	// the analogue of the paper's ">4h" detection cells.
+	PairBudget int64
+}
+
+// O2Options is the full-optimization configuration.
+func O2Options() Options {
+	return Options{RegionMerge: true, CanonicalLocksets: true, HBCache: true, OSAFilter: true}
+}
+
+// NaiveOptions is the D4-style baseline: pairwise checking with no
+// representative merging, no canonical lockset cache and no HB cache.
+func NaiveOptions() Options { return Options{} }
+
+// Access describes one side of a race.
+type Access struct {
+	Node   int
+	Origin pta.OriginID
+	Write  bool
+	Pos    ir.Pos
+	Fn     string
+}
+
+func (a Access) String() string {
+	op := "read"
+	if a.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("%s at %s in %s [origin O%d]", op, a.Pos, a.Fn, a.Origin)
+}
+
+// Race is a reported data race on a memory location.
+type Race struct {
+	Key  osa.Key
+	A, B Access
+}
+
+func (r *Race) String() string {
+	return fmt.Sprintf("race on %s:\n  %s\n  %s", r.Key, r.A, r.B)
+}
+
+// Report is the detection result with work counters for the benchmarks.
+type Report struct {
+	Races []Race
+	// PairsChecked counts candidate pairs examined after grouping.
+	PairsChecked int64
+	// HBQueries and LockChecks count the underlying relation queries.
+	HBQueries  int64
+	LockChecks int64
+	// AccessNodes and Representatives count nodes before and after
+	// lock-region merging.
+	AccessNodes     int
+	Representatives int
+	// TimedOut reports that the PairBudget was exhausted; Races is then a
+	// lower bound.
+	TimedOut bool
+	Elapsed  time.Duration
+}
+
+// Detect runs race detection over a solved analysis, its sharing result
+// and SHB graph.
+func Detect(a *pta.Analysis, sharing *osa.Result, g *shb.Graph, opt Options) *Report {
+	start := time.Now()
+	rep := &Report{}
+	groups := collect(a, g, sharing, opt, rep)
+
+	keys := make([]osa.Key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+
+	seen := map[raceSig]bool{}
+	for _, k := range keys {
+		if rep.TimedOut {
+			break
+		}
+		accs := groups[k]
+		rep.Representatives += len(accs)
+		for i := 0; i < len(accs) && !rep.TimedOut; i++ {
+			for j := i; j < len(accs); j++ {
+				if opt.PairBudget > 0 && rep.PairsChecked >= opt.PairBudget {
+					rep.TimedOut = true
+					break
+				}
+				x, y := accs[i], accs[j]
+				if i == j && !selfRace(a, g, x) {
+					continue
+				}
+				if !x.write && !y.write {
+					continue
+				}
+				sx, sy := g.Nodes[x.node].Seg, g.Nodes[y.node].Seg
+				if sx == sy && i != j && !a.Origins.Get(g.Origin(x.node)).Replicated {
+					// Same origin instance: ordered by the trace.
+					continue
+				}
+				rep.PairsChecked++
+				if commonLock(g, x, y, opt, rep) {
+					continue
+				}
+				if sx != sy {
+					rep.HBQueries++
+					ordered := false
+					if opt.HBCache {
+						ordered = g.HappensBefore(x.node, y.node) || g.HappensBefore(y.node, x.node)
+					} else {
+						ordered = g.HappensBeforeNoCache(x.node, y.node) || g.HappensBeforeNoCache(y.node, x.node)
+					}
+					if ordered {
+						continue
+					}
+				}
+				r := Race{Key: k, A: access(g, x), B: access(g, y)}
+				sig := sigOf(&r)
+				if !seen[sig] {
+					seen[sig] = true
+					rep.Races = append(rep.Races, r)
+				}
+			}
+		}
+	}
+	sort.Slice(rep.Races, func(i, j int) bool { return raceLess(&rep.Races[i], &rep.Races[j]) })
+	rep.Elapsed = time.Since(start)
+	return rep
+}
+
+type acc struct {
+	node  int
+	write bool
+}
+
+type mergeKey struct {
+	seg    shb.SegID
+	write  bool
+	locks  lockset.ID
+	region int32
+}
+
+// collect groups SHB access nodes by location, applying the OSA filter and
+// lock-region merging. Volatile locations are synchronization, not data
+// (§4.3 extension: atomics), and are never candidates.
+func collect(a *pta.Analysis, g *shb.Graph, sharing *osa.Result, opt Options, rep *Report) map[osa.Key][]acc {
+	groups := map[osa.Key][]acc{}
+	merged := map[osa.Key]map[mergeKey]bool{}
+	for id := range g.Nodes {
+		n := &g.Nodes[id]
+		if n.Kind != shb.NRead && n.Kind != shb.NWrite {
+			continue
+		}
+		if opt.OSAFilter && !sharing.IsShared(n.Key) {
+			continue
+		}
+		if isVolatile(a, n.Key) {
+			continue
+		}
+		rep.AccessNodes++
+		w := n.Kind == shb.NWrite
+		if opt.RegionMerge && n.Region != 0 {
+			mk := mergeKey{n.Seg, w, n.Locks, n.Region}
+			m := merged[n.Key]
+			if m == nil {
+				m = map[mergeKey]bool{}
+				merged[n.Key] = m
+			}
+			if m[mk] {
+				continue // merged into the region's representative access
+			}
+			m[mk] = true
+		}
+		groups[n.Key] = append(groups[n.Key], acc{id, w})
+	}
+	return groups
+}
+
+// isVolatile reports whether the location has atomic access semantics.
+func isVolatile(a *pta.Analysis, k osa.Key) bool {
+	if k.Static != "" {
+		return a.Prog.VolatileStatics[k.Static]
+	}
+	if k.Obj == 0 {
+		return false
+	}
+	return a.Obj(k.Obj).Class().IsVolatile(k.Field)
+}
+
+// selfRace reports whether a single access can race with itself: a write
+// executed by two concurrent instances of a replicated origin.
+func selfRace(a *pta.Analysis, g *shb.Graph, x acc) bool {
+	return x.write && a.Origins.Get(g.Origin(x.node)).Replicated
+}
+
+func commonLock(g *shb.Graph, x, y acc, opt Options, rep *Report) bool {
+	rep.LockChecks++
+	nx, ny := &g.Nodes[x.node], &g.Nodes[y.node]
+	if opt.CanonicalLocksets {
+		return g.Locksets.Intersects(nx.Locks, ny.Locks)
+	}
+	return lockset.IntersectSorted(g.Locksets.Set(nx.Locks), g.Locksets.Set(ny.Locks))
+}
+
+func access(g *shb.Graph, x acc) Access {
+	n := &g.Nodes[x.node]
+	return Access{
+		Node:   x.node,
+		Origin: g.Origin(x.node),
+		Write:  x.write,
+		Pos:    n.Instr.Pos(),
+		Fn:     n.Fn.Name,
+	}
+}
+
+type raceSig struct {
+	field string
+	aPos  ir.Pos
+	bPos  ir.Pos
+}
+
+// sigOf dedups races by location field and the unordered source-position
+// pair, so one source-level race is reported once regardless of how many
+// abstract objects or origin pairs exhibit it.
+func sigOf(r *Race) raceSig {
+	field := r.Key.Field
+	if r.Key.Static != "" {
+		field = r.Key.Static
+	}
+	a, b := r.A.Pos, r.B.Pos
+	if posLess(b, a) {
+		a, b = b, a
+	}
+	return raceSig{field, a, b}
+}
+
+func posLess(a, b ir.Pos) bool {
+	if a.File != b.File {
+		return a.File < b.File
+	}
+	return a.Line < b.Line
+}
+
+func keyLess(a, b osa.Key) bool {
+	if a.Obj != b.Obj {
+		return a.Obj < b.Obj
+	}
+	if a.Field != b.Field {
+		return a.Field < b.Field
+	}
+	return a.Static < b.Static
+}
+
+func raceLess(a, b *Race) bool {
+	sa, sb := sigOf(a), sigOf(b)
+	if sa.field != sb.field {
+		return sa.field < sb.field
+	}
+	if sa.aPos != sb.aPos {
+		return posLess(sa.aPos, sb.aPos)
+	}
+	return posLess(sa.bPos, sb.bPos)
+}

@@ -1,0 +1,286 @@
+// Package racerd reimplements the skeleton of RacerD (Blackshear et al.,
+// OOPSLA 2018), the comparator of the paper's evaluation. RacerD is a
+// compositional, syntactic analysis: it tracks a lock domain (are any
+// locks held?), a threading domain (can this code run concurrently?), and
+// a simple ownership domain (was the base object allocated locally?) — but
+// performs no pointer analysis. Accesses are keyed by the syntactic field
+// signature, so races on aliased objects reached through differently-named
+// fields are missed, while accesses to unrelated instances of the same
+// class are conflated — exactly the trade-off the paper discusses.
+//
+// Following §5.2, warnings are translated to potential race pair counts:
+// read/write race pairs plus pairs of conflicting accesses behind
+// unprotected writes.
+package racerd
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"o2/internal/ir"
+)
+
+// Warning is one reported potential race pair.
+type Warning struct {
+	Kind  string // "read_write_race" or "unprotected_write"
+	Field string // syntactic signature Class.field
+	A, B  Site
+}
+
+// Site is one access location.
+type Site struct {
+	Pos    ir.Pos
+	Fn     string
+	Write  bool
+	Locked bool
+}
+
+func (w Warning) String() string {
+	return fmt.Sprintf("%s on %s: %s:%d <-> %s:%d", w.Kind, w.Field,
+		w.A.Pos.File, w.A.Pos.Line, w.B.Pos.File, w.B.Pos.Line)
+}
+
+// Report is the analysis result.
+type Report struct {
+	Warnings []Warning
+	// Accesses counts field accesses considered.
+	Accesses int
+	Elapsed  time.Duration
+}
+
+// access is an abstract access record in RacerD's summary domain.
+type access struct {
+	field    string // Class.field syntactic signature
+	write    bool
+	locked   bool
+	threaded bool
+	owned    bool // base allocated locally (ownership domain)
+	pos      ir.Pos
+	fn       string
+}
+
+// Analyze runs the RacerD-style analysis over a finalized program.
+func Analyze(prog *ir.Program, entries ir.EntryConfig) *Report {
+	start := time.Now()
+	a := &analyzer{
+		prog:    prog,
+		entries: entries,
+		cha:     buildCHA(prog),
+		visited: map[visitKey]bool{},
+	}
+	// Roots: main (threaded once any thread may run) and every origin
+	// entry method of every thread/event class.
+	a.walk(prog.Main, true, false, 0)
+	for _, cls := range sortedClasses(prog) {
+		if !cls.IsThread && !cls.IsEvent {
+			continue
+		}
+		for _, m := range entryMethods(cls, entries) {
+			a.walk(m, true, false, 0)
+		}
+	}
+	rep := &Report{Accesses: len(a.accesses), Elapsed: 0}
+	rep.Warnings = pair(a.accesses)
+	rep.Elapsed = time.Since(start)
+	return rep
+}
+
+type visitKey struct {
+	fn     *ir.Func
+	locked bool
+}
+
+type analyzer struct {
+	prog     *ir.Program
+	entries  ir.EntryConfig
+	cha      map[string][]*ir.Func // simple-name -> overriding methods
+	visited  map[visitKey]bool
+	accesses []access
+}
+
+// walk traverses a method summary-style: locked tracks whether any lock is
+// held, threaded whether the code may run concurrently. depth bounds CHA
+// blowup on pathological hierarchies.
+func (a *analyzer) walk(fn *ir.Func, threaded, locked bool, depth int) {
+	if fn == nil || depth > 64 {
+		return
+	}
+	k := visitKey{fn, locked}
+	if a.visited[k] {
+		return
+	}
+	a.visited[k] = true
+
+	owned := map[*ir.Var]bool{}
+	lockDepth := 0
+	if locked {
+		lockDepth = 1
+	}
+	for _, in := range fn.Body {
+		switch in := in.(type) {
+		case *ir.Alloc:
+			owned[in.Dst] = true
+		case *ir.Copy:
+			owned[in.Dst] = owned[in.Src]
+		case *ir.MonitorEnter:
+			lockDepth++
+		case *ir.MonitorExit:
+			if lockDepth > 0 {
+				lockDepth--
+			}
+		case *ir.LoadField:
+			a.record(fn, in, in.Obj, in.Field, false, lockDepth > 0, threaded, owned)
+		case *ir.StoreField:
+			a.record(fn, in, in.Obj, in.Field, true, lockDepth > 0, threaded, owned)
+		case *ir.LoadIndex:
+			a.record(fn, in, in.Arr, ir.ArrayField, false, lockDepth > 0, threaded, owned)
+		case *ir.StoreIndex:
+			a.record(fn, in, in.Arr, ir.ArrayField, true, lockDepth > 0, threaded, owned)
+		case *ir.LoadStatic:
+			a.recordStatic(fn, in, in.Class.Name+"."+in.Field, false, lockDepth > 0, threaded)
+		case *ir.StoreStatic:
+			a.recordStatic(fn, in, in.Class.Name+"."+in.Field, true, lockDepth > 0, threaded)
+		case *ir.Call:
+			a.walkCall(fn, in, threaded, lockDepth > 0, depth)
+		}
+	}
+}
+
+func (a *analyzer) walkCall(fn *ir.Func, in *ir.Call, threaded, locked bool, depth int) {
+	if in.Static != nil {
+		a.walk(in.Static, threaded, locked, depth+1)
+		return
+	}
+	if a.entries.IsJoin(in.Method) {
+		return
+	}
+	method := in.Method
+	if a.entries.IsStart(method) {
+		// start(): entry methods are roots already; nothing to inline.
+		return
+	}
+	for _, m := range a.cha[method] {
+		a.walk(m, threaded, locked, depth+1)
+	}
+}
+
+func (a *analyzer) record(fn *ir.Func, in ir.Instr, base *ir.Var, field string, write, locked, threaded bool, owned map[*ir.Var]bool) {
+	// RacerD keys accesses by the static class of the base when known;
+	// minilang is untyped at use sites, so the declaring class is
+	// recovered from the receiver's class when base is "this", otherwise
+	// the bare field name is used — the same syntactic coarseness.
+	sig := field
+	if base.Name == "this" && fn.Class != nil {
+		sig = declaringClass(fn.Class, field) + "." + field
+	}
+	a.accesses = append(a.accesses, access{
+		field: sig, write: write, locked: locked, threaded: threaded,
+		owned: owned[base], pos: in.Pos(), fn: fn.Name,
+	})
+}
+
+func (a *analyzer) recordStatic(fn *ir.Func, in ir.Instr, sig string, write, locked, threaded bool) {
+	a.accesses = append(a.accesses, access{
+		field: sig, write: write, locked: locked, threaded: threaded,
+		pos: in.Pos(), fn: fn.Name,
+	})
+}
+
+// pair produces warnings per the paper's translation: for each field,
+// read/write race pairs (two threaded accesses, at least one write, not
+// both locked, neither owned) plus unprotected-write conflict pairs.
+func pair(accs []access) []Warning {
+	byField := map[string][]access{}
+	for _, ac := range accs {
+		if ac.owned || !ac.threaded {
+			continue
+		}
+		byField[ac.field] = append(byField[ac.field], ac)
+	}
+	fields := make([]string, 0, len(byField))
+	for f := range byField {
+		fields = append(fields, f)
+	}
+	sort.Strings(fields)
+
+	var out []Warning
+	seen := map[string]bool{}
+	for _, f := range fields {
+		as := byField[f]
+		for i := 0; i < len(as); i++ {
+			for j := i + 1; j < len(as); j++ {
+				x, y := as[i], as[j]
+				if !x.write && !y.write {
+					continue
+				}
+				if x.locked && y.locked {
+					continue // both protected: assumed same lock (RacerD's coarse lock domain)
+				}
+				kind := "read_write_race"
+				if (x.write && !x.locked) || (y.write && !y.locked) {
+					kind = "unprotected_write"
+				}
+				w := Warning{Kind: kind, Field: f,
+					A: Site{x.pos, x.fn, x.write, x.locked},
+					B: Site{y.pos, y.fn, y.write, y.locked}}
+				// RacerD groups conflicting accesses per report; dedupe at
+				// (field, kind, method-pair) granularity accordingly.
+				fa, fb := x.fn, y.fn
+				if fa > fb {
+					fa, fb = fb, fa
+				}
+				key := kind + "|" + f + "|" + fa + "|" + fb
+				if !seen[key] {
+					seen[key] = true
+					out = append(out, w)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func buildCHA(prog *ir.Program) map[string][]*ir.Func {
+	cha := map[string][]*ir.Func{}
+	for _, cls := range sortedClasses(prog) {
+		for name, m := range cls.Methods {
+			cha[name] = append(cha[name], m)
+		}
+	}
+	for _, ms := range cha {
+		sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+	}
+	return cha
+}
+
+func sortedClasses(prog *ir.Program) []*ir.Class {
+	out := make([]*ir.Class, 0, len(prog.Classes))
+	for _, c := range prog.Classes {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func entryMethods(cls *ir.Class, entries ir.EntryConfig) []*ir.Func {
+	var out []*ir.Func
+	for name, m := range cls.Methods {
+		if entries.IsEntry(name) {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func declaringClass(cls *ir.Class, field string) string {
+	for k := cls; k != nil; k = k.Super {
+		for _, f := range k.Fields {
+			if f == field {
+				return k.Name
+			}
+		}
+	}
+	return cls.Name
+}

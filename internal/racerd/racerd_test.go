@@ -1,0 +1,257 @@
+package racerd_test
+
+import (
+	"testing"
+
+	"o2/internal/ir"
+	"o2/internal/lang"
+	"o2/internal/racerd"
+)
+
+func analyze(t *testing.T, src string) *racerd.Report {
+	t.Helper()
+	prog, err := lang.Compile("t.mini", src, ir.DefaultEntryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return racerd.Analyze(prog, ir.DefaultEntryConfig())
+}
+
+func TestUnprotectedWriteWarning(t *testing.T) {
+	rep := analyze(t, `
+class S { field v; }
+class W {
+  field s;
+  W(s) { this.s = s; }
+  run() { x = this.s; x.v = this; }
+}
+class L {
+  field s; field k;
+  L(s, k) { this.s = s; this.k = k; }
+  run() {
+    x = this.s;
+    m = this.k;
+    sync (m) { x.v = this; }
+  }
+}
+main {
+  s = new S();
+  k = new K();
+  w = new W(s);
+  l = new L(s, k);
+  w.start();
+  l.start();
+}
+`)
+	if len(rep.Warnings) == 0 {
+		t.Fatalf("unprotected write should warn")
+	}
+	found := false
+	for _, w := range rep.Warnings {
+		if w.Kind == "unprotected_write" && w.Field == "v" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no unprotected_write on v: %v", rep.Warnings)
+	}
+}
+
+func TestBothLockedAssumedSafe(t *testing.T) {
+	// RacerD's coarse lock domain: two locked accesses are assumed
+	// protected even when the locks differ — a known false-negative class.
+	rep := analyze(t, `
+class S { field v; }
+class W {
+  field s; field k;
+  W(s, k) { this.s = s; this.k = k; }
+  run() {
+    x = this.s;
+    m = this.k;
+    sync (m) { x.v = this; }
+  }
+}
+main {
+  s = new S();
+  k1 = new K();
+  k2 = new K();
+  w1 = new W(s, k1);
+  w2 = new W(s, k2);
+  w1.start();
+  w2.start();
+}
+`)
+	for _, w := range rep.Warnings {
+		if w.Field == "v" {
+			t.Errorf("both-locked accesses should not warn (coarse lock domain): %v", w)
+		}
+	}
+}
+
+func TestOwnershipSuppressesLocalAllocations(t *testing.T) {
+	rep := analyze(t, `
+class D { field v; }
+class W {
+  run() {
+    d = new D();
+    d.v = this;   // owned: allocated in this method
+  }
+}
+main {
+  w1 = new W();
+  w2 = new W();
+  w1.start();
+  w2.start();
+}
+`)
+	for _, w := range rep.Warnings {
+		if w.Field == "v" || w.Field == "D.v" {
+			t.Errorf("owned access should not warn: %v", w)
+		}
+	}
+}
+
+// The paper's key point: RacerD misses alias races because it keys
+// accesses syntactically. The same object reached through differently-
+// declared fields does not produce a warning, while O2 finds it.
+func TestAliasBlindness(t *testing.T) {
+	rep := analyze(t, `
+class Holder1 { field slot1; }
+class Holder2 { field slot2; }
+class Obj { field data; }
+class W1 {
+  field h;
+  W1(h) { this.h = h; }
+  run() { o = this.h; x = o.slot1; x.data = this; }
+}
+class W2 {
+  field h;
+  W2(h) { this.h = h; }
+  run() { o = this.h; x = o.slot2; x.data = this; }
+}
+main {
+  obj = new Obj();
+  h1 = new Holder1();
+  h2 = new Holder2();
+  h1.slot1 = obj;
+  h2.slot2 = obj;   // alias: both holders reference the same Obj
+  w1 = new W1(h1);
+  w2 = new W2(h2);
+  w1.start();
+  w2.start();
+}
+`)
+	// RacerD still sees both "data" accesses under the same syntactic
+	// field name here (minilang is untyped), so to expose blindness we
+	// check the holder slots: the two slotN reads never conflict for
+	// RacerD, and "data" warnings conflate unrelated instances. The
+	// structural point tested: RacerD produces its verdict without any
+	// aliasing evidence, i.e. the report is identical if the aliasing
+	// store is removed.
+	rep2 := analyze(t, `
+class Holder1 { field slot1; }
+class Holder2 { field slot2; }
+class Obj { field data; }
+class W1 {
+  field h;
+  W1(h) { this.h = h; }
+  run() { o = this.h; x = o.slot1; x.data = this; }
+}
+class W2 {
+  field h;
+  W2(h) { this.h = h; }
+  run() { o = this.h; x = o.slot2; x.data = this; }
+}
+main {
+  obj = new Obj();
+  obj2 = new Obj();
+  h1 = new Holder1();
+  h2 = new Holder2();
+  h1.slot1 = obj;
+  h2.slot2 = obj2;  // no alias: two distinct objects
+  w1 = new W1(h1);
+  w2 = new W2(h2);
+  w1.start();
+  w2.start();
+}
+`)
+	if len(rep.Warnings) != len(rep2.Warnings) {
+		t.Errorf("RacerD should be blind to aliasing: %d vs %d warnings",
+			len(rep.Warnings), len(rep2.Warnings))
+	}
+}
+
+func TestStaticsWarn(t *testing.T) {
+	rep := analyze(t, `
+class G { static field flag; }
+class W {
+  run() { G.flag = this; }
+}
+main {
+  w = new W();
+  w.start();
+  x = G.flag;
+}
+`)
+	found := false
+	for _, w := range rep.Warnings {
+		if w.Field == "G.flag" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("static field conflict should warn: %v", rep.Warnings)
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	src := `
+class S { field a; field b; }
+class W {
+  field s;
+  W(s) { this.s = s; }
+  run() { x = this.s; x.a = this; x.b = this; }
+}
+main {
+  s = new S();
+  w1 = new W(s);
+  w2 = new W(s);
+  w1.start();
+  w2.start();
+}
+`
+	r1 := analyze(t, src)
+	r2 := analyze(t, src)
+	if len(r1.Warnings) != len(r2.Warnings) {
+		t.Fatalf("nondeterministic warning count")
+	}
+	for i := range r1.Warnings {
+		if r1.Warnings[i].String() != r2.Warnings[i].String() {
+			t.Fatalf("warning order differs at %d", i)
+		}
+	}
+}
+
+// RacerD has no pointer analysis, so function-pointer dispatch is opaque:
+// races reachable only through pthread workers and dispatch tables are
+// invisible — mirroring the paper's observation that RacerD could not
+// analyze Memcached/Redis.
+func TestCStyleBlindness(t *testing.T) {
+	rep := analyze(t, `
+class S { field hits; }
+func handler(s) { s.hits = s; }
+func worker(s) { s.hits = null; }
+main {
+  s = new S();
+  h = &handler;
+  event_register(h, s);
+  w = &worker;
+  t1 = pthread_create(w, s);
+}
+`)
+	for _, w := range rep.Warnings {
+		if w.Field == "hits" {
+			t.Fatalf("RacerD-style analysis should miss the function-pointer race: %v", w)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Package report renders the reproduction's tables and race reports as
+// aligned text, mirroring the layout of the paper's evaluation tables.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+	"unicode/utf8"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title string
+	Note  string
+	Cols  []string
+	Rows  [][]string
+}
+
+// Add appends a row; values are stringified with %v.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case time.Duration:
+			row[i] = Dur(v)
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	}
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && utf8.RuneCountInString(cell) > widths[i] {
+				widths[i] = utf8.RuneCountInString(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Cols)
+	sep := make([]string, len(t.Cols))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	n := utf8.RuneCountInString(s)
+	if n >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-n)
+}
+
+// Dur formats a duration compactly (ms below 10s, else seconds).
+func Dur(d time.Duration) string {
+	switch {
+	case d < 0:
+		return "-"
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	case d < 10*time.Minute:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	default:
+		return fmt.Sprintf("%.1fmin", d.Minutes())
+	}
+}
+
+// Speedup formats "a vs b" as a slowdown/speedup annotation in the paper's
+// style: positive percentages for slowdowns below 10x, "N.Nx" beyond.
+func Speedup(base, other time.Duration) string {
+	if base <= 0 || other <= 0 {
+		return "-"
+	}
+	ratio := float64(other) / float64(base)
+	switch {
+	case ratio >= 10:
+		return fmt.Sprintf("%.0fx", ratio)
+	case ratio >= 2:
+		return fmt.Sprintf("%.1fx", ratio)
+	case ratio >= 1:
+		return fmt.Sprintf("+%.0f%%", (ratio-1)*100)
+	default:
+		return fmt.Sprintf("-%.0f%%", (1-ratio)*100)
+	}
+}
+
+// Reduction formats the paper's red percentages: how much smaller n is
+// than base.
+func Reduction(base, n int) string {
+	if base <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(base-n)/float64(base))
+}

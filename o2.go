@@ -1,0 +1,182 @@
+// Package o2 is a reproduction of "When Threads Meet Events: Efficient and
+// Precise Static Race Detection with Origins" (PLDI 2021). It detects data
+// races in multithreaded and event-driven minilang programs through the
+// pipeline described in the paper:
+//
+//  1. origin-sensitive pointer analysis (OPA) — or a baseline context
+//     policy (0-ctx, k-CFA, k-obj) for comparison;
+//  2. origin-sharing analysis (OSA), computing the heap locations shared
+//     across origins;
+//  3. a static happens-before (SHB) graph over origin traces;
+//  4. a hybrid happens-before + lockset race detector with the paper's
+//     three sound optimizations.
+//
+// The entry points are AnalyzeSource (minilang text) and AnalyzeProgram
+// (programmatically built IR).
+package o2
+
+import (
+	"time"
+
+	"o2/internal/deadlock"
+	"o2/internal/ir"
+	"o2/internal/lang"
+	"o2/internal/osa"
+	"o2/internal/oversync"
+	"o2/internal/pta"
+	"o2/internal/race"
+	"o2/internal/shb"
+)
+
+// Re-exported context policies for configuration convenience.
+var (
+	// Origins is the paper's 1-origin configuration (OPA).
+	Origins = pta.Policy{Kind: pta.KOrigin, K: 1}
+	// Insensitive is the 0-ctx baseline.
+	Insensitive = pta.Policy{Kind: pta.Insensitive}
+)
+
+// CFA returns a k-call-site-sensitive policy.
+func CFA(k int) pta.Policy { return pta.Policy{Kind: pta.KCFA, K: k} }
+
+// Obj returns a k-object-sensitive policy.
+func Obj(k int) pta.Policy { return pta.Policy{Kind: pta.KObj, K: k} }
+
+// OriginsK returns a k-origin-sensitive policy for nested origins (§3.2,
+// K-Origin-Sensitivity).
+func OriginsK(k int) pta.Policy { return pta.Policy{Kind: pta.KOrigin, K: k} }
+
+// Config configures a full analysis run.
+type Config struct {
+	// Policy selects the pointer-analysis context abstraction.
+	Policy pta.Policy
+	// Entries configures origin entry points (defaults to Table 1).
+	Entries ir.EntryConfig
+	// Android serializes event handlers with a global lock (§4.2).
+	Android bool
+	// ReplicateEvents treats event origins as concurrently re-entrant.
+	ReplicateEvents bool
+	// Detector toggles the engine optimizations; zero value is upgraded to
+	// full O2 options.
+	Detector race.Options
+	// StepBudget / TimeBudget bound the pointer analysis (0 = unlimited);
+	// exceeding either aborts with pta.ErrBudget.
+	StepBudget int64
+	TimeBudget time.Duration
+	// MaxSHBNodes bounds the SHB trace size (0 = unlimited).
+	MaxSHBNodes int
+}
+
+// DefaultConfig is the paper's main configuration: 1-origin OPA with all
+// detector optimizations. Event origins are not replicated by default;
+// enable ReplicateEvents for servers whose handlers run concurrently
+// (e.g. the Linux system-call model of §5.4).
+func DefaultConfig() Config {
+	return Config{
+		Policy:   Origins,
+		Entries:  ir.DefaultEntryConfig(),
+		Detector: race.O2Options(),
+	}
+}
+
+// Result bundles every stage's output and timing.
+type Result struct {
+	Prog     *ir.Program
+	Analysis *pta.Analysis
+	Sharing  *osa.Result
+	Graph    *shb.Graph
+	Report   *race.Report
+
+	PTATime    time.Duration
+	OSATime    time.Duration
+	SHBTime    time.Duration
+	DetectTime time.Duration
+}
+
+// entriesUnset reports whether the config carries no entry-point
+// configuration at all (then Table 1 defaults apply). An explicitly empty
+// slice disables that origin kind instead.
+func entriesUnset(e ir.EntryConfig) bool {
+	return e.ThreadEntries == nil && e.EventEntries == nil &&
+		e.StartMethods == nil && e.JoinMethods == nil
+}
+
+// Races returns the detected races.
+func (r *Result) Races() []race.Race { return r.Report.Races }
+
+// Deadlocks runs the lock-order deadlock analysis (a client of OPA and the
+// SHB graph beyond race detection, §3).
+func (r *Result) Deadlocks() *deadlock.Report {
+	return deadlock.Analyze(r.Analysis, r.Graph)
+}
+
+// OverSync runs the over-synchronization analysis: lock regions guarding
+// only origin-local data.
+func (r *Result) OverSync() *oversync.Report {
+	return oversync.Analyze(r.Analysis, r.Sharing, r.Graph)
+}
+
+// TotalTime is the end-to-end analysis time.
+func (r *Result) TotalTime() time.Duration {
+	return r.PTATime + r.OSATime + r.SHBTime + r.DetectTime
+}
+
+// AnalyzeSource compiles one minilang source and analyzes it.
+func AnalyzeSource(filename, src string, cfg Config) (*Result, error) {
+	entries := cfg.Entries
+	if entriesUnset(entries) {
+		entries = ir.DefaultEntryConfig()
+	}
+	prog, err := lang.Compile(filename, src, entries)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeProgram(prog, cfg)
+}
+
+// AnalyzeProgram analyzes a finalized IR program.
+func AnalyzeProgram(prog *ir.Program, cfg Config) (*Result, error) {
+	entries := cfg.Entries
+	if entriesUnset(entries) {
+		entries = ir.DefaultEntryConfig()
+	}
+	if err := prog.Finalize(entries); err != nil {
+		return nil, err
+	}
+	opts := cfg.Detector
+	if opts == (race.Options{}) {
+		opts = race.O2Options()
+	}
+
+	t0 := time.Now()
+	a := pta.New(prog, pta.Config{
+		Policy:          cfg.Policy,
+		Entries:         entries,
+		ReplicateEvents: cfg.ReplicateEvents,
+		StepBudget:      cfg.StepBudget,
+		TimeBudget:      cfg.TimeBudget,
+	})
+	if err := a.Solve(); err != nil {
+		return nil, err
+	}
+	t1 := time.Now()
+	sharing := osa.Analyze(a)
+	t2 := time.Now()
+	g := shb.Build(a, shb.Config{AndroidEvents: cfg.Android, MaxNodes: cfg.MaxSHBNodes})
+	t3 := time.Now()
+	rep := race.Detect(a, sharing, g, opts)
+	t4 := time.Now()
+
+	return &Result{
+		Prog:     prog,
+		Analysis: a,
+		Sharing:  sharing,
+		Graph:    g,
+		Report:   rep,
+
+		PTATime:    t1.Sub(t0),
+		OSATime:    t2.Sub(t1),
+		SHBTime:    t3.Sub(t2),
+		DetectTime: t4.Sub(t3),
+	}, nil
+}
