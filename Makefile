@@ -1,0 +1,37 @@
+# Development and CI entry points.
+#
+#   make ci        vet + build + tests + race-detector pass (what CI runs)
+#   make test      go test ./...
+#   make race      go test -race on the concurrency-critical packages
+#   make fuzz      short fuzz session on the minilang frontend
+#   make bench     sequential-vs-parallel detection speedup benchmark
+#
+# The checked-in fuzz corpus under internal/lang/testdata/fuzz is replayed
+# by the plain `go test` runs, so regressions on past findings fail `ci`.
+
+GO ?= go
+FUZZTIME ?= 30s
+
+.PHONY: ci vet build test race fuzz bench
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The packages whose state is shared across detection workers; Workers ≥ 8
+# paths are exercised by the tests in internal/race.
+race:
+	$(GO) test -race ./internal/race/ ./internal/shb/ ./internal/lockset/
+
+fuzz:
+	$(GO) test ./internal/lang/ -run FuzzCompile -fuzz FuzzCompile -fuzztime $(FUZZTIME)
+
+bench:
+	$(GO) test -run=NONE -bench=ParallelDetect -benchmem .

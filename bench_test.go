@@ -272,6 +272,35 @@ func BenchmarkLinuxModel(b *testing.B) {
 	})
 }
 
+// BenchmarkParallelDetect measures the detection stage sequential vs
+// parallel on the largest workload preset (the §5.4 Linux kernel model).
+// The pipeline up to detection is solved once; each sub-benchmark differs
+// only in Options.Workers, so
+//
+//	go test -bench=ParallelDetect -cpu=8
+//
+// reports the worker-pool speedup directly (the speedup tracks the
+// available cores; with GOMAXPROCS=1 the worker counts tie).
+func BenchmarkParallelDetect(b *testing.B) {
+	entries := ir.DefaultEntryConfig()
+	prog := workload.Build(workload.Linux(), entries)
+	a := pta.New(prog, pta.Config{Policy: bench.POPA, Entries: entries, ReplicateEvents: true})
+	if err := a.Solve(); err != nil {
+		b.Fatal(err)
+	}
+	sh := osa.Analyze(a)
+	g := shb.Build(a, shb.Config{})
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opts := race.O2Options()
+			opts.Workers = w
+			for i := 0; i < b.N; i++ {
+				race.Detect(a, sh, g, opts)
+			}
+		})
+	}
+}
+
 // BenchmarkExtensions measures the beyond-race-detection analyses
 // (deadlock, over-synchronization) on a distributed-system preset.
 func BenchmarkExtensions(b *testing.B) {

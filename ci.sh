@@ -1,0 +1,10 @@
+#!/bin/sh
+# CI pipeline for environments without make: vet, build, full test suite
+# (which replays the checked-in fuzz corpus), and the race-detector pass
+# over the packages shared across detection workers.
+set -eux
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/race/ ./internal/shb/ ./internal/lockset/

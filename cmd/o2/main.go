@@ -6,6 +6,7 @@
 //
 //	-context origin|0ctx|kcfa|kobj   context policy (default origin)
 //	-k N                             context depth (default 1)
+//	-workers N                       detection worker-pool size (0 = GOMAXPROCS, 1 = sequential)
 //	-android                         serialize event handlers (§4.2)
 //	-replicate-events                model concurrently re-entrant events
 //	-sharing                         print the origin-sharing report (OSA)
@@ -35,6 +36,7 @@ import (
 func main() {
 	ctxKind := flag.String("context", "origin", "context policy: origin, 0ctx, kcfa, kobj")
 	k := flag.Int("k", 1, "context depth")
+	workers := flag.Int("workers", 0, "detection worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
 	android := flag.Bool("android", false, "Android mode: serialize event handlers")
 	replicate := flag.Bool("replicate-events", false, "treat event handlers as concurrently re-entrant")
 	sharing := flag.Bool("sharing", false, "print the origin-sharing (OSA) report")
@@ -75,6 +77,7 @@ func main() {
 	cfg := o2.DefaultConfig()
 	cfg.Android = *android
 	cfg.ReplicateEvents = *replicate
+	cfg.Workers = *workers
 	switch *ctxKind {
 	case "origin":
 		cfg.Policy = pta.Policy{Kind: pta.KOrigin, K: *k}

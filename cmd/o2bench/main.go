@@ -24,9 +24,10 @@ func main() {
 	steps := flag.Int64("steps", 0, "pointer-analysis step budget (0 = default)")
 	pairs := flag.Int64("pairs", 0, "race-detection pair budget (0 = default)")
 	quick := flag.Bool("quick", false, "run a representative subset of presets")
+	workers := flag.Int("workers", 0, "detection worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
-	o := bench.Opts{StepBudget: *steps, PairBudget: *pairs, Quick: *quick}
+	o := bench.Opts{StepBudget: *steps, PairBudget: *pairs, Quick: *quick, Workers: *workers}
 	w := os.Stdout
 
 	run := func(name string) {

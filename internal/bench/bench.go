@@ -27,6 +27,9 @@ type Opts struct {
 	PairBudget int64
 	// Quick restricts sweeps to a representative subset of presets.
 	Quick bool
+	// Workers sets the detection worker-pool size (0 = GOMAXPROCS,
+	// 1 = sequential).
+	Workers int
 }
 
 // The default step budget plays the role of the paper's 4-hour timeout:
@@ -44,6 +47,14 @@ func (o Opts) pairs() int64 {
 		return 3_000_000
 	}
 	return o.PairBudget
+}
+
+// detectOpts is race.O2Options carrying the harness worker-pool setting,
+// so every table honors -workers.
+func (o Opts) detectOpts() race.Options {
+	opts := race.O2Options()
+	opts.Workers = o.Workers
+	return opts
 }
 
 // Policies compared throughout the evaluation, in paper column order.
@@ -128,7 +139,7 @@ func RunPipelineProg(prog *ir.Program, pol pta.Policy, entries ir.EntryConfig, o
 	if pr.TimedOut {
 		return Pipeline{PTA: pr, Total: pr.Time, TimedOut: true}
 	}
-	dr := RunDetect(pr.A, race.O2Options(), android, o.pairs())
+	dr := RunDetect(pr.A, o.detectOpts(), android, o.pairs())
 	return Pipeline{
 		PTA: pr, Detect: dr,
 		Total:    pr.Time + dr.OSATime + dr.SHBTime + dr.Time,

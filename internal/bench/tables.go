@@ -60,7 +60,7 @@ func Table5(w io.Writer, o Opts) (*report.Table, *report.Table) {
 				continue
 			}
 			ptaCells = append(ptaCells, report.Dur(pr.Time))
-			dr := RunDetect(pr.A, race.O2Options(), false, o.pairs())
+			dr := RunDetect(pr.A, o.detectOpts(), false, o.pairs())
 			total := pr.Time + dr.OSATime + dr.SHBTime + dr.Time
 			switch {
 			case dr.TimedOut:
@@ -191,7 +191,7 @@ func Table8(w io.Writer, o Opts) *report.Table {
 				counts[i] = timeoutCell
 				continue
 			}
-			dr := RunDetect(pr.A, race.O2Options(), false, o.pairs())
+			dr := RunDetect(pr.A, o.detectOpts(), false, o.pairs())
 			n := len(dr.Report.Races)
 			if dr.TimedOut {
 				counts[i] = fmt.Sprintf("≥%d", n)
@@ -238,7 +238,7 @@ func Table9(w io.Writer, o Opts) *report.Table {
 			sh := osa.Analyze(pr.A)
 			sobj[i] = sh.SharedObjects
 			if pol == POPA {
-				dr := RunDetect(pr.A, race.O2Options(), false, o.pairs())
+				dr := RunDetect(pr.A, o.detectOpts(), false, o.pairs())
 				if dr.TimedOut {
 					o2Races = fmt.Sprintf("≥%d", len(dr.Report.Races))
 				} else {
@@ -330,6 +330,7 @@ func Ablation(w io.Writer, o Opts) *report.Table {
 		}
 		for _, v := range variants {
 			opts := v.opts
+			opts.Workers = o.Workers
 			opts.PairBudget = o.pairs()
 			dr := RunDetect(pr.A, opts, false, o.pairs())
 			races := fmt.Sprintf("%d", len(dr.Report.Races))
@@ -400,8 +401,8 @@ func Android(w io.Writer, o Opts) *report.Table {
 			t.Add(p.Name, timeoutCell, timeoutCell, "-", "-")
 			continue
 		}
-		plain := RunDetect(pr.A, race.O2Options(), false, o.pairs())
-		android := RunDetect(pr.A, race.O2Options(), true, o.pairs())
+		plain := RunDetect(pr.A, o.detectOpts(), false, o.pairs())
+		android := RunDetect(pr.A, o.detectOpts(), true, o.pairs())
 		ee, te := 0, 0
 		for _, r := range android.Report.Races {
 			ka := pr.A.Origins.Get(r.A.Origin).Kind
@@ -468,7 +469,7 @@ func Linux(w io.Writer, o Opts) *report.Table {
 	}
 	sh := osa.Analyze(a)
 	g := shb.Build(a, shb.Config{})
-	opts := race.O2Options()
+	opts := o.detectOpts()
 	opts.PairBudget = o.pairs() * 4
 	rep := race.Detect(a, sh, g, opts)
 	elapsed := time.Since(start)

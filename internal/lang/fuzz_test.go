@@ -1,0 +1,211 @@
+package lang_test
+
+import (
+	"strings"
+	"testing"
+
+	"o2/internal/cases"
+	"o2/internal/ir"
+	"o2/internal/lang"
+	"o2/internal/osa"
+	"o2/internal/pta"
+	"o2/internal/race"
+	"o2/internal/shb"
+)
+
+// fuzzSeeds are well-formed minilang programs covering the surface the
+// examples/ directory exercises: threads, joins, locks, events, loops,
+// inheritance, statics, arrays, pthread-style free functions and
+// condition variables. The cases package contributes the paper's figure
+// and case-study sources on top.
+var fuzzSeeds = []string{
+	// examples/quickstart: workers, a lock and a joined epilogue.
+	`
+class Counter { field value; }
+class Worker {
+  field c;
+  Worker(c) { this.c = c; }
+  run() {
+    x = this.c;
+    x.value = this;
+  }
+}
+class SafeWorker {
+  field c; field lock;
+  SafeWorker(c, l) { this.c = c; this.lock = l; }
+  run() {
+    x = this.c;
+    l = this.lock;
+    sync (l) { x.guarded = this; }
+  }
+}
+main {
+  c = new Counter();
+  l = new Lock();
+  w1 = new Worker(c);
+  w2 = new Worker(c);
+  s1 = new SafeWorker(c, l);
+  s2 = new SafeWorker(c, l);
+  w1.start();
+  w2.start();
+  s1.start();
+  s2.start();
+  w1.join();
+  w2.join();
+  c.value = null;
+}
+`,
+	// examples/eventapp shape: event handlers next to threads.
+	`
+class Store { field data; }
+class Handler {
+  field s;
+  Handler(s) { this.s = s; }
+  handleEvent() { x = this.s; x.data = this; }
+}
+class Loader {
+  field s;
+  Loader(s) { this.s = s; }
+  run() { x = this.s; x.data = this; }
+}
+main {
+  s = new Store();
+  h = new Handler(s);
+  t = new Loader(s);
+  h.post();
+  t.start();
+}
+`,
+	// examples/cserver shape: pthread-style free functions and statics.
+	`
+class Stats { static field hits; }
+class Data { field buf; }
+func worker(arg) {
+  arg.buf = arg;
+  Stats.hits = arg;
+}
+main {
+  d = new Data();
+  fp = &worker;
+  h1 = pthread_create(fp, d);
+  h2 = pthread_create(fp, d);
+  pthread_join(h1);
+  r = Stats.hits;
+}
+`,
+	// Loop spawns, arrays, while and if statements, wait/notify.
+	`
+class Buf { field slots; }
+class Producer {
+  field b; field cv;
+  Producer(b, c) { this.b = b; this.cv = c; }
+  run() {
+    x = this.b;
+    x[0] = this;
+    c = this.cv;
+    c.notify();
+  }
+}
+class Consumer {
+  field b; field cv;
+  Consumer(b, c) { this.b = b; this.cv = c; }
+  run() {
+    c = this.cv;
+    c.wait();
+    x = this.b;
+    r = x[0];
+  }
+}
+main {
+  b = new Buf();
+  c = new Cond();
+  while (i) {
+    p = new Producer(b, c);
+    p.start();
+  }
+  q = new Consumer(b, c);
+  q.start();
+  if (i) { r = b.slots; } else { b.slots = null; }
+}
+`,
+	// Inheritance with super() constructors (the Figure 3 pattern).
+	`
+class Base {
+  field box;
+  Base() { this.box = new Box(); }
+}
+class Sub extends Base {
+  Sub() { super(); }
+  run() { b = this.box; b.v = this; }
+}
+class Box { field v; }
+main {
+  s1 = new Sub();
+  s2 = new Sub();
+  s1.start();
+  s2.start();
+}
+`,
+	// Degenerate but valid inputs.
+	"main { }",
+	"// only a comment\nmain { x = null; }",
+	// Malformed inputs the frontend must reject with a positioned error.
+	"class {",
+	"main { sync }",
+	"main { x = ; }",
+	"/* unterminated",
+	"\"unterminated",
+	"class C } main {}",
+	"main { x.y.z = 1; }",
+	"func f( { }",
+}
+
+// FuzzCompile fuzzes the whole minilang frontend (lexer, parser,
+// lowering, finalization). Invariants: Compile never panics; a rejected
+// input's error names the source position (file, usually file:line); an
+// accepted input's program analyzes end to end without crashing under
+// small step, node and pair budgets.
+func FuzzCompile(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Add(cases.Figure2)
+	f.Add(cases.Figure3)
+	for _, c := range cases.Table10 {
+		f.Add(c.Source)
+	}
+	for _, c := range cases.FalsePositives {
+		f.Add(c.Source)
+	}
+
+	entries := ir.DefaultEntryConfig()
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := lang.Compile("fuzz.mini", src, entries)
+		if err != nil {
+			// Frontend errors must be positioned; whole-program shape
+			// errors (e.g. a missing main) carry the "ir:" prefix instead.
+			msg := err.Error()
+			if !strings.Contains(msg, "fuzz.mini") && !strings.HasPrefix(msg, "ir:") {
+				t.Errorf("error lacks source position: %v", err)
+			}
+			return
+		}
+		// Accepted inputs must analyze without crashing. Budgets keep
+		// adversarial inputs (deep call meshes, huge loops) bounded; a
+		// budget error is a valid outcome, a panic is not.
+		a := pta.New(prog, pta.Config{
+			Policy:     pta.Policy{Kind: pta.KOrigin, K: 1},
+			Entries:    entries,
+			StepBudget: 200_000,
+		})
+		if err := a.Solve(); err != nil {
+			return
+		}
+		sh := osa.Analyze(a)
+		g := shb.Build(a, shb.Config{MaxNodes: 100_000})
+		opts := race.O2Options()
+		opts.PairBudget = 500_000
+		opts.Workers = 2
+		race.Detect(a, sh, g, opts)
+	})
+}

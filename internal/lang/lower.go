@@ -87,6 +87,19 @@ func (lw *lowerer) lower(files []*File) error {
 			lw.freeFns[fd.Name] = lw.prog.NewFunc(nil, fd.Name, fd.Params...)
 		}
 	}
+	// The Super chains must be acyclic: field/volatile lookups and method
+	// resolution walk them to nil.
+	for _, f := range files {
+		for _, cd := range f.Classes {
+			seen := map[string]bool{}
+			for c := lw.prog.Class(cd.Name); c != nil; c = c.Super {
+				if seen[c.Name] {
+					return fmt.Errorf("%s:%d: inheritance cycle through class %s", f.Name, cd.Line, c.Name)
+				}
+				seen[c.Name] = true
+			}
+		}
+	}
 	// Pass 2: lower bodies.
 	for _, f := range files {
 		lw.file = f.Name

@@ -7,6 +7,8 @@ package lockset
 import (
 	"encoding/binary"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // ID is a canonical lockset identifier. Empty is the empty lockset.
@@ -20,15 +22,20 @@ const Empty ID = 0
 // it, so no event–event pair is reported while thread–event pairs remain.
 const GlobalEventLock uint32 = 0
 
-// Table interns locksets and caches intersection queries.
+// Table interns locksets and caches intersection queries. Canon is called
+// while the SHB graph is built (single goroutine); Intersects is called
+// from the race-detection workers and is safe for concurrent use: the
+// read-mostly intersection cache is guarded by an RWMutex and the query
+// stats are updated atomically.
 type Table struct {
+	mu    sync.RWMutex
 	sets  [][]uint32
 	index map[string]ID
 	inter map[uint64]bool
 	// stats
-	CanonCalls int
-	InterHits  int
-	InterMiss  int
+	CanonCalls int64
+	InterHits  int64
+	InterMiss  int64
 }
 
 // NewTable returns an empty table containing only the empty lockset.
@@ -42,7 +49,7 @@ func NewTable() *Table {
 // Canon returns the canonical ID for the given lock objects (duplicates
 // allowed; order irrelevant).
 func (t *Table) Canon(objs []uint32) ID {
-	t.CanonCalls++
+	atomic.AddInt64(&t.CanonCalls, 1)
 	if len(objs) == 0 {
 		return Empty
 	}
@@ -56,6 +63,8 @@ func (t *Table) Canon(objs []uint32) ID {
 		}
 	}
 	key := setKey(out)
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if id, ok := t.index[key]; ok {
 		return id
 	}
@@ -67,12 +76,23 @@ func (t *Table) Canon(objs []uint32) ID {
 
 // Set returns the sorted elements of a canonical lockset. The returned
 // slice must not be modified.
-func (t *Table) Set(id ID) []uint32 { return t.sets[id] }
+func (t *Table) Set(id ID) []uint32 {
+	t.mu.RLock()
+	s := t.sets[id]
+	t.mu.RUnlock()
+	return s
+}
 
 // Len returns the number of distinct locksets interned (including empty).
-func (t *Table) Len() int { return len(t.sets) }
+func (t *Table) Len() int {
+	t.mu.RLock()
+	n := len(t.sets)
+	t.mu.RUnlock()
+	return n
+}
 
 // Intersects reports whether two locksets share a lock, caching results.
+// Safe for concurrent use.
 func (t *Table) Intersects(a, b ID) bool {
 	if a == Empty || b == Empty {
 		return false
@@ -84,13 +104,22 @@ func (t *Table) Intersects(a, b ID) bool {
 		a, b = b, a
 	}
 	key := uint64(a)<<32 | uint64(uint32(b))
-	if r, ok := t.inter[key]; ok {
-		t.InterHits++
+	t.mu.RLock()
+	r, ok := t.inter[key]
+	var sa, sb []uint32
+	if !ok {
+		sa, sb = t.sets[a], t.sets[b]
+	}
+	t.mu.RUnlock()
+	if ok {
+		atomic.AddInt64(&t.InterHits, 1)
 		return r
 	}
-	t.InterMiss++
-	r := IntersectSorted(t.sets[a], t.sets[b])
+	atomic.AddInt64(&t.InterMiss, 1)
+	r = IntersectSorted(sa, sb)
+	t.mu.Lock()
 	t.inter[key] = r
+	t.mu.Unlock()
 	return r
 }
 

@@ -1,0 +1,76 @@
+package race
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"o2/internal/osa"
+	"o2/internal/pta"
+	"o2/internal/shb"
+)
+
+// pairBudget is the shared atomic candidate-pair budget. Every worker
+// reserves one unit per pair via take before checking it, so the total
+// number of pairs examined never exceeds limit regardless of the worker
+// count. A limit of 0 means unlimited.
+type pairBudget struct {
+	limit   int64
+	used    atomic.Int64
+	tripped atomic.Bool
+}
+
+// take reserves one pair. It returns false once the budget is exhausted,
+// marking the budget as tripped; a failed reservation is rolled back so
+// used never exceeds limit.
+func (b *pairBudget) take() bool {
+	if b.limit <= 0 {
+		return true
+	}
+	if b.tripped.Load() {
+		return false
+	}
+	if b.used.Add(1) > b.limit {
+		b.tripped.Store(true)
+		b.used.Add(-1)
+		return false
+	}
+	return true
+}
+
+func (b *pairBudget) isTripped() bool { return b.tripped.Load() }
+
+// detectParallel shards the sorted candidate groups across workers.
+// Workers claim group indices from a shared atomic cursor and write each
+// result into its own slot, so the only cross-worker state in the hot loop
+// is the budget counter and the internally synchronized HB/lockset caches.
+// The merge then replays the results in sorted key order, which makes the
+// cross-group race dedup see candidates in exactly the sequential
+// encounter order — the parallel report is byte-identical to Workers == 1
+// whenever the budget does not trip, and a consistent lower bound when it
+// does (finished groups keep all their races).
+func detectParallel(a *pta.Analysis, g *shb.Graph, opt Options, rep *Report, groups map[osa.Key][]acc, keys []osa.Key, bud *pairBudget, workers int) {
+	results := make([]groupResult, len(keys))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if bud.isTripped() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(keys) {
+					return
+				}
+				results[i] = checkGroup(a, g, keys[i], groups[keys[i]], opt, bud)
+			}
+		}()
+	}
+	wg.Wait()
+	seen := map[raceSig]bool{}
+	for i := range results {
+		mergeGroup(rep, &results[i], seen)
+	}
+}

@@ -9,6 +9,7 @@ package race
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -37,8 +38,15 @@ type Options struct {
 	OSAFilter bool
 	// PairBudget bounds the number of candidate pairs examined (0 =
 	// unlimited); exceeding it stops detection and sets Report.TimedOut —
-	// the analogue of the paper's ">4h" detection cells.
+	// the analogue of the paper's ">4h" detection cells. The budget is a
+	// single shared atomic counter, so it bounds the total work across all
+	// workers in parallel mode.
 	PairBudget int64
+	// Workers sets the detection worker-pool size: per-location candidate
+	// groups are sharded across Workers goroutines. 0 defaults to
+	// GOMAXPROCS; 1 runs the sequential path. For a fixed input the report
+	// is identical for every worker count (see Detect).
+	Workers int
 }
 
 // O2Options is the full-optimization configuration.
@@ -90,13 +98,23 @@ type Report struct {
 	AccessNodes     int
 	Representatives int
 	// TimedOut reports that the PairBudget was exhausted; Races is then a
-	// lower bound.
+	// lower bound on the full result. The bound is consistent in both
+	// sequential and parallel modes: every candidate group that finished
+	// before the budget tripped contributes all of its races (no completed
+	// worker's results are dropped), the group in which the budget tripped
+	// contributes the races found up to that point, and PairsChecked never
+	// exceeds PairBudget.
 	TimedOut bool
 	Elapsed  time.Duration
 }
 
 // Detect runs race detection over a solved analysis, its sharing result
-// and SHB graph.
+// and SHB graph. With Options.Workers > 1 the per-location candidate
+// groups are sharded across a worker pool; the merged report is identical
+// to the sequential one for any worker count (groups are merged back in
+// sorted key order, so global dedup sees races in the same order the
+// sequential pass would). Detect only reads the analysis and graph, so
+// concurrent Detect calls on the same solved inputs are safe.
 func Detect(a *pta.Analysis, sharing *osa.Result, g *shb.Graph, opt Options) *Report {
 	start := time.Now()
 	rep := &Report{}
@@ -108,59 +126,109 @@ func Detect(a *pta.Analysis, sharing *osa.Result, g *shb.Graph, opt Options) *Re
 	}
 	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
 
-	seen := map[raceSig]bool{}
-	for _, k := range keys {
-		if rep.TimedOut {
-			break
-		}
-		accs := groups[k]
-		rep.Representatives += len(accs)
-		for i := 0; i < len(accs) && !rep.TimedOut; i++ {
-			for j := i; j < len(accs); j++ {
-				if opt.PairBudget > 0 && rep.PairsChecked >= opt.PairBudget {
-					rep.TimedOut = true
-					break
-				}
-				x, y := accs[i], accs[j]
-				if i == j && !selfRace(a, g, x) {
-					continue
-				}
-				if !x.write && !y.write {
-					continue
-				}
-				sx, sy := g.Nodes[x.node].Seg, g.Nodes[y.node].Seg
-				if sx == sy && i != j && !a.Origins.Get(g.Origin(x.node)).Replicated {
-					// Same origin instance: ordered by the trace.
-					continue
-				}
-				rep.PairsChecked++
-				if commonLock(g, x, y, opt, rep) {
-					continue
-				}
-				if sx != sy {
-					rep.HBQueries++
-					ordered := false
-					if opt.HBCache {
-						ordered = g.HappensBefore(x.node, y.node) || g.HappensBefore(y.node, x.node)
-					} else {
-						ordered = g.HappensBeforeNoCache(x.node, y.node) || g.HappensBeforeNoCache(y.node, x.node)
-					}
-					if ordered {
-						continue
-					}
-				}
-				r := Race{Key: k, A: access(g, x), B: access(g, y)}
-				sig := sigOf(&r)
-				if !seen[sig] {
-					seen[sig] = true
-					rep.Races = append(rep.Races, r)
-				}
-			}
-		}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	bud := &pairBudget{limit: opt.PairBudget}
+	if workers > 1 {
+		detectParallel(a, g, opt, rep, groups, keys, bud, workers)
+	} else {
+		detectSequential(a, g, opt, rep, groups, keys, bud)
+	}
+	rep.TimedOut = bud.isTripped()
 	sort.Slice(rep.Races, func(i, j int) bool { return raceLess(&rep.Races[i], &rep.Races[j]) })
 	rep.Elapsed = time.Since(start)
 	return rep
+}
+
+// detectSequential is the Workers == 1 path: groups are checked one after
+// another in sorted key order, stopping at the first budget trip.
+func detectSequential(a *pta.Analysis, g *shb.Graph, opt Options, rep *Report, groups map[osa.Key][]acc, keys []osa.Key, bud *pairBudget) {
+	seen := map[raceSig]bool{}
+	for _, k := range keys {
+		if bud.isTripped() {
+			break
+		}
+		gr := checkGroup(a, g, k, groups[k], opt, bud)
+		mergeGroup(rep, &gr, seen)
+	}
+}
+
+// groupResult is the outcome of checking one candidate group. Each worker
+// accumulates into its own groupResult, so the hot loop touches no shared
+// counters except the budget reservation.
+type groupResult struct {
+	races []Race
+	pairs int64
+	hbq   int64
+	locks int64
+	reps  int
+}
+
+// mergeGroup folds one group's result into the report, deduplicating
+// races by signature in encounter order.
+func mergeGroup(rep *Report, gr *groupResult, seen map[raceSig]bool) {
+	rep.Representatives += gr.reps
+	rep.PairsChecked += gr.pairs
+	rep.HBQueries += gr.hbq
+	rep.LockChecks += gr.locks
+	for i := range gr.races {
+		sig := sigOf(&gr.races[i])
+		if !seen[sig] {
+			seen[sig] = true
+			rep.Races = append(rep.Races, gr.races[i])
+		}
+	}
+}
+
+// checkGroup runs the pairwise hybrid HB × lockset check over one
+// location's representative accesses. It reads only immutable analysis and
+// graph state (the SHB reach cache and the lockset intersection cache are
+// internally synchronized), so any number of checkGroup calls may run
+// concurrently.
+func checkGroup(a *pta.Analysis, g *shb.Graph, k osa.Key, accs []acc, opt Options, bud *pairBudget) groupResult {
+	gr := groupResult{reps: len(accs)}
+	for i := 0; i < len(accs); i++ {
+		for j := i; j < len(accs); j++ {
+			x, y := accs[i], accs[j]
+			if i == j && !selfRace(a, g, x) {
+				continue
+			}
+			if !x.write && !y.write {
+				continue
+			}
+			sx, sy := g.Nodes[x.node].Seg, g.Nodes[y.node].Seg
+			if sx == sy && i != j && !a.Origins.Get(g.Origin(x.node)).Replicated {
+				// Same origin instance: ordered by the trace.
+				continue
+			}
+			if !bud.take() {
+				return gr
+			}
+			gr.pairs++
+			if commonLock(g, x, y, opt, &gr) {
+				continue
+			}
+			if sx != sy {
+				gr.hbq++
+				ordered := false
+				if opt.HBCache {
+					ordered = g.HappensBefore(x.node, y.node) || g.HappensBefore(y.node, x.node)
+				} else {
+					ordered = g.HappensBeforeNoCache(x.node, y.node) || g.HappensBeforeNoCache(y.node, x.node)
+				}
+				if ordered {
+					continue
+				}
+			}
+			gr.races = append(gr.races, Race{Key: k, A: access(g, x), B: access(g, y)})
+		}
+	}
+	return gr
 }
 
 type acc struct {
@@ -228,8 +296,8 @@ func selfRace(a *pta.Analysis, g *shb.Graph, x acc) bool {
 	return x.write && a.Origins.Get(g.Origin(x.node)).Replicated
 }
 
-func commonLock(g *shb.Graph, x, y acc, opt Options, rep *Report) bool {
-	rep.LockChecks++
+func commonLock(g *shb.Graph, x, y acc, opt Options, gr *groupResult) bool {
+	gr.locks++
 	nx, ny := &g.Nodes[x.node], &g.Nodes[y.node]
 	if opt.CanonicalLocksets {
 		return g.Locksets.Intersects(nx.Locks, ny.Locks)

@@ -3,6 +3,7 @@ package shb
 import (
 	"math"
 	"sort"
+	"sync"
 )
 
 type reachKey struct {
@@ -10,15 +11,56 @@ type reachKey struct {
 	idx int // index of the first usable outgoing edge
 }
 
+// reachCache is a sharded, single-flight cache of reachability frontiers.
+// Sharding keeps lock contention low when many detection workers query
+// happens-before concurrently; the per-entry sync.Once guarantees one
+// traversal populates a frontier no matter how many goroutines race to
+// the same key, and every caller then shares the immutable slice.
+type reachCache struct {
+	shards [reachShards]reachShard
+}
+
+const reachShards = 32
+
+type reachShard struct {
+	mu sync.Mutex
+	m  map[reachKey]*frontierEntry
+}
+
+type frontierEntry struct {
+	once sync.Once
+	f    []int
+}
+
+// entry interns the cache slot for key, creating it under the shard lock.
+// The frontier itself is computed outside the lock via entry.once.
+func (c *reachCache) entry(key reachKey) *frontierEntry {
+	s := &c.shards[(uint32(key.seg)*31+uint32(key.idx))%reachShards]
+	s.mu.Lock()
+	e := s.m[key]
+	if e == nil {
+		if s.m == nil {
+			s.m = map[reachKey]*frontierEntry{}
+		}
+		e = &frontierEntry{}
+		s.m[key] = e
+	}
+	s.mu.Unlock()
+	return e
+}
+
 // HappensBefore reports whether node x happens before node y. Within a
 // segment this is the constant-time integer comparison of the paper's
 // first optimization; across segments it is reachability over the
 // inter-origin edges, with the frontier cached per (segment, edge-suffix).
+// Safe for concurrent use once the graph is built.
 func (g *Graph) HappensBefore(x, y int) bool {
 	return g.happensBefore(x, y, true)
 }
 
 // HappensBeforeNoCache is the uncached variant used by the naive baseline.
+// It allocates a fresh frontier per query and is likewise safe for
+// concurrent use.
 func (g *Graph) HappensBeforeNoCache(x, y int) bool {
 	return g.happensBefore(x, y, false)
 }
@@ -32,18 +74,25 @@ func (g *Graph) happensBefore(x, y int, useCache bool) bool {
 	return f[sy] <= y
 }
 
-// frontier computes, for every segment, the minimum node position
-// reachable from (seg, pos) via inter-origin edges. Unreachable segments
-// map to math.MaxInt.
+// frontier returns, for every segment, the minimum node position reachable
+// from (seg, pos) via inter-origin edges. The result depends on pos only
+// through the index of the first outgoing edge at or after it, which is
+// what the cache keys on. The returned slice must not be modified.
 func (g *Graph) frontier(seg SegID, pos int, useCache bool) []int {
 	edges := g.out[seg]
 	idx := sort.Search(len(edges), func(i int) bool { return edges[i].From >= pos })
-	key := reachKey{seg, idx}
-	if useCache {
-		if f, ok := g.reachCache[key]; ok {
-			return f
-		}
+	if !useCache {
+		return g.computeFrontier(seg, pos)
 	}
+	e := g.reach.entry(reachKey{seg, idx})
+	e.once.Do(func() { e.f = g.computeFrontier(seg, pos) })
+	return e.f
+}
+
+// computeFrontier performs the worklist traversal. Unreachable segments
+// map to math.MaxInt. It only reads graph state that is immutable after
+// Build, so concurrent calls are safe.
+func (g *Graph) computeFrontier(seg SegID, pos int) []int {
 	f := make([]int, len(g.Segs))
 	for i := range f {
 		f[i] = math.MaxInt
@@ -73,9 +122,6 @@ func (g *Graph) frontier(seg SegID, pos int, useCache bool) []int {
 				wl = append(wl, ts)
 			}
 		}
-	}
-	if useCache {
-		g.reachCache[key] = f
 	}
 	return f
 }

@@ -82,8 +82,9 @@ type Graph struct {
 	in  map[SegID][]Edge
 	a   *pta.Analysis
 	// reach caches cross-segment reachability frontiers per (segment,
-	// outgoing-edge suffix index); see reach.go.
-	reachCache map[reachKey][]int
+	// outgoing-edge suffix index), sharded and single-flight so concurrent
+	// detection workers share one traversal per frontier; see reach.go.
+	reach reachCache
 	// Regions counts lock-region instances created.
 	Regions int32
 }
@@ -101,11 +102,10 @@ type Config struct {
 // Build constructs the SHB graph from a solved pointer analysis.
 func Build(a *pta.Analysis, cfg Config) *Graph {
 	g := &Graph{
-		Locksets:   lockset.NewTable(),
-		out:        map[SegID][]Edge{},
-		in:         map[SegID][]Edge{},
-		a:          a,
-		reachCache: map[reachKey][]int{},
+		Locksets: lockset.NewTable(),
+		out:      map[SegID][]Edge{},
+		in:       map[SegID][]Edge{},
+		a:        a,
 	}
 	b := &builder{a: a, g: g, cfg: cfg, segIdx: map[segKey]SegID{}}
 	main := a.MainNode()

@@ -59,6 +59,9 @@ type Config struct {
 	// Detector toggles the engine optimizations; zero value is upgraded to
 	// full O2 options.
 	Detector race.Options
+	// Workers sets the race-detection worker-pool size (0 = GOMAXPROCS,
+	// 1 = sequential). The report is identical for every worker count.
+	Workers int
 	// StepBudget / TimeBudget bound the pointer analysis (0 = unlimited);
 	// exceeding either aborts with pta.ErrBudget.
 	StepBudget int64
@@ -144,8 +147,16 @@ func AnalyzeProgram(prog *ir.Program, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	opts := cfg.Detector
-	if opts == (race.Options{}) {
+	// The zero-value upgrade ignores Workers: a config that only picks a
+	// worker count still gets the full optimization set.
+	base := opts
+	base.Workers = 0
+	if base == (race.Options{}) {
 		opts = race.O2Options()
+		opts.Workers = cfg.Detector.Workers
+	}
+	if cfg.Workers != 0 {
+		opts.Workers = cfg.Workers
 	}
 
 	t0 := time.Now()
