@@ -1,10 +1,12 @@
 # Development and CI entry points.
 #
-#   make ci        vet + build + tests + race-detector pass (what CI runs)
-#   make test      go test ./...
-#   make race      go test -race on the concurrency-critical packages
-#   make fuzz      short fuzz session on the minilang frontend
-#   make bench     sequential-vs-parallel detection speedup benchmark
+#   make ci          vet + build + tests + race pass + coverage floors + bench gate
+#   make test        go test ./...
+#   make race        go test -race on the concurrency-critical packages
+#   make cover       per-package coverage floors (obs/race/lockset)
+#   make bench-gate  deterministic pipeline stats vs checked-in golden
+#   make fuzz        short fuzz session on the minilang frontend
+#   make bench       sequential-vs-parallel detection speedup benchmark
 #
 # The checked-in fuzz corpus under internal/lang/testdata/fuzz is replayed
 # by the plain `go test` runs, so regressions on past findings fail `ci`.
@@ -12,9 +14,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: ci vet build test race fuzz bench
+.PHONY: ci vet build test race cover bench-gate fuzz bench
 
-ci: vet build test race
+ci: vet build test race cover bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -28,7 +30,18 @@ test:
 # The packages whose state is shared across detection workers; Workers ≥ 8
 # paths are exercised by the tests in internal/race.
 race:
-	$(GO) test -race ./internal/race/ ./internal/shb/ ./internal/lockset/
+	$(GO) test -race ./internal/race/ ./internal/shb/ ./internal/lockset/ ./internal/obs/
+
+cover:
+	./ci.sh cover
+
+# Runs the three fixed gate presets at Workers=1 and compares the
+# deterministic run stats (pairs checked, counters, hit rates, races)
+# against internal/bench/testdata/bench_gate_golden.json. Regenerate the
+# golden after an intentional change with:
+#   $(GO) run ./cmd/o2bench -table gate -update-golden
+bench-gate:
+	./ci.sh bench-gate
 
 fuzz:
 	$(GO) test ./internal/lang/ -run FuzzCompile -fuzz FuzzCompile -fuzztime $(FUZZTIME)

@@ -23,6 +23,7 @@ import (
 	"o2/internal/deadlock"
 	"o2/internal/ir"
 	"o2/internal/lang"
+	"o2/internal/obs"
 	"o2/internal/osa"
 	"o2/internal/oversync"
 	"o2/internal/pta"
@@ -299,6 +300,39 @@ func BenchmarkParallelDetect(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkParallelDetectObs measures the observability layer's overhead
+// on the detection hot path: the same workload and worker count as
+// BenchmarkParallelDetect, once with Options.Obs nil (every obs call is a
+// single nil-receiver branch) and once with a live registry. The disabled
+// variant must stay within 2% of a build without the obs layer — the
+// pairwise loop accumulates into per-group locals and only the merge step
+// touches shared state, so the nil path adds no atomics per pair.
+func BenchmarkParallelDetectObs(b *testing.B) {
+	entries := ir.DefaultEntryConfig()
+	prog := workload.Build(workload.Linux(), entries)
+	a := pta.New(prog, pta.Config{Policy: bench.POPA, Entries: entries, ReplicateEvents: true})
+	if err := a.Solve(); err != nil {
+		b.Fatal(err)
+	}
+	sh := osa.Analyze(a)
+	g := shb.Build(a, shb.Config{})
+	b.Run("disabled", func(b *testing.B) {
+		opts := race.O2Options()
+		opts.Workers = 4
+		for i := 0; i < b.N; i++ {
+			race.Detect(a, sh, g, opts)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		opts := race.O2Options()
+		opts.Workers = 4
+		for i := 0; i < b.N; i++ {
+			opts.Obs = obs.New()
+			race.Detect(a, sh, g, opts)
+		}
+	})
 }
 
 // BenchmarkExtensions measures the beyond-race-detection analyses

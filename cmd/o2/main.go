@@ -13,6 +13,10 @@
 //	-origins                         print the discovered origins
 //	-stats                           print analysis statistics
 //	-json                            machine-readable race report
+//	-stats-json FILE                 write the RunStats observability report (spans, counters, rates)
+//	-trace-spans                     print the phase span tree to stderr
+//	-cpuprofile FILE                 write a pprof CPU profile
+//	-memprofile FILE                 write a pprof heap profile
 //	-deadlock                        also run lock-order deadlock analysis
 //	-oversync                        also flag unnecessary lock regions
 //	-explain                         witness for each race (spawns, locks, ordering)
@@ -24,16 +28,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"o2"
 	"o2/internal/ir"
 	"o2/internal/lang"
+	"o2/internal/obs"
 	"o2/internal/pta"
 	"o2/internal/race"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	ctxKind := flag.String("context", "origin", "context policy: origin, 0ctx, kcfa, kobj")
 	k := flag.Int("k", 1, "context depth")
 	workers := flag.Int("workers", 0, "detection worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
@@ -43,6 +52,10 @@ func main() {
 	origins := flag.Bool("origins", false, "print discovered origins and attributes")
 	stats := flag.Bool("stats", false, "print analysis statistics")
 	asJSON := flag.Bool("json", false, "emit the race report as JSON")
+	statsJSON := flag.String("stats-json", "", "write the RunStats observability report to this file")
+	traceSpans := flag.Bool("trace-spans", false, "print the phase span tree to stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	deadlocks := flag.Bool("deadlock", false, "also run the lock-order deadlock analysis")
 	explain := flag.Bool("explain", false, "print a witness for each race (spawn sites, locksets, ordering)")
 	dumpIR := flag.Bool("dump-ir", false, "dump the lowered IR and exit")
@@ -52,32 +65,65 @@ func main() {
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: o2 [flags] file.mini ...")
 		flag.PrintDefaults()
-		os.Exit(2)
+		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "o2:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "o2:", err)
+			}
+		}()
 	}
 
 	files := map[string]string{}
 	for _, name := range flag.Args() {
 		src, err := os.ReadFile(name)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		files[name] = string(src)
 	}
 	entries := ir.DefaultEntryConfig()
 	prog, err := lang.CompileFiles(files, entries)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	if *dumpIR {
 		prog.Print(os.Stdout)
-		return
+		return 0
 	}
 
 	cfg := o2.DefaultConfig()
 	cfg.Android = *android
 	cfg.ReplicateEvents = *replicate
 	cfg.Workers = *workers
+	var reg *obs.Registry
+	if *statsJSON != "" || *traceSpans {
+		reg = obs.New()
+		cfg.Obs = reg
+	}
 	switch *ctxKind {
 	case "origin":
 		cfg.Policy = pta.Policy{Kind: pta.KOrigin, K: *k}
@@ -88,12 +134,21 @@ func main() {
 	case "kobj":
 		cfg.Policy = pta.Policy{Kind: pta.KObj, K: *k}
 	default:
-		fatal(fmt.Errorf("unknown context policy %q", *ctxKind))
+		return fail(fmt.Errorf("unknown context policy %q", *ctxKind))
 	}
 
 	res, err := o2.AnalyzeProgram(prog, cfg)
 	if err != nil {
-		fatal(err)
+		return fail(err)
+	}
+
+	if *statsJSON != "" {
+		if err := res.RunStats.WriteFile(*statsJSON); err != nil {
+			return fail(err)
+		}
+	}
+	if *traceSpans {
+		reg.WriteSpans(os.Stderr)
 	}
 
 	if *origins {
@@ -166,7 +221,7 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	} else {
 		if len(races) == 0 {
@@ -181,8 +236,9 @@ func main() {
 		}
 	}
 	if len(races) > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func op(write bool) string {
@@ -192,7 +248,7 @@ func op(write bool) string {
 	return "read"
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "o2:", err)
-	os.Exit(1)
+	return 1
 }

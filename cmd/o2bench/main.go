@@ -7,29 +7,92 @@
 //	o2bench -table 5                   # Table 5 only (also: 3,6,7,8,9,10)
 //	o2bench -table ablation            # §4.1 optimization ablation
 //	o2bench -table linux               # §5.4 Linux kernel statistics
+//	o2bench -table gate                # CI bench gate (3 fixed presets vs golden stats)
 //	o2bench -quick                     # representative subset of presets
 //	o2bench -steps 1000000 -pairs 5000000  # budgets (the paper's ">4h")
+//	o2bench -stats-json out.json       # write the observability report
+//	o2bench -trace-spans               # print the span tree to stderr
+//	o2bench -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// The gate compares the deterministic fields of the run report (pairs
+// checked, size counters, cache hit rates, races) against the checked-in
+// golden in internal/bench/testdata; -update-golden regenerates it.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"o2/internal/bench"
+	"o2/internal/obs"
 )
 
-func main() {
-	table := flag.String("table", "all", "table to regenerate: 3,5,6,7,8,9,10,ablation,extensions,android,linux,all")
+func main() { os.Exit(run()) }
+
+func run() int {
+	table := flag.String("table", "all", "table to regenerate: 3,5,6,7,8,9,10,ablation,extensions,android,linux,gate,all")
 	steps := flag.Int64("steps", 0, "pointer-analysis step budget (0 = default)")
 	pairs := flag.Int64("pairs", 0, "race-detection pair budget (0 = default)")
 	quick := flag.Bool("quick", false, "run a representative subset of presets")
 	workers := flag.Int("workers", 0, "detection worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
+	statsJSON := flag.String("stats-json", "", "write the RunStats/gate observability report to this file")
+	traceSpans := flag.Bool("trace-spans", false, "print the phase span tree to stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	golden := flag.String("golden", "internal/bench/testdata/bench_gate_golden.json", "gate: golden stats file")
+	updateGolden := flag.Bool("update-golden", false, "gate: rewrite the golden stats file instead of comparing")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "o2bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "o2bench:", err)
+			}
+		}()
+	}
 
 	o := bench.Opts{StepBudget: *steps, PairBudget: *pairs, Quick: *quick, Workers: *workers}
 	w := os.Stdout
 
+	if *table == "gate" {
+		// The gate manages one registry per preset itself; -stats-json
+		// names its artifact (BENCH_ci.json in CI).
+		if err := bench.Gate(w, o, *golden, *statsJSON, *updateGolden); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+
+	var reg *obs.Registry
+	if *statsJSON != "" || *traceSpans {
+		reg = obs.New()
+		o.Obs = reg
+	}
+
+	ok := true
 	run := func(name string) {
 		switch name {
 		case "3":
@@ -56,7 +119,7 @@ func main() {
 			bench.Linux(w, o)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown table %q\n", name)
-			os.Exit(2)
+			ok = false
 		}
 	}
 
@@ -64,7 +127,25 @@ func main() {
 		for _, t := range []string{"3", "5", "6", "7", "8", "9", "10", "ablation", "extensions", "android", "linux"} {
 			run(t)
 		}
-		return
+	} else {
+		run(*table)
 	}
-	run(*table)
+	if !ok {
+		return 2
+	}
+
+	if *statsJSON != "" {
+		if err := reg.Snapshot().WriteFile(*statsJSON); err != nil {
+			return fail(err)
+		}
+	}
+	if *traceSpans {
+		reg.WriteSpans(os.Stderr)
+	}
+	return 0
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "o2bench:", err)
+	return 1
 }

@@ -11,6 +11,7 @@ import (
 
 	"o2/internal/escape"
 	"o2/internal/ir"
+	"o2/internal/obs"
 	"o2/internal/osa"
 	"o2/internal/pta"
 	"o2/internal/race"
@@ -30,6 +31,10 @@ type Opts struct {
 	// Workers sets the detection worker-pool size (0 = GOMAXPROCS,
 	// 1 = sequential).
 	Workers int
+	// Obs receives phase spans and counters from every pipeline the
+	// harness runs (nil = disabled). Sweeps over many presets accumulate
+	// spans per phase; the CI gate uses one registry per preset instead.
+	Obs *obs.Registry
 }
 
 // The default step budget plays the role of the paper's 4-hour timeout:
@@ -49,11 +54,12 @@ func (o Opts) pairs() int64 {
 	return o.PairBudget
 }
 
-// detectOpts is race.O2Options carrying the harness worker-pool setting,
-// so every table honors -workers.
+// detectOpts is race.O2Options carrying the harness worker-pool and
+// observability settings, so every table honors -workers and -stats-json.
 func (o Opts) detectOpts() race.Options {
 	opts := race.O2Options()
 	opts.Workers = o.Workers
+	opts.Obs = o.Obs
 	return opts
 }
 
@@ -80,7 +86,12 @@ type PTARun struct {
 
 // RunPTA executes one pointer analysis under a budget.
 func RunPTA(prog *ir.Program, pol pta.Policy, entries ir.EntryConfig, stepBudget int64) PTARun {
-	a := pta.New(prog, pta.Config{Policy: pol, Entries: entries, StepBudget: stepBudget})
+	return RunPTAObs(prog, pol, entries, stepBudget, nil)
+}
+
+// RunPTAObs is RunPTA reporting into an observability registry.
+func RunPTAObs(prog *ir.Program, pol pta.Policy, entries ir.EntryConfig, stepBudget int64, reg *obs.Registry) PTARun {
+	a := pta.New(prog, pta.Config{Policy: pol, Entries: entries, StepBudget: stepBudget, Obs: reg})
 	t0 := time.Now()
 	err := a.Solve()
 	dt := time.Since(t0)
@@ -99,13 +110,14 @@ type DetectRun struct {
 	TimedOut bool
 }
 
-// RunDetect executes OSA, SHB construction and race detection.
+// RunDetect executes OSA, SHB construction and race detection. The
+// registry in opts.Obs (if any) also observes the OSA and SHB phases.
 func RunDetect(a *pta.Analysis, opts race.Options, android bool, pairBudget int64) DetectRun {
 	opts.PairBudget = pairBudget
 	t0 := time.Now()
-	sharing := osa.Analyze(a)
+	sharing := osa.AnalyzeWith(a, opts.Obs)
 	t1 := time.Now()
-	g := shb.Build(a, shb.Config{AndroidEvents: android})
+	g := shb.Build(a, shb.Config{AndroidEvents: android, Obs: opts.Obs})
 	t2 := time.Now()
 	rep := race.Detect(a, sharing, g, opts)
 	t3 := time.Now()
@@ -135,7 +147,7 @@ func RunPipeline(p workload.Preset, pol pta.Policy, o Opts) Pipeline {
 
 // RunPipelineProg runs the full pipeline on an existing program.
 func RunPipelineProg(prog *ir.Program, pol pta.Policy, entries ir.EntryConfig, o Opts, android bool) Pipeline {
-	pr := RunPTA(prog, pol, entries, o.steps())
+	pr := RunPTAObs(prog, pol, entries, o.steps(), o.Obs)
 	if pr.TimedOut {
 		return Pipeline{PTA: pr, Total: pr.Time, TimedOut: true}
 	}

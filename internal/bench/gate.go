@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"o2/internal/obs"
+	"o2/internal/workload"
+)
+
+// The bench gate is CI's drift detector: it runs three fixed workload
+// presets (one Dacapo-style, one distributed-system, one C-server) through
+// the full pipeline at Workers=1, freezes each run's observability report,
+// and compares the deterministic projection — pairs checked, per-phase
+// size counters, cache hit rates, races — against a checked-in golden
+// file. Wall/CPU times are carried in the emitted artifact (BENCH_ci.json)
+// for trend tracking but are never gated.
+
+// GatePresetNames are the fixed gate workloads, chosen to cover the three
+// benchmark families while keeping the gate fast.
+var GatePresetNames = []string{"avrora", "zookeeper", "memcached"}
+
+// GateReport is the bench gate's machine-readable artifact.
+type GateReport struct {
+	Schema  int          `json:"schema"`
+	Presets []GatePreset `json:"presets"`
+}
+
+// GatePreset is one workload's gate entry.
+type GatePreset struct {
+	Name     string        `json:"name"`
+	Policy   string        `json:"policy"`
+	Races    int           `json:"races"`
+	TimedOut bool          `json:"timed_out,omitempty"`
+	Stats    *obs.RunStats `json:"stats"`
+}
+
+// RunGate executes the gate workloads. Worker count is pinned to 1 so
+// every counter in the report — including the cache hit/miss splits,
+// which depend on query order — is deterministic.
+func RunGate(o Opts) (*GateReport, error) {
+	rep := &GateReport{Schema: obs.SchemaVersion}
+	for _, name := range GatePresetNames {
+		p, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("bench gate: unknown preset %q", name)
+		}
+		run := o
+		run.Workers = 1
+		run.Obs = obs.New()
+		pl := RunPipeline(p, POPA, run)
+		gp := GatePreset{
+			Name:     name,
+			Policy:   POPA.Name(),
+			TimedOut: pl.TimedOut,
+			Stats:    run.Obs.Snapshot(),
+		}
+		if pl.Detect.Report != nil {
+			gp.Races = len(pl.Detect.Report.Races)
+		}
+		rep.Presets = append(rep.Presets, gp)
+	}
+	return rep, nil
+}
+
+// Deterministic projects the report onto its gated fields: times are
+// stripped from every preset's stats (see obs.RunStats.Deterministic).
+func (r *GateReport) Deterministic() *GateReport {
+	out := &GateReport{Schema: r.Schema}
+	for _, p := range r.Presets {
+		p.Stats = p.Stats.Deterministic()
+		out.Presets = append(out.Presets, p)
+	}
+	return out
+}
+
+// MarshalIndent renders the report as stable, diffable JSON.
+func (r *GateReport) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// CompareGolden checks the report's deterministic projection against the
+// golden bytes and returns a drift error listing the differing lines.
+func (r *GateReport) CompareGolden(golden []byte) error {
+	var gr GateReport
+	if err := json.Unmarshal(golden, &gr); err != nil {
+		return fmt.Errorf("bench gate: bad golden file: %w", err)
+	}
+	want, err := gr.Deterministic().MarshalIndent()
+	if err != nil {
+		return err
+	}
+	got, err := r.Deterministic().MarshalIndent()
+	if err != nil {
+		return err
+	}
+	if bytes.Equal(got, want) {
+		return nil
+	}
+	return fmt.Errorf("bench gate: stats drifted from golden:\n%s", diffLines(string(want), string(got)))
+}
+
+// diffLines is a minimal line diff: it reports lines present in only one
+// of the two renderings (enough to localize a counter drift).
+func diffLines(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	count := func(ls []string) map[string]int {
+		m := map[string]int{}
+		for _, l := range ls {
+			m[l]++
+		}
+		return m
+	}
+	wc, gc := count(wl), count(gl)
+	var sb strings.Builder
+	for _, l := range wl {
+		if gc[l] < wc[l] {
+			fmt.Fprintf(&sb, "  -%s\n", l)
+			wc[l]--
+		}
+	}
+	for _, l := range gl {
+		if wc[l] < gc[l] {
+			fmt.Fprintf(&sb, "  +%s\n", l)
+			gc[l]--
+		}
+	}
+	out := sb.String()
+	if out == "" {
+		out = "  (line ordering changed)"
+	}
+	return strings.TrimRight(out, "\n")
+}
+
+// Gate runs the gate workloads, writes the full (timed) report to
+// statsPath if non-empty, and fails on any deterministic drift from the
+// golden file. With update=true it rewrites the golden's deterministic
+// projection instead of comparing.
+func Gate(w io.Writer, o Opts, goldenPath, statsPath string, update bool) error {
+	rep, err := RunGate(o)
+	if err != nil {
+		return err
+	}
+	if statsPath != "" {
+		data, err := rep.MarshalIndent()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(statsPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "bench gate: wrote %s\n", statsPath)
+	}
+	for _, p := range rep.Presets {
+		pairs := int64(0)
+		if p.Stats != nil {
+			pairs = p.Stats.Counters["race.pairs_checked"]
+		}
+		fmt.Fprintf(w, "bench gate: %-12s races=%-3d pairs=%d\n", p.Name, p.Races, pairs)
+	}
+	if update {
+		data, err := rep.Deterministic().MarshalIndent()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "bench gate: updated golden %s\n", goldenPath)
+		return nil
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		return fmt.Errorf("bench gate: missing golden (run with -update-golden): %w", err)
+	}
+	if err := rep.CompareGolden(golden); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "bench gate: ok (matches %s)\n", goldenPath)
+	return nil
+}

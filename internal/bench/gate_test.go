@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGateMatchesCheckedInGolden runs the gate workloads once and checks
+// them against the committed golden — the same comparison `ci.sh
+// bench-gate` performs — then injects drift into the golden and asserts
+// the comparison fails with a diff naming the drifted field.
+func TestGateMatchesCheckedInGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gate runs three full pipelines")
+	}
+	rep, err := RunGate(Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "bench_gate_golden.json"))
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with `go run ./cmd/o2bench -table gate -update-golden`): %v", err)
+	}
+	if err := rep.CompareGolden(golden); err != nil {
+		t.Fatalf("gate drifted from checked-in golden: %v", err)
+	}
+
+	// Injected drift: a changed pairs-checked count must fail the gate.
+	tampered := bytes.Replace(golden, []byte(`"race.pairs_checked": 245`), []byte(`"race.pairs_checked": 999`), 1)
+	if bytes.Equal(tampered, golden) {
+		t.Fatal("tamper target not found in golden; update the test")
+	}
+	err = rep.CompareGolden(tampered)
+	if err == nil {
+		t.Fatal("gate accepted tampered pairs-checked golden")
+	}
+	if !strings.Contains(err.Error(), "race.pairs_checked") {
+		t.Fatalf("drift error does not name the drifted counter: %v", err)
+	}
+
+	// Times must NOT be gated: scaling every span time in the golden
+	// changes nothing deterministic, so the comparison still passes.
+	var full GateReport
+	if err := json.Unmarshal(golden, &full); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range full.Presets {
+		if p.Stats == nil {
+			continue
+		}
+		for i := range p.Stats.Phases {
+			p.Stats.Phases[i].WallNS += 1_000_000_000
+			p.Stats.Phases[i].CPUNS += 1_000_000_000
+		}
+	}
+	timed, err := full.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.CompareGolden(timed); err != nil {
+		t.Fatalf("gate rejected a time-only change (times must not be gated): %v", err)
+	}
+}
+
+// TestGateDeterministicAcrossRuns pins the gate's premise: two runs of
+// the same workloads produce byte-identical deterministic projections.
+func TestGateDeterministicAcrossRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gate runs three full pipelines twice")
+	}
+	a, err := RunGate(Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunGate(Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, err := a.Deterministic().MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := b.Deterministic().MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(da, db) {
+		t.Fatalf("gate report not deterministic:\n%s", diffLines(string(da), string(db)))
+	}
+}
+
+func TestGateUnknownPreset(t *testing.T) {
+	old := GatePresetNames
+	GatePresetNames = []string{"no-such-preset"}
+	defer func() { GatePresetNames = old }()
+	if _, err := RunGate(Opts{}); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}

@@ -8,7 +8,8 @@ import (
 	"encoding/binary"
 	"sort"
 	"sync"
-	"sync/atomic"
+
+	"o2/internal/obs"
 )
 
 // ID is a canonical lockset identifier. Empty is the empty lockset.
@@ -26,30 +27,71 @@ const GlobalEventLock uint32 = 0
 // while the SHB graph is built (single goroutine); Intersects is called
 // from the race-detection workers and is safe for concurrent use: the
 // read-mostly intersection cache is guarded by an RWMutex and the query
-// stats are updated atomically.
+// stats live in atomic obs counters. (They used to be exported plain
+// int64 fields, which invited torn reads: any caller polling them while
+// detection workers ran raced with the writers. Stats returns atomic
+// snapshots instead; TestStatsConcurrentReads pins this under -race.)
 type Table struct {
 	mu    sync.RWMutex
 	sets  [][]uint32
 	index map[string]ID
 	inter map[uint64]bool
-	// stats
-	CanonCalls int64
-	InterHits  int64
-	InterMiss  int64
+	// stats: standalone counters by default, rebound into the pipeline's
+	// registry by Bind. Always non-nil, so the counting cost on the
+	// concurrent query path is one atomic add — same as the seed code.
+	canonCalls *obs.Counter
+	interHits  *obs.Counter
+	interMiss  *obs.Counter
 }
 
 // NewTable returns an empty table containing only the empty lockset.
 func NewTable() *Table {
-	t := &Table{index: map[string]ID{}, inter: map[uint64]bool{}}
+	t := &Table{
+		index:      map[string]ID{},
+		inter:      map[uint64]bool{},
+		canonCalls: obs.NewCounter(),
+		interHits:  obs.NewCounter(),
+		interMiss:  obs.NewCounter(),
+	}
 	t.sets = append(t.sets, nil)
 	t.index[""] = Empty
 	return t
 }
 
+// Bind redirects the table's stats into a registry under the
+// lockset.canon_calls / lockset.inter_hits / lockset.inter_misses names.
+// Must be called before the table is used concurrently; a nil registry
+// leaves the standalone counters in place.
+func (t *Table) Bind(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	t.canonCalls = reg.Counter("lockset.canon_calls")
+	t.interHits = reg.Counter("lockset.inter_hits")
+	t.interMiss = reg.Counter("lockset.inter_misses")
+}
+
+// Stats is an atomic snapshot of the table's query counters.
+type Stats struct {
+	CanonCalls int64
+	InterHits  int64
+	InterMiss  int64
+}
+
+// Stats returns the current query counters. Safe to call concurrently
+// with Intersects (the reads are atomic).
+func (t *Table) Stats() Stats {
+	return Stats{
+		CanonCalls: t.canonCalls.Load(),
+		InterHits:  t.interHits.Load(),
+		InterMiss:  t.interMiss.Load(),
+	}
+}
+
 // Canon returns the canonical ID for the given lock objects (duplicates
 // allowed; order irrelevant).
 func (t *Table) Canon(objs []uint32) ID {
-	atomic.AddInt64(&t.CanonCalls, 1)
+	t.canonCalls.Inc()
 	if len(objs) == 0 {
 		return Empty
 	}
@@ -112,10 +154,10 @@ func (t *Table) Intersects(a, b ID) bool {
 	}
 	t.mu.RUnlock()
 	if ok {
-		atomic.AddInt64(&t.InterHits, 1)
+		t.interHits.Inc()
 		return r
 	}
-	atomic.AddInt64(&t.InterMiss, 1)
+	t.interMiss.Inc()
 	r = IntersectSorted(sa, sb)
 	t.mu.Lock()
 	t.inter[key] = r

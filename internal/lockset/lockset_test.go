@@ -49,14 +49,14 @@ func TestIntersectsCache(t *testing.T) {
 	a := tb.Canon([]uint32{1})
 	b := tb.Canon([]uint32{1, 2})
 	tb.Intersects(a, b)
-	misses := tb.InterMiss
+	misses := tb.Stats().InterMiss
 	tb.Intersects(a, b)
 	tb.Intersects(b, a) // symmetric query hits the same entry
-	if tb.InterMiss != misses {
+	if tb.Stats().InterMiss != misses {
 		t.Errorf("repeated queries should hit the cache")
 	}
-	if tb.InterHits < 2 {
-		t.Errorf("cache hits not recorded: %d", tb.InterHits)
+	if tb.Stats().InterHits < 2 {
+		t.Errorf("cache hits not recorded: %d", tb.Stats().InterHits)
 	}
 }
 

@@ -1,0 +1,94 @@
+package lockset
+
+import (
+	"sync"
+	"testing"
+
+	"o2/internal/obs"
+)
+
+// TestStatsConcurrentReads hammers the intersection cache from many
+// goroutines while another goroutine continuously polls Stats — the
+// pattern the bench harness and obs snapshots use while detection
+// workers run. With the stats as exported plain int64 fields (the old
+// layout) the polling reads were torn/racy and `go test -race` flagged
+// them; the atomic obs counters make the snapshot safe.
+func TestStatsConcurrentReads(t *testing.T) {
+	tb := NewTable()
+	ids := make([]ID, 0, 16)
+	for i := 0; i < 16; i++ {
+		ids = append(ids, tb.Canon([]uint32{uint32(i), uint32(i + 1), uint32(2 * i)}))
+	}
+
+	stop := make(chan struct{})
+	var pollWG sync.WaitGroup
+	pollWG.Add(1)
+	go func() {
+		defer pollWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := tb.Stats()
+				if s.InterHits < 0 || s.InterMiss < 0 {
+					t.Error("negative counter snapshot")
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				a := ids[(i+w)%len(ids)]
+				b := ids[(i*7+w*3)%len(ids)]
+				tb.Intersects(a, b)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	pollWG.Wait()
+
+	s := tb.Stats()
+	if s.InterHits+s.InterMiss == 0 {
+		t.Fatal("no intersection queries recorded")
+	}
+}
+
+// TestBindRegistry checks that a bound table reports through the
+// registry under the stable counter names.
+func TestBindRegistry(t *testing.T) {
+	reg := obs.New()
+	tb := NewTable()
+	tb.Bind(reg)
+	a := tb.Canon([]uint32{1, 2})
+	b := tb.Canon([]uint32{2, 3})
+	tb.Intersects(a, b)
+	tb.Intersects(a, b)
+	rs := reg.Snapshot()
+	if rs.Counters["lockset.canon_calls"] != 2 {
+		t.Fatalf("canon_calls = %d, want 2", rs.Counters["lockset.canon_calls"])
+	}
+	if rs.Counters["lockset.inter_misses"] != 1 || rs.Counters["lockset.inter_hits"] != 1 {
+		t.Fatalf("inter hit/miss = %d/%d, want 1/1",
+			rs.Counters["lockset.inter_hits"], rs.Counters["lockset.inter_misses"])
+	}
+	if got := tb.Stats(); got.InterHits != 1 || got.InterMiss != 1 || got.CanonCalls != 2 {
+		t.Fatalf("Stats() disagrees with registry: %+v", got)
+	}
+	if rs.Rates["lockset.inter_hit_rate"] != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", rs.Rates["lockset.inter_hit_rate"])
+	}
+	// Binding nil keeps the current counters.
+	tb.Bind(nil)
+	tb.Intersects(a, b)
+	if tb.Stats().InterHits != 2 {
+		t.Fatal("nil Bind dropped counters")
+	}
+}

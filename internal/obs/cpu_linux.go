@@ -1,0 +1,19 @@
+//go:build linux || darwin
+
+package obs
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPU returns the process-wide user+system CPU time. Spans record
+// rusage deltas, so a phase's CPU column reflects everything the process
+// burned while the phase ran (including all worker goroutines).
+func processCPU() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano()) + time.Duration(ru.Stime.Nano())
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"o2/internal/ir"
+	"o2/internal/obs"
 	"o2/internal/pta"
 )
 
@@ -85,7 +86,13 @@ type visitKey struct {
 }
 
 // Analyze runs the origin-sharing analysis over a solved pointer analysis.
-func Analyze(a *pta.Analysis) *Result {
+func Analyze(a *pta.Analysis) *Result { return AnalyzeWith(a, nil) }
+
+// AnalyzeWith is Analyze with an observability registry: the traversal
+// runs under an "osa" span and the sharing sizes are published as gauges.
+func AnalyzeWith(a *pta.Analysis, reg *obs.Registry) *Result {
+	sp := reg.StartSpan("osa")
+	defer sp.End()
 	r := &Result{
 		A:         a,
 		Readers:   map[Key]*pta.Bits{},
@@ -95,6 +102,21 @@ func Analyze(a *pta.Analysis) *Result {
 	v := &visitor{a: a, r: r, seen: map[visitKey]bool{}}
 	v.visit(a.MainNode(), pta.MainOrigin)
 	r.finish()
+	if reg != nil {
+		locs := map[Key]bool{}
+		for k := range r.Readers {
+			locs[k] = true
+		}
+		for k := range r.Writers {
+			locs[k] = true
+		}
+		reg.SetGauge("osa.locations", int64(len(locs)))
+		reg.SetGauge("osa.shared_locations", int64(len(r.Shared)))
+		reg.SetGauge("osa.shared_objects", int64(r.SharedObjects))
+		reg.SetGauge("osa.shared_accesses", int64(r.SharedAccesses))
+		reg.SetGauge("osa.accesses", int64(len(r.Accesses)))
+		reg.SetGauge("osa.visited", int64(r.Visited))
+	}
 	return r
 }
 

@@ -11,17 +11,21 @@ import (
 // Stats summarizes an analysis run (the #Pointer / #Object / #Edge columns
 // of the paper's Table 6).
 type Stats struct {
-	Policy     string
-	Pointers   int // variable nodes created (contexted pointers)
-	Objects    int // abstract heap objects
-	Edges      int // PAG edges
-	Contexts   int // interned contexts
-	CGNodes    int // reachable contexted functions
-	CGEdges    int
-	Origins    int
-	Steps      int64
-	TimedOut   bool
-	Replicated int
+	Policy   string
+	Pointers int // variable nodes created (contexted pointers)
+	Objects  int // abstract heap objects
+	Edges    int // PAG edges
+	Contexts int // interned contexts
+	CGNodes  int // reachable contexted functions
+	CGEdges  int
+	Origins  int
+	Steps    int64
+	// Iterations counts worklist pops; Constraints counts registered
+	// load/store/call constraints and distinct PAG edges.
+	Iterations  int64
+	Constraints int64
+	TimedOut    bool
+	Replicated  int
 }
 
 func (s Stats) String() string {
@@ -44,17 +48,19 @@ func (a *Analysis) Stats() Stats {
 		}
 	}
 	return Stats{
-		Policy:     a.Cfg.Policy.Name(),
-		Pointers:   vars,
-		Objects:    a.heap.NumObjs(),
-		Edges:      a.numEdges,
-		Contexts:   len(a.ctxs.elems),
-		CGNodes:    a.CG.NumNodes(),
-		CGEdges:    a.CG.Edges,
-		Origins:    a.Origins.Len(),
-		Steps:      a.steps,
-		TimedOut:   a.err == ErrBudget,
-		Replicated: repl,
+		Policy:      a.Cfg.Policy.Name(),
+		Pointers:    vars,
+		Objects:     a.heap.NumObjs(),
+		Edges:       a.numEdges,
+		Contexts:    len(a.ctxs.elems),
+		CGNodes:     a.CG.NumNodes(),
+		CGEdges:     a.CG.Edges,
+		Origins:     a.Origins.Len(),
+		Steps:       a.steps,
+		Iterations:  a.iterations,
+		Constraints: a.constraints,
+		TimedOut:    a.err == ErrBudget,
+		Replicated:  repl,
 	}
 }
 

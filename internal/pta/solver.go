@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"o2/internal/ir"
+	"o2/internal/obs"
 )
 
 // ErrBudget is returned when the analysis exceeds its configured step or
@@ -35,6 +36,8 @@ type Config struct {
 	StepBudget int64
 	// TimeBudget bounds wall-clock time (0 = unlimited).
 	TimeBudget time.Duration
+	// Obs receives the solver's span and counters (nil = disabled).
+	Obs *obs.Registry
 }
 
 const (
@@ -91,10 +94,12 @@ type Analysis struct {
 	// "wrapper functions" k=1 call-site extension of origin entry points.
 	hasOriginAlloc map[*ir.Func]bool
 
-	steps    int64
-	numEdges int
-	deadline time.Time
-	err      error
+	steps       int64
+	iterations  int64 // worklist pops (constraint generations + node processings)
+	constraints int64 // load/store/call/edge constraints registered
+	numEdges    int
+	deadline    time.Time
+	err         error
 }
 
 // New creates an analysis for the (finalized) program.
@@ -125,6 +130,11 @@ func New(prog *ir.Program, cfg Config) *Analysis {
 
 // Solve runs the analysis to fixpoint. It may return ErrBudget.
 func (a *Analysis) Solve() error {
+	sp := a.Cfg.Obs.StartSpan("pta")
+	defer func() {
+		a.recordObs()
+		sp.End()
+	}()
 	if a.Cfg.TimeBudget > 0 {
 		a.deadline = time.Now().Add(a.Cfg.TimeBudget)
 	}
@@ -136,6 +146,7 @@ func (a *Analysis) Solve() error {
 		if n := len(a.fnWL); n > 0 {
 			id := a.fnWL[n-1]
 			a.fnWL = a.fnWL[:n-1]
+			a.iterations++
 			a.genConstraints(id)
 			continue
 		}
@@ -143,12 +154,34 @@ func (a *Analysis) Solve() error {
 			id := a.wl[n-1]
 			a.wl = a.wl[:n-1]
 			a.inWL[id] = false
+			a.iterations++
 			a.processNode(id)
 			continue
 		}
 		break
 	}
 	return a.err
+}
+
+// recordObs publishes the solved sizes into the registry (no-op when
+// observability is disabled). Called even on budget aborts, so partial
+// runs still report how far they got.
+func (a *Analysis) recordObs() {
+	reg := a.Cfg.Obs
+	if reg == nil {
+		return
+	}
+	st := a.Stats()
+	reg.Counter("pta.steps").Set(st.Steps)
+	reg.Counter("pta.iterations").Set(st.Iterations)
+	reg.Counter("pta.constraints").Set(st.Constraints)
+	reg.SetGauge("pta.pointers", int64(st.Pointers))
+	reg.SetGauge("pta.objects", int64(st.Objects))
+	reg.SetGauge("pta.pag_edges", int64(st.Edges))
+	reg.SetGauge("pta.contexts", int64(st.Contexts))
+	reg.SetGauge("pta.cg_nodes", int64(st.CGNodes))
+	reg.SetGauge("pta.cg_edges", int64(st.CGEdges))
+	reg.SetGauge("pta.origins", int64(st.Origins))
 }
 
 func (a *Analysis) budget() bool {
@@ -234,6 +267,7 @@ func (a *Analysis) addEdge(from, to NodeID) {
 	a.edges[k] = struct{}{}
 	a.succ[from] = append(a.succ[from], to)
 	a.numEdges++
+	a.constraints++
 	if !a.pts[from].IsEmpty() {
 		a.addSet(to, &a.pts[from])
 	}
@@ -376,21 +410,25 @@ func (a *Analysis) genConstraints(id FnCtxID) {
 			base := a.varNode(in.Obj, ctx)
 			dst := a.varNode(in.Dst, ctx)
 			a.loads[base] = append(a.loads[base], loadC{dst, in.Field})
+			a.constraints++
 			a.replayObjs(base, func(o ObjID) { a.addEdge(a.fieldNode(o, in.Field), dst) })
 		case *ir.StoreField:
 			base := a.varNode(in.Obj, ctx)
 			src := a.varNode(in.Src, ctx)
 			a.stores[base] = append(a.stores[base], storeC{src, in.Field})
+			a.constraints++
 			a.replayObjs(base, func(o ObjID) { a.addEdge(src, a.fieldNode(o, in.Field)) })
 		case *ir.LoadIndex:
 			base := a.varNode(in.Arr, ctx)
 			dst := a.varNode(in.Dst, ctx)
 			a.loads[base] = append(a.loads[base], loadC{dst, ir.ArrayField})
+			a.constraints++
 			a.replayObjs(base, func(o ObjID) { a.addEdge(a.fieldNode(o, ir.ArrayField), dst) })
 		case *ir.StoreIndex:
 			base := a.varNode(in.Arr, ctx)
 			src := a.varNode(in.Src, ctx)
 			a.stores[base] = append(a.stores[base], storeC{src, ir.ArrayField})
+			a.constraints++
 			a.replayObjs(base, func(o ObjID) { a.addEdge(src, a.fieldNode(o, ir.ArrayField)) })
 		case *ir.LoadStatic:
 			a.addEdge(a.staticNode(in.Class, in.Field), a.varNode(in.Dst, ctx))
@@ -424,6 +462,7 @@ func (a *Analysis) genConstraints(id FnCtxID) {
 			recv := a.varNode(driver, ctx)
 			cc := callC{caller: id, instr: in, idx: idx}
 			a.calls[recv] = append(a.calls[recv], cc)
+			a.constraints++
 			a.replayObjs(recv, func(o ObjID) { a.resolveCall(cc, o) })
 		}
 	}

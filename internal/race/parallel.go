@@ -1,9 +1,12 @@
 package race
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"o2/internal/obs"
 	"o2/internal/osa"
 	"o2/internal/pta"
 	"o2/internal/shb"
@@ -48,14 +51,28 @@ func (b *pairBudget) isTripped() bool { return b.tripped.Load() }
 // encounter order — the parallel report is byte-identical to Workers == 1
 // whenever the budget does not trip, and a consistent lower bound when it
 // does (finished groups keep all their races).
-func detectParallel(a *pta.Analysis, g *shb.Graph, opt Options, rep *Report, groups map[osa.Key][]acc, keys []osa.Key, bud *pairBudget, workers int) {
+// It returns the summed busy time of all workers (0 when observability is
+// disabled), which Detect turns into the worker-utilization gauge: a
+// worker is busy from pool entry until it runs out of groups, so the
+// ratio busy/(workers × wall) exposes shard imbalance.
+func detectParallel(a *pta.Analysis, g *shb.Graph, opt Options, rep *Report, groups map[osa.Key][]acc, keys []osa.Key, bud *pairBudget, workers int, sp *obs.Span) int64 {
 	results := make([]groupResult, len(keys))
 	var next atomic.Int64
+	var busyNS atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			var ws *obs.Span
+			if sp != nil {
+				ws = sp.Child(fmt.Sprintf("worker-%02d", w))
+				start := time.Now()
+				defer func() {
+					busyNS.Add(int64(time.Since(start)))
+					ws.End()
+				}()
+			}
 			for {
 				if bud.isTripped() {
 					return
@@ -66,11 +83,12 @@ func detectParallel(a *pta.Analysis, g *shb.Graph, opt Options, rep *Report, gro
 				}
 				results[i] = checkGroup(a, g, keys[i], groups[keys[i]], opt, bud)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	seen := map[raceSig]bool{}
 	for i := range results {
 		mergeGroup(rep, &results[i], seen)
 	}
+	return busyNS.Load()
 }

@@ -15,6 +15,7 @@ import (
 
 	"o2/internal/ir"
 	"o2/internal/lockset"
+	"o2/internal/obs"
 	"o2/internal/osa"
 	"o2/internal/pta"
 	"o2/internal/shb"
@@ -47,6 +48,11 @@ type Options struct {
 	// GOMAXPROCS; 1 runs the sequential path. For a fixed input the report
 	// is identical for every worker count (see Detect).
 	Workers int
+	// Obs receives the detection span (with one child span per worker
+	// shard), the work counters and the worker-utilization gauges. Nil
+	// disables observability; the pairwise hot loop then costs the same
+	// as an uninstrumented build (see BenchmarkParallelDetectObs).
+	Obs *obs.Registry
 }
 
 // O2Options is the full-optimization configuration.
@@ -97,6 +103,18 @@ type Report struct {
 	// lock-region merging.
 	AccessNodes     int
 	Representatives int
+	// Groups counts candidate locations (post-filter).
+	Groups int
+	// Per-optimization skip counters: candidates removed before pairwise
+	// checking (FilteredOSA by the OSA filter, FilteredVolatile as
+	// synchronization accesses, MergedRegion by lock-region merging) and
+	// pairs skipped inside the pairwise loop (read/read pairs and
+	// same-segment ordered pairs).
+	FilteredOSA      int64
+	FilteredVolatile int64
+	MergedRegion     int64
+	SkippedReadRead  int64
+	SkippedSameSeg   int64
 	// TimedOut reports that the PairBudget was exhausted; Races is then a
 	// lower bound on the full result. The bound is consistent in both
 	// sequential and parallel modes: every candidate group that finished
@@ -116,6 +134,7 @@ type Report struct {
 // sequential pass would). Detect only reads the analysis and graph, so
 // concurrent Detect calls on the same solved inputs are safe.
 func Detect(a *pta.Analysis, sharing *osa.Result, g *shb.Graph, opt Options) *Report {
+	sp := opt.Obs.StartSpan("detect")
 	start := time.Now()
 	rep := &Report{}
 	groups := collect(a, g, sharing, opt, rep)
@@ -134,15 +153,49 @@ func Detect(a *pta.Analysis, sharing *osa.Result, g *shb.Graph, opt Options) *Re
 		workers = len(keys)
 	}
 	bud := &pairBudget{limit: opt.PairBudget}
+	var busyNS int64
 	if workers > 1 {
-		detectParallel(a, g, opt, rep, groups, keys, bud, workers)
+		busyNS = detectParallel(a, g, opt, rep, groups, keys, bud, workers, sp)
 	} else {
+		workers = 1
 		detectSequential(a, g, opt, rep, groups, keys, bud)
 	}
 	rep.TimedOut = bud.isTripped()
+	rep.Groups = len(keys)
 	sort.Slice(rep.Races, func(i, j int) bool { return raceLess(&rep.Races[i], &rep.Races[j]) })
 	rep.Elapsed = time.Since(start)
+	if workers == 1 {
+		busyNS = int64(rep.Elapsed)
+	}
+	rep.recordObs(opt.Obs, workers, busyNS)
+	sp.End()
 	return rep
+}
+
+// recordObs publishes the report's work counters and the worker-pool
+// utilization into the registry (no-op when disabled).
+func (rep *Report) recordObs(reg *obs.Registry, workers int, busyNS int64) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("race.pairs_checked").Set(rep.PairsChecked)
+	reg.Counter("race.hb_queries").Set(rep.HBQueries)
+	reg.Counter("race.lock_checks").Set(rep.LockChecks)
+	reg.Counter("race.skipped_read_read").Set(rep.SkippedReadRead)
+	reg.Counter("race.skipped_same_seg").Set(rep.SkippedSameSeg)
+	reg.Counter("race.filtered_osa").Set(rep.FilteredOSA)
+	reg.Counter("race.filtered_volatile").Set(rep.FilteredVolatile)
+	reg.Counter("race.merged_region").Set(rep.MergedRegion)
+	reg.SetGauge("race.access_nodes", int64(rep.AccessNodes))
+	reg.SetGauge("race.representatives", int64(rep.Representatives))
+	reg.SetGauge("race.groups", int64(rep.Groups))
+	reg.SetGauge("race.races", int64(len(rep.Races)))
+	if rep.TimedOut {
+		reg.SetGauge("race.timed_out", 1)
+	}
+	reg.SetGauge("race.workers", int64(workers))
+	reg.SetGauge("race.worker_busy_ns", busyNS)
+	reg.SetGauge("race.detect_wall_ns", int64(rep.Elapsed))
 }
 
 // detectSequential is the Workers == 1 path: groups are checked one after
@@ -162,11 +215,13 @@ func detectSequential(a *pta.Analysis, g *shb.Graph, opt Options, rep *Report, g
 // accumulates into its own groupResult, so the hot loop touches no shared
 // counters except the budget reservation.
 type groupResult struct {
-	races []Race
-	pairs int64
-	hbq   int64
-	locks int64
-	reps  int
+	races       []Race
+	pairs       int64
+	hbq         int64
+	locks       int64
+	skipRR      int64 // read/read pairs skipped
+	skipSameSeg int64 // same-segment (trace-ordered) pairs skipped
+	reps        int
 }
 
 // mergeGroup folds one group's result into the report, deduplicating
@@ -176,6 +231,8 @@ func mergeGroup(rep *Report, gr *groupResult, seen map[raceSig]bool) {
 	rep.PairsChecked += gr.pairs
 	rep.HBQueries += gr.hbq
 	rep.LockChecks += gr.locks
+	rep.SkippedReadRead += gr.skipRR
+	rep.SkippedSameSeg += gr.skipSameSeg
 	for i := range gr.races {
 		sig := sigOf(&gr.races[i])
 		if !seen[sig] {
@@ -199,11 +256,13 @@ func checkGroup(a *pta.Analysis, g *shb.Graph, k osa.Key, accs []acc, opt Option
 				continue
 			}
 			if !x.write && !y.write {
+				gr.skipRR++
 				continue
 			}
 			sx, sy := g.Nodes[x.node].Seg, g.Nodes[y.node].Seg
 			if sx == sy && i != j && !a.Origins.Get(g.Origin(x.node)).Replicated {
 				// Same origin instance: ordered by the trace.
+				gr.skipSameSeg++
 				continue
 			}
 			if !bud.take() {
@@ -255,9 +314,11 @@ func collect(a *pta.Analysis, g *shb.Graph, sharing *osa.Result, opt Options, re
 			continue
 		}
 		if opt.OSAFilter && !sharing.IsShared(n.Key) {
+			rep.FilteredOSA++
 			continue
 		}
 		if isVolatile(a, n.Key) {
+			rep.FilteredVolatile++
 			continue
 		}
 		rep.AccessNodes++
@@ -270,6 +331,7 @@ func collect(a *pta.Analysis, g *shb.Graph, sharing *osa.Result, opt Options, re
 				merged[n.Key] = m
 			}
 			if m[mk] {
+				rep.MergedRegion++
 				continue // merged into the region's representative access
 			}
 			m[mk] = true

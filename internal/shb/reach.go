@@ -85,7 +85,19 @@ func (g *Graph) frontier(seg SegID, pos int, useCache bool) []int {
 		return g.computeFrontier(seg, pos)
 	}
 	e := g.reach.entry(reachKey{seg, idx})
-	e.once.Do(func() { e.f = g.computeFrontier(seg, pos) })
+	computed := false
+	e.once.Do(func() {
+		e.f = g.computeFrontier(seg, pos)
+		computed = true
+	})
+	// Cache accounting: the goroutine that ran the traversal records a
+	// miss, every other caller a hit. The counters are nil (and Inc a
+	// no-op) when observability is disabled.
+	if computed {
+		g.reachMisses.Inc()
+	} else {
+		g.reachHits.Inc()
+	}
 	return e.f
 }
 

@@ -20,6 +20,7 @@ import (
 
 	"o2/internal/ir"
 	"o2/internal/lockset"
+	"o2/internal/obs"
 	"o2/internal/osa"
 	"o2/internal/pta"
 )
@@ -85,6 +86,10 @@ type Graph struct {
 	// outgoing-edge suffix index), sharded and single-flight so concurrent
 	// detection workers share one traversal per frontier; see reach.go.
 	reach reachCache
+	// reachHits/reachMisses count frontier cache queries when observability
+	// is enabled (nil counters otherwise; Counter methods are nil-safe).
+	reachHits   *obs.Counter
+	reachMisses *obs.Counter
 	// Regions counts lock-region instances created.
 	Regions int32
 }
@@ -97,16 +102,24 @@ type Config struct {
 	// MaxNodes bounds trace size as a safety valve for generated
 	// workloads (0 = unlimited).
 	MaxNodes int
+	// Obs receives the build span, the graph-size gauges and the
+	// reach/lockset cache counters (nil = disabled).
+	Obs *obs.Registry
 }
 
 // Build constructs the SHB graph from a solved pointer analysis.
 func Build(a *pta.Analysis, cfg Config) *Graph {
+	sp := cfg.Obs.StartSpan("shb")
+	defer sp.End()
 	g := &Graph{
 		Locksets: lockset.NewTable(),
 		out:      map[SegID][]Edge{},
 		in:       map[SegID][]Edge{},
 		a:        a,
 	}
+	g.Locksets.Bind(cfg.Obs)
+	g.reachHits = cfg.Obs.Counter("shb.reach_hits")
+	g.reachMisses = cfg.Obs.Counter("shb.reach_misses")
 	b := &builder{a: a, g: g, cfg: cfg, segIdx: map[segKey]SegID{}}
 	main := a.MainNode()
 	b.segment(main, pta.MainOrigin)
@@ -129,6 +142,17 @@ func Build(a *pta.Analysis, cfg Config) *Graph {
 	for segID := range g.out {
 		es := g.out[segID]
 		sort.Slice(es, func(i, j int) bool { return es[i].From < es[j].From })
+	}
+	if cfg.Obs != nil {
+		edges := 0
+		for _, es := range g.out {
+			edges += len(es)
+		}
+		cfg.Obs.SetGauge("shb.nodes", int64(len(g.Nodes)))
+		cfg.Obs.SetGauge("shb.edges", int64(edges))
+		cfg.Obs.SetGauge("shb.segments", int64(len(g.Segs)))
+		cfg.Obs.SetGauge("shb.regions", int64(g.Regions))
+		cfg.Obs.SetGauge("shb.locksets", int64(g.Locksets.Len()))
 	}
 	return g
 }

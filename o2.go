@@ -21,6 +21,7 @@ import (
 	"o2/internal/deadlock"
 	"o2/internal/ir"
 	"o2/internal/lang"
+	"o2/internal/obs"
 	"o2/internal/osa"
 	"o2/internal/oversync"
 	"o2/internal/pta"
@@ -68,6 +69,11 @@ type Config struct {
 	TimeBudget time.Duration
 	// MaxSHBNodes bounds the SHB trace size (0 = unlimited).
 	MaxSHBNodes int
+	// Obs enables the observability layer: every phase runs under a span,
+	// the pipeline publishes its counters into the registry, and
+	// Result.RunStats carries the frozen report. Nil disables collection
+	// at near-zero cost (see internal/obs).
+	Obs *obs.Registry
 }
 
 // DefaultConfig is the paper's main configuration: 1-origin OPA with all
@@ -94,6 +100,11 @@ type Result struct {
 	OSATime    time.Duration
 	SHBTime    time.Duration
 	DetectTime time.Duration
+
+	// RunStats is the machine-readable run report (nil unless Config.Obs
+	// was set): per-phase wall/CPU spans, PTA/OSA/SHB size counters,
+	// cache hit rates and worker utilization.
+	RunStats *obs.RunStats
 }
 
 // entriesUnset reports whether the config carries no entry-point
@@ -147,10 +158,12 @@ func AnalyzeProgram(prog *ir.Program, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	opts := cfg.Detector
-	// The zero-value upgrade ignores Workers: a config that only picks a
-	// worker count still gets the full optimization set.
+	// The zero-value upgrade ignores Workers and Obs: a config that only
+	// picks a worker count or a registry still gets the full optimization
+	// set.
 	base := opts
 	base.Workers = 0
+	base.Obs = nil
 	if base == (race.Options{}) {
 		opts = race.O2Options()
 		opts.Workers = cfg.Detector.Workers
@@ -158,7 +171,11 @@ func AnalyzeProgram(prog *ir.Program, cfg Config) (*Result, error) {
 	if cfg.Workers != 0 {
 		opts.Workers = cfg.Workers
 	}
+	if cfg.Obs != nil {
+		opts.Obs = cfg.Obs
+	}
 
+	root := cfg.Obs.StartSpan("analyze")
 	t0 := time.Now()
 	a := pta.New(prog, pta.Config{
 		Policy:          cfg.Policy,
@@ -166,19 +183,22 @@ func AnalyzeProgram(prog *ir.Program, cfg Config) (*Result, error) {
 		ReplicateEvents: cfg.ReplicateEvents,
 		StepBudget:      cfg.StepBudget,
 		TimeBudget:      cfg.TimeBudget,
+		Obs:             cfg.Obs,
 	})
 	if err := a.Solve(); err != nil {
+		root.End()
 		return nil, err
 	}
 	t1 := time.Now()
-	sharing := osa.Analyze(a)
+	sharing := osa.AnalyzeWith(a, cfg.Obs)
 	t2 := time.Now()
-	g := shb.Build(a, shb.Config{AndroidEvents: cfg.Android, MaxNodes: cfg.MaxSHBNodes})
+	g := shb.Build(a, shb.Config{AndroidEvents: cfg.Android, MaxNodes: cfg.MaxSHBNodes, Obs: cfg.Obs})
 	t3 := time.Now()
 	rep := race.Detect(a, sharing, g, opts)
 	t4 := time.Now()
+	root.End()
 
-	return &Result{
+	res := &Result{
 		Prog:     prog,
 		Analysis: a,
 		Sharing:  sharing,
@@ -189,5 +209,9 @@ func AnalyzeProgram(prog *ir.Program, cfg Config) (*Result, error) {
 		OSATime:    t2.Sub(t1),
 		SHBTime:    t3.Sub(t2),
 		DetectTime: t4.Sub(t3),
-	}, nil
+	}
+	if cfg.Obs != nil {
+		res.RunStats = cfg.Obs.Snapshot()
+	}
+	return res, nil
 }
