@@ -11,13 +11,16 @@
 // prints it in the paper's tabular layout. Budgets mirror the paper's
 // 4-hour timeout; runs that exceed them are skipped (reported as the
 // table's ">budget" cells).
-package o2
+package o2_test
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"testing"
 
+	"o2"
 	"o2/internal/bench"
 	"o2/internal/cases"
 	"o2/internal/deadlock"
@@ -29,6 +32,7 @@ import (
 	"o2/internal/pta"
 	"o2/internal/race"
 	"o2/internal/racerd"
+	"o2/internal/sched"
 	"o2/internal/shb"
 	"o2/internal/workload"
 )
@@ -246,7 +250,7 @@ func BenchmarkAblation(b *testing.B) {
 // BenchmarkFigure2 measures the paper's running example end to end.
 func BenchmarkFigure2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := AnalyzeSource("figure2.mini", cases.Figure2, DefaultConfig())
+		res, err := o2.AnalyzeSource("figure2.mini", cases.Figure2, o2.DefaultConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -333,6 +337,86 @@ func BenchmarkParallelDetectObs(b *testing.B) {
 			race.Detect(a, sh, g, opts)
 		}
 	})
+}
+
+// benchSource builds the scheduler benchmarks' minilang input: n racy
+// thread classes sharing one field (quadratic pair growth, like the
+// sched package's generator).
+func benchSource(n, seed int) string {
+	var b []byte
+	b = append(b, "class S { field data; }\n"...)
+	for i := 0; i < n; i++ {
+		b = append(b, fmt.Sprintf("class W%d_%d { field s; W%d_%d(s) { this.s = s; } run() { sh = this.s; sh.data = this; } }\n", seed, i, seed, i)...)
+	}
+	b = append(b, "main {\n  s = new S();\n"...)
+	for i := 0; i < n; i++ {
+		b = append(b, fmt.Sprintf("  t%d = new W%d_%d(s);\n  t%d.start();\n", i, seed, i, i)...)
+	}
+	b = append(b, "}\n"...)
+	return string(b)
+}
+
+// BenchmarkSchedulerThroughput measures batch throughput (jobs/s) across
+// worker-pool sizes: each iteration submits a wave of distinct programs
+// (caching disabled) and drains it. With GOMAXPROCS=1 the worker counts
+// tie; on multicore hosts throughput tracks the pool size until the
+// admission queue or the core count saturates.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	const wave = 16
+	srcs := make([]string, wave)
+	for i := range srcs {
+		srcs[i] = benchSource(8, i)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s := sched.New(sched.Options{Workers: workers, QueueDepth: wave + 1, CacheEntries: -1})
+			defer s.Shutdown(context.Background())
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				jobs := make([]*sched.Job, wave)
+				for k, src := range srcs {
+					j, err := s.Submit(sched.Request{Files: map[string]string{"in.mini": src}, Config: o2.DefaultConfig()})
+					if err != nil {
+						b.Fatal(err)
+					}
+					jobs[k] = j
+				}
+				for _, j := range jobs {
+					<-j.Done()
+					if j.State() != sched.Done {
+						b.Fatalf("job failed: %v", j.Err())
+					}
+				}
+			}
+			b.ReportMetric(float64(b.N*wave)/time.Since(start).Seconds(), "jobs/s")
+		})
+	}
+}
+
+// BenchmarkSchedulerCacheHit measures the warm-hit path: submit → sha256
+// key → LRU lookup → instantly-done job. The cold analysis this replaces
+// is 2–4 orders of magnitude slower (see EXPERIMENTS.md).
+func BenchmarkSchedulerCacheHit(b *testing.B) {
+	s := sched.New(sched.Options{Workers: 1})
+	defer s.Shutdown(context.Background())
+	r := sched.Request{Files: map[string]string{"in.mini": benchSource(8, 0)}, Config: o2.DefaultConfig()}
+	j, err := s.Submit(r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-j.Done()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := s.Submit(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-j.Done()
+		if !j.Summary().Cached {
+			b.Fatal("miss on warm cache")
+		}
+	}
 }
 
 // BenchmarkExtensions measures the beyond-race-detection analyses

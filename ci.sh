@@ -16,6 +16,35 @@ bench_gate() {
 		-golden internal/bench/testdata/bench_gate_golden.json
 }
 
+# End-to-end smoke of the batch-analysis service: build the CLI, start
+# `o2 serve` on an ephemeral port, wait for /healthz via the pure-Go
+# `o2 submit` client (no curl dependency), submit a racy and a clean
+# program asserting exit codes 1 and 0 and JSON race output, then stop
+# the server with SIGTERM and require a clean graceful-drain exit.
+smoke() {
+	dir=$(mktemp -d)
+	go build -o "$dir/o2" ./cmd/o2
+	"$dir/o2" serve -addr 127.0.0.1:0 -addr-file "$dir/addr" 2>"$dir/serve.log" &
+	pid=$!
+	trap 'kill "$pid" 2>/dev/null || true; rm -rf "$dir"' EXIT
+	"$dir/o2" submit -addr "@$dir/addr" -retry 10 -healthz
+
+	rc=0
+	"$dir/o2" submit -addr "@$dir/addr" testdata/smoke_racy.mini >"$dir/racy.json" || rc=$?
+	[ "$rc" -eq 1 ] || { echo "smoke: racy exit=$rc, want 1" >&2; exit 1; }
+	grep -q '"races"' "$dir/racy.json" || { echo "smoke: no races array in response" >&2; exit 1; }
+	grep -q '"race_count": 1' "$dir/racy.json" || { echo "smoke: wrong race count" >&2; exit 1; }
+
+	"$dir/o2" submit -addr "@$dir/addr" testdata/smoke_clean.mini >"$dir/clean.json"
+	grep -q '"race_count": 0' "$dir/clean.json" || { echo "smoke: clean program reported races" >&2; exit 1; }
+
+	kill -TERM "$pid"
+	wait "$pid" || { echo "smoke: serve did not drain cleanly" >&2; cat "$dir/serve.log" >&2; exit 1; }
+	trap - EXIT
+	rm -rf "$dir"
+	echo "smoke: ok"
+}
+
 # Minimum statement coverage per observability-critical package. Floors
 # sit ~15 points under current coverage (obs 91%, race 84%, lockset 94%)
 # so they catch untested growth without flaking on minor refactors.
@@ -43,9 +72,13 @@ cover)
 	cover
 	exit 0
 	;;
+smoke)
+	smoke
+	exit 0
+	;;
 all) ;;
 *)
-	echo "usage: ./ci.sh [bench-gate|cover]" >&2
+	echo "usage: ./ci.sh [bench-gate|cover|smoke]" >&2
 	exit 2
 	;;
 esac
@@ -53,6 +86,7 @@ esac
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/race/ ./internal/shb/ ./internal/lockset/ ./internal/obs/
+go test -race ./internal/race/ ./internal/shb/ ./internal/lockset/ ./internal/obs/ ./internal/sched/ ./internal/server/
 cover
+smoke
 bench_gate

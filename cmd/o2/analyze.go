@@ -1,0 +1,210 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+
+	"o2"
+	"o2/internal/lang"
+	"o2/internal/obs"
+	"o2/internal/race"
+)
+
+// runAnalyze is the classic single-program CLI (also reachable as
+// `o2 analyze`).
+func runAnalyze(args []string) int {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	ctxKind := fs.String("context", "origin", "context policy: origin, 0ctx, kcfa, kobj")
+	k := fs.Int("k", 1, "context depth")
+	workers := fs.Int("workers", 0, "detection worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
+	android := fs.Bool("android", false, "Android mode: serialize event handlers")
+	replicate := fs.Bool("replicate-events", false, "treat event handlers as concurrently re-entrant")
+	timeBudget := fs.Duration("time-budget", 0, "abort the analysis after this long (0 = unlimited)")
+	sharing := fs.Bool("sharing", false, "print the origin-sharing (OSA) report")
+	origins := fs.Bool("origins", false, "print discovered origins and attributes")
+	stats := fs.Bool("stats", false, "print analysis statistics")
+	asJSON := fs.Bool("json", false, "emit the race report as JSON")
+	statsJSON := fs.String("stats-json", "", "write the RunStats observability report to this file")
+	traceSpans := fs.Bool("trace-spans", false, "print the phase span tree to stderr")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+	deadlocks := fs.Bool("deadlock", false, "also run the lock-order deadlock analysis")
+	explain := fs.Bool("explain", false, "print a witness for each race (spawn sites, locksets, ordering)")
+	dumpIR := fs.Bool("dump-ir", false, "dump the lowered IR and exit")
+	oversyncF := fs.Bool("oversync", false, "also report lock regions guarding only origin-local data")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: o2 [flags] file.mini ...")
+		fs.PrintDefaults()
+		return exitUsage
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fail(exitInternal, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(exitInternal, err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "o2:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "o2:", err)
+			}
+		}()
+	}
+
+	cfg := o2.DefaultConfig()
+	cfg.Android = *android
+	cfg.ReplicateEvents = *replicate
+	cfg.Workers = *workers
+	cfg.TimeBudget = *timeBudget
+	var reg *obs.Registry
+	if *statsJSON != "" || *traceSpans {
+		reg = obs.New()
+		cfg.Obs = reg
+	}
+	pol, err := o2.PolicyByName(*ctxKind, *k)
+	if err != nil {
+		return fail(exitUsage, err)
+	}
+	cfg.Policy = pol
+
+	files, err := readFiles(fs.Args())
+	if err != nil {
+		return fail(exitUsage, err)
+	}
+	prog, err := lang.CompileFiles(files, cfg.Entries)
+	if err != nil {
+		return fail(exitParse, err)
+	}
+
+	if *dumpIR {
+		prog.Print(os.Stdout)
+		return exitOK
+	}
+
+	res, err := o2.AnalyzeProgram(prog, cfg)
+	if err != nil {
+		return fail(exitCode(err), err)
+	}
+
+	if *statsJSON != "" {
+		if err := res.RunStats.WriteFile(*statsJSON); err != nil {
+			return fail(exitInternal, err)
+		}
+	}
+	if *traceSpans {
+		reg.WriteSpans(os.Stderr)
+	}
+
+	if *origins {
+		fmt.Println("origins:")
+		for _, org := range res.Analysis.Origins.Origins {
+			fmt.Printf("  %s attrs=%s\n", org, res.Analysis.OriginAttrs(org.ID))
+		}
+		fmt.Println()
+	}
+	if *sharing {
+		fmt.Printf("origin-shared locations (%d):\n", len(res.Sharing.Shared))
+		for _, key := range res.Sharing.Shared {
+			origins := res.Sharing.OriginsOf(key)
+			names := make([]string, len(origins))
+			for i, o := range origins {
+				names[i] = res.Analysis.Origins.Get(o).String()
+			}
+			sort.Strings(names)
+			fmt.Printf("  %-24s shared by %v\n", key, names)
+		}
+		fmt.Println()
+	}
+	if *stats {
+		st := res.Analysis.Stats()
+		fmt.Printf("stats: %s\n", st)
+		fmt.Printf("times: pta=%v osa=%v shb=%v detect=%v total=%v\n",
+			res.PTATime, res.OSATime, res.SHBTime, res.DetectTime, res.TotalTime())
+		fmt.Printf("shb: %s, %d lock regions\n\n", res.Graph, res.Graph.Regions)
+	}
+
+	if *deadlocks {
+		rep := res.Deadlocks()
+		fmt.Printf("deadlock analysis: %d lock-order edges, %d warnings\n", rep.Edges, len(rep.Warnings))
+		for _, w := range rep.Warnings {
+			fmt.Println(w.String())
+		}
+		fmt.Println()
+	}
+	if *oversyncF {
+		rep := res.OverSync()
+		fmt.Printf("over-synchronization: %d regions, %d useful, %d unnecessary\n",
+			rep.Regions, rep.UsefulRegions, len(rep.Warnings))
+		for _, w := range rep.Warnings {
+			fmt.Println("  " + w.String())
+		}
+		fmt.Println()
+	}
+
+	races := res.Races()
+	if *asJSON {
+		type jsonAccess struct {
+			Op     string `json:"op"`
+			Pos    string `json:"pos"`
+			Fn     string `json:"fn"`
+			Origin string `json:"origin"`
+		}
+		type jsonRace struct {
+			Location string     `json:"location"`
+			A        jsonAccess `json:"a"`
+			B        jsonAccess `json:"b"`
+		}
+		out := make([]jsonRace, len(races))
+		for i, r := range races {
+			out[i] = jsonRace{
+				Location: r.Key.String(),
+				A:        jsonAccess{op(r.A.Write), r.A.Pos.String(), r.A.Fn, res.Analysis.Origins.Get(r.A.Origin).String()},
+				B:        jsonAccess{op(r.B.Write), r.B.Pos.String(), r.B.Fn, res.Analysis.Origins.Get(r.B.Origin).String()},
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return fail(exitInternal, err)
+		}
+	} else {
+		if len(races) == 0 {
+			fmt.Println("no races detected")
+		}
+		for i, r := range races {
+			if *explain {
+				fmt.Printf("race #%d %s\n", i+1, race.Explain(res.Analysis, res.Graph, &r))
+			} else {
+				fmt.Printf("race #%d %s\n", i+1, r.String())
+			}
+		}
+	}
+	if len(races) > 0 {
+		return exitRaces
+	}
+	return exitOK
+}

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"o2"
+	"o2/internal/sched"
+)
+
+// runBatch fans a set of minilang programs (each file is one program)
+// across the job scheduler and prints an aggregate table. The exit code
+// is the worst per-program outcome.
+func runBatch(args []string) int {
+	fs := flag.NewFlagSet("batch", flag.ContinueOnError)
+	ctxKind := fs.String("context", "origin", "context policy: origin, 0ctx, kcfa, kobj")
+	k := fs.Int("k", 1, "context depth")
+	jobs := fs.Int("jobs", 0, "concurrent analysis jobs (0 = GOMAXPROCS)")
+	repeat := fs.Int("repeat", 1, "submit each program N times (exercises the result cache)")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-job deadline (0 = none)")
+	asJSON := fs.Bool("json", false, "emit the aggregate report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: o2 batch [flags] dir|file.mini ...")
+		fs.PrintDefaults()
+		return exitUsage
+	}
+
+	paths, err := collectPrograms(fs.Args())
+	if err != nil {
+		return fail(exitUsage, err)
+	}
+	if len(paths) == 0 {
+		return fail(exitUsage, fmt.Errorf("no .mini files found under %s", strings.Join(fs.Args(), " ")))
+	}
+
+	cfg := o2.DefaultConfig()
+	pol, err := o2.PolicyByName(*ctxKind, *k)
+	if err != nil {
+		return fail(exitUsage, err)
+	}
+	cfg.Policy = pol
+
+	s := sched.New(sched.Options{
+		Workers: *jobs,
+		// Size the queue to the whole batch so submission never sees
+		// backpressure; serve-mode uses a bounded queue instead.
+		QueueDepth:     len(paths)**repeat + 1,
+		DefaultTimeout: *jobTimeout,
+	})
+
+	type item struct {
+		path string
+		job  *sched.Job
+	}
+	var items []item
+	start := time.Now()
+	for rep := 0; rep < *repeat; rep++ {
+		for _, p := range paths {
+			src, err := os.ReadFile(p)
+			if err != nil {
+				return fail(exitUsage, err)
+			}
+			j, err := s.Submit(sched.Request{
+				Files:  map[string]string{p: string(src)},
+				Config: cfg,
+				Label:  p,
+			})
+			if err != nil {
+				return fail(exitInternal, err)
+			}
+			items = append(items, item{p, j})
+		}
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		return fail(exitInternal, err)
+	}
+	wall := time.Since(start)
+
+	worst := exitOK
+	bump := func(code int) {
+		if code > worst {
+			worst = code
+		}
+	}
+	views := make([]sched.View, len(items))
+	for i, it := range items {
+		views[i] = it.job.View()
+		if views[i].State == sched.Done {
+			if views[i].RaceCnt > 0 {
+				bump(exitRaces)
+			}
+		} else {
+			bump(kindExit(views[i].ErrKind))
+		}
+	}
+
+	st := s.Stats()
+	if *asJSON {
+		out := struct {
+			Jobs    []sched.View `json:"jobs"`
+			WallNS  int64        `json:"wall_ns"`
+			JobsSec float64      `json:"jobs_per_sec"`
+			Stats   sched.Stats  `json:"scheduler"`
+		}{views, int64(wall), float64(len(items)) / wall.Seconds(), st}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return fail(exitInternal, err)
+		}
+		return worst
+	}
+
+	fmt.Printf("%-40s %-9s %6s %12s %s\n", "PROGRAM", "STATE", "RACES", "WALL", "NOTE")
+	for _, v := range views {
+		note := ""
+		if v.Error != "" {
+			note = string(v.ErrKind) + ": " + firstLine(v.Error)
+		} else if v.Summary != nil && v.Summary.Cached {
+			note = "cached"
+		}
+		fmt.Printf("%-40s %-9s %6d %12s %s\n",
+			trunc(v.Label, 40), v.State, v.RaceCnt, time.Duration(v.WallNS).Round(time.Microsecond), note)
+	}
+	fmt.Printf("\n%d jobs in %s (%.1f jobs/s, workers=%d, cache hits=%d/%d)\n",
+		len(items), wall.Round(time.Millisecond), float64(len(items))/wall.Seconds(),
+		st.Workers, st.CacheHits, st.CacheHits+st.CacheMisses)
+	return worst
+}
+
+// collectPrograms expands directories into their .mini files (sorted);
+// explicit file arguments are taken as-is.
+func collectPrograms(args []string) ([]string, error) {
+	var paths []string
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			paths = append(paths, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(p, ".mini") {
+				paths = append(paths, p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return "..." + s[len(s)-n+3:]
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,244 +1,102 @@
-// Command o2 analyzes a minilang program for data races.
+// Command o2 analyzes minilang programs for data races.
 //
 // Usage:
 //
-//	o2 [flags] file.mini [more.mini ...]
+//	o2 [flags] file.mini [more.mini ...]    analyze files (legacy default)
+//	o2 serve  [flags]                       run the batch-analysis HTTP service
+//	o2 batch  [flags] dir|file ...          analyze many programs via the scheduler
+//	o2 submit [flags] file.mini ...         submit to a running o2 serve
 //
-//	-context origin|0ctx|kcfa|kobj   context policy (default origin)
-//	-k N                             context depth (default 1)
-//	-workers N                       detection worker-pool size (0 = GOMAXPROCS, 1 = sequential)
-//	-android                         serialize event handlers (§4.2)
-//	-replicate-events                model concurrently re-entrant events
-//	-sharing                         print the origin-sharing report (OSA)
-//	-origins                         print the discovered origins
-//	-stats                           print analysis statistics
-//	-json                            machine-readable race report
-//	-stats-json FILE                 write the RunStats observability report (spans, counters, rates)
-//	-trace-spans                     print the phase span tree to stderr
-//	-cpuprofile FILE                 write a pprof CPU profile
-//	-memprofile FILE                 write a pprof heap profile
-//	-deadlock                        also run lock-order deadlock analysis
-//	-oversync                        also flag unnecessary lock regions
-//	-explain                         witness for each race (spawns, locks, ordering)
-//	-dump-ir                         dump the lowered IR and exit
+// Run `o2 <subcommand> -h` for per-command flags.
+//
+// Exit codes (all subcommands):
+//
+//	0  analysis completed, no races
+//	1  analysis completed, races found
+//	2  usage error (bad flags or arguments)
+//	3  source parse / compile error
+//	4  budget exhausted (step budget, time budget or deadline)
+//	5  analysis canceled
+//	6  internal error
 package main
 
 import (
-	"encoding/json"
-	"flag"
+	"errors"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
-	"sort"
 
 	"o2"
-	"o2/internal/ir"
-	"o2/internal/lang"
-	"o2/internal/obs"
-	"o2/internal/pta"
-	"o2/internal/race"
+	"o2/internal/sched"
 )
 
-func main() { os.Exit(run()) }
+// Exit codes; see the package comment.
+const (
+	exitOK       = 0
+	exitRaces    = 1
+	exitUsage    = 2
+	exitParse    = 3
+	exitBudget   = 4
+	exitCanceled = 5
+	exitInternal = 6
+)
 
-func run() int {
-	ctxKind := flag.String("context", "origin", "context policy: origin, 0ctx, kcfa, kobj")
-	k := flag.Int("k", 1, "context depth")
-	workers := flag.Int("workers", 0, "detection worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
-	android := flag.Bool("android", false, "Android mode: serialize event handlers")
-	replicate := flag.Bool("replicate-events", false, "treat event handlers as concurrently re-entrant")
-	sharing := flag.Bool("sharing", false, "print the origin-sharing (OSA) report")
-	origins := flag.Bool("origins", false, "print discovered origins and attributes")
-	stats := flag.Bool("stats", false, "print analysis statistics")
-	asJSON := flag.Bool("json", false, "emit the race report as JSON")
-	statsJSON := flag.String("stats-json", "", "write the RunStats observability report to this file")
-	traceSpans := flag.Bool("trace-spans", false, "print the phase span tree to stderr")
-	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
-	deadlocks := flag.Bool("deadlock", false, "also run the lock-order deadlock analysis")
-	explain := flag.Bool("explain", false, "print a witness for each race (spawn sites, locksets, ordering)")
-	dumpIR := flag.Bool("dump-ir", false, "dump the lowered IR and exit")
-	oversyncF := flag.Bool("oversync", false, "also report lock regions guarding only origin-local data")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:])) }
 
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: o2 [flags] file.mini ...")
-		flag.PrintDefaults()
-		return 2
+func run(args []string) int {
+	if len(args) > 0 {
+		switch args[0] {
+		case "serve":
+			return runServe(args[1:])
+		case "batch":
+			return runBatch(args[1:])
+		case "submit":
+			return runSubmit(args[1:])
+		case "analyze":
+			return runAnalyze(args[1:])
+		case "help", "-h", "-help", "--help":
+			fmt.Fprintln(os.Stderr, "usage: o2 [flags] file.mini ...")
+			fmt.Fprintln(os.Stderr, "       o2 serve|batch|submit|analyze [flags] ...")
+			return exitUsage
+		}
 	}
+	return runAnalyze(args)
+}
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			return fail(err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return fail(err)
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
+// exitCode classifies an analysis error into the process exit code.
+// Parse errors are not typed by the lang package, so compile-step
+// failures are classified at the call site via exitParseErr.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, sched.ErrParse):
+		return exitParse
+	case errors.Is(err, o2.ErrBudget):
+		return exitBudget
+	case errors.Is(err, o2.ErrCanceled):
+		return exitCanceled
 	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "o2:", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "o2:", err)
-			}
-		}()
-	}
+	return exitInternal
+}
 
-	files := map[string]string{}
-	for _, name := range flag.Args() {
-		src, err := os.ReadFile(name)
-		if err != nil {
-			return fail(err)
-		}
-		files[name] = string(src)
+// kindExit maps a scheduler error kind onto the exit code.
+func kindExit(kind sched.ErrKind) int {
+	switch kind {
+	case sched.KindNone:
+		return exitOK
+	case sched.KindParse:
+		return exitParse
+	case sched.KindBudget:
+		return exitBudget
+	case sched.KindCanceled:
+		return exitCanceled
 	}
-	entries := ir.DefaultEntryConfig()
-	prog, err := lang.CompileFiles(files, entries)
-	if err != nil {
-		return fail(err)
-	}
+	return exitInternal
+}
 
-	if *dumpIR {
-		prog.Print(os.Stdout)
-		return 0
-	}
-
-	cfg := o2.DefaultConfig()
-	cfg.Android = *android
-	cfg.ReplicateEvents = *replicate
-	cfg.Workers = *workers
-	var reg *obs.Registry
-	if *statsJSON != "" || *traceSpans {
-		reg = obs.New()
-		cfg.Obs = reg
-	}
-	switch *ctxKind {
-	case "origin":
-		cfg.Policy = pta.Policy{Kind: pta.KOrigin, K: *k}
-	case "0ctx":
-		cfg.Policy = pta.Policy{Kind: pta.Insensitive}
-	case "kcfa":
-		cfg.Policy = pta.Policy{Kind: pta.KCFA, K: *k}
-	case "kobj":
-		cfg.Policy = pta.Policy{Kind: pta.KObj, K: *k}
-	default:
-		return fail(fmt.Errorf("unknown context policy %q", *ctxKind))
-	}
-
-	res, err := o2.AnalyzeProgram(prog, cfg)
-	if err != nil {
-		return fail(err)
-	}
-
-	if *statsJSON != "" {
-		if err := res.RunStats.WriteFile(*statsJSON); err != nil {
-			return fail(err)
-		}
-	}
-	if *traceSpans {
-		reg.WriteSpans(os.Stderr)
-	}
-
-	if *origins {
-		fmt.Println("origins:")
-		for _, org := range res.Analysis.Origins.Origins {
-			fmt.Printf("  %s attrs=%s\n", org, res.Analysis.OriginAttrs(org.ID))
-		}
-		fmt.Println()
-	}
-	if *sharing {
-		fmt.Printf("origin-shared locations (%d):\n", len(res.Sharing.Shared))
-		for _, key := range res.Sharing.Shared {
-			origins := res.Sharing.OriginsOf(key)
-			names := make([]string, len(origins))
-			for i, o := range origins {
-				names[i] = res.Analysis.Origins.Get(o).String()
-			}
-			sort.Strings(names)
-			fmt.Printf("  %-24s shared by %v\n", key, names)
-		}
-		fmt.Println()
-	}
-	if *stats {
-		st := res.Analysis.Stats()
-		fmt.Printf("stats: %s\n", st)
-		fmt.Printf("times: pta=%v osa=%v shb=%v detect=%v total=%v\n",
-			res.PTATime, res.OSATime, res.SHBTime, res.DetectTime, res.TotalTime())
-		fmt.Printf("shb: %s, %d lock regions\n\n", res.Graph, res.Graph.Regions)
-	}
-
-	if *deadlocks {
-		rep := res.Deadlocks()
-		fmt.Printf("deadlock analysis: %d lock-order edges, %d warnings\n", rep.Edges, len(rep.Warnings))
-		for _, w := range rep.Warnings {
-			fmt.Println(w.String())
-		}
-		fmt.Println()
-	}
-	if *oversyncF {
-		rep := res.OverSync()
-		fmt.Printf("over-synchronization: %d regions, %d useful, %d unnecessary\n",
-			rep.Regions, rep.UsefulRegions, len(rep.Warnings))
-		for _, w := range rep.Warnings {
-			fmt.Println("  " + w.String())
-		}
-		fmt.Println()
-	}
-
-	races := res.Races()
-	if *asJSON {
-		type jsonAccess struct {
-			Op     string `json:"op"`
-			Pos    string `json:"pos"`
-			Fn     string `json:"fn"`
-			Origin string `json:"origin"`
-		}
-		type jsonRace struct {
-			Location string     `json:"location"`
-			A        jsonAccess `json:"a"`
-			B        jsonAccess `json:"b"`
-		}
-		out := make([]jsonRace, len(races))
-		for i, r := range races {
-			out[i] = jsonRace{
-				Location: r.Key.String(),
-				A:        jsonAccess{op(r.A.Write), r.A.Pos.String(), r.A.Fn, res.Analysis.Origins.Get(r.A.Origin).String()},
-				B:        jsonAccess{op(r.B.Write), r.B.Pos.String(), r.B.Fn, res.Analysis.Origins.Get(r.B.Origin).String()},
-			}
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
-			return fail(err)
-		}
-	} else {
-		if len(races) == 0 {
-			fmt.Println("no races detected")
-		}
-		for i, r := range races {
-			if *explain {
-				fmt.Printf("race #%d %s\n", i+1, race.Explain(res.Analysis, res.Graph, &r))
-			} else {
-				fmt.Printf("race #%d %s\n", i+1, r.String())
-			}
-		}
-	}
-	if len(races) > 0 {
-		return 1
-	}
-	return 0
+func fail(code int, err error) int {
+	fmt.Fprintln(os.Stderr, "o2:", err)
+	return code
 }
 
 func op(write bool) string {
@@ -248,7 +106,16 @@ func op(write bool) string {
 	return "read"
 }
 
-func fail(err error) int {
-	fmt.Fprintln(os.Stderr, "o2:", err)
-	return 1
+// readFiles loads the named sources into the map form every entry point
+// shares.
+func readFiles(names []string) (map[string]string, error) {
+	files := map[string]string{}
+	for _, name := range names {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		files[name] = string(src)
+	}
+	return files, nil
 }

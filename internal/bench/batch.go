@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"context"
+	"time"
+
+	"o2"
+	"o2/internal/cases"
+	"o2/internal/sched"
+)
+
+// BatchStats is the bench artifact's report-only batch-scheduler section:
+// the Table 10 case-study corpus pushed through the job scheduler twice
+// (the second wave exercises the result cache), plus the warm-hit latency
+// of one final duplicate submission. Throughput and latency are tracked
+// in BENCH_ci.json for trends; Deterministic() strips the whole section,
+// so none of it is gated — timings vary run to run, and on CI the numbers
+// only feed EXPERIMENTS.md.
+type BatchStats struct {
+	Jobs        int     `json:"jobs"`
+	Workers     int     `json:"workers"`
+	WallNS      int64   `json:"wall_ns"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	WarmHitNS   int64   `json:"warm_hit_ns"`
+}
+
+// RunBatchGate measures the scheduler over the Table 10 corpus.
+func RunBatchGate(workers int) (*BatchStats, error) {
+	s := sched.New(sched.Options{Workers: workers, QueueDepth: 2*len(cases.Table10) + 1})
+
+	submit := func() ([]*sched.Job, error) {
+		var jobs []*sched.Job
+		for _, c := range cases.Table10 {
+			cfg := o2.DefaultConfig()
+			cfg.Android = c.Android
+			j, err := s.Submit(sched.Request{
+				Files:  map[string]string{c.Name + ".mini": c.Source},
+				Config: cfg,
+				Label:  c.Name,
+			})
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, j)
+		}
+		return jobs, nil
+	}
+
+	start := time.Now()
+	var all []*sched.Job
+	for wave := 0; wave < 2; wave++ {
+		jobs, err := submit()
+		if err != nil {
+			return nil, err
+		}
+		for _, j := range jobs {
+			<-j.Done()
+		}
+		all = append(all, jobs...)
+	}
+	wall := time.Since(start)
+
+	// One more duplicate of the first case times the warm-hit path.
+	warmStart := time.Now()
+	cfg := o2.DefaultConfig()
+	cfg.Android = cases.Table10[0].Android
+	j, err := s.Submit(sched.Request{
+		Files:  map[string]string{cases.Table10[0].Name + ".mini": cases.Table10[0].Source},
+		Config: cfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	<-j.Done()
+	warm := time.Since(warmStart)
+
+	if err := s.Shutdown(context.Background()); err != nil {
+		return nil, err
+	}
+	st := s.Stats()
+	return &BatchStats{
+		Jobs:        len(all),
+		Workers:     st.Workers,
+		WallNS:      int64(wall),
+		JobsPerSec:  float64(len(all)) / wall.Seconds(),
+		CacheHits:   st.CacheHits,
+		CacheMisses: st.CacheMisses,
+		WarmHitNS:   int64(warm),
+	}, nil
+}

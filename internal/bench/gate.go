@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"o2/internal/obs"
 	"o2/internal/workload"
@@ -28,6 +29,9 @@ var GatePresetNames = []string{"avrora", "zookeeper", "memcached"}
 type GateReport struct {
 	Schema  int          `json:"schema"`
 	Presets []GatePreset `json:"presets"`
+	// Batch is the report-only scheduler-throughput section (see
+	// BatchStats); it never participates in the golden comparison.
+	Batch *BatchStats `json:"batch,omitempty"`
 }
 
 // GatePreset is one workload's gate entry.
@@ -64,11 +68,17 @@ func RunGate(o Opts) (*GateReport, error) {
 		}
 		rep.Presets = append(rep.Presets, gp)
 	}
+	batch, err := RunBatchGate(1)
+	if err != nil {
+		return nil, err
+	}
+	rep.Batch = batch
 	return rep, nil
 }
 
 // Deterministic projects the report onto its gated fields: times are
-// stripped from every preset's stats (see obs.RunStats.Deterministic).
+// stripped from every preset's stats (see obs.RunStats.Deterministic) and
+// the batch-throughput section is dropped entirely (all of it is timing).
 func (r *GateReport) Deterministic() *GateReport {
 	out := &GateReport{Schema: r.Schema}
 	for _, p := range r.Presets {
@@ -162,6 +172,11 @@ func Gate(w io.Writer, o Opts, goldenPath, statsPath string, update bool) error 
 			pairs = p.Stats.Counters["race.pairs_checked"]
 		}
 		fmt.Fprintf(w, "bench gate: %-12s races=%-3d pairs=%d\n", p.Name, p.Races, pairs)
+	}
+	if rep.Batch != nil {
+		fmt.Fprintf(w, "bench gate: batch %d jobs @ %.1f jobs/s (cache %d/%d, warm hit %s) [report-only]\n",
+			rep.Batch.Jobs, rep.Batch.JobsPerSec, rep.Batch.CacheHits,
+			rep.Batch.CacheHits+rep.Batch.CacheMisses, time.Duration(rep.Batch.WarmHitNS))
 	}
 	if update {
 		data, err := rep.Deterministic().MarshalIndent()

@@ -8,6 +8,7 @@
 package osa
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -91,6 +92,15 @@ func Analyze(a *pta.Analysis) *Result { return AnalyzeWith(a, nil) }
 // AnalyzeWith is Analyze with an observability registry: the traversal
 // runs under an "osa" span and the sharing sizes are published as gauges.
 func AnalyzeWith(a *pta.Analysis, reg *obs.Registry) *Result {
+	r, _ := AnalyzeCtx(context.Background(), a, reg)
+	return r
+}
+
+// AnalyzeCtx is AnalyzeWith under a context: the traversal polls the
+// context every few hundred visited functions and aborts promptly when it
+// ends, returning the partial result and pta.ErrCanceled (or pta.ErrBudget
+// when the context deadline expired).
+func AnalyzeCtx(ctx context.Context, a *pta.Analysis, reg *obs.Registry) (*Result, error) {
 	sp := reg.StartSpan("osa")
 	defer sp.End()
 	r := &Result{
@@ -100,7 +110,13 @@ func AnalyzeWith(a *pta.Analysis, reg *obs.Registry) *Result {
 		sharedSet: map[Key]bool{},
 	}
 	v := &visitor{a: a, r: r, seen: map[visitKey]bool{}}
+	if ctx.Done() != nil {
+		v.ctx = ctx
+	}
 	v.visit(a.MainNode(), pta.MainOrigin)
+	if v.err != nil {
+		return r, v.err
+	}
 	r.finish()
 	if reg != nil {
 		locs := map[Key]bool{}
@@ -117,16 +133,31 @@ func AnalyzeWith(a *pta.Analysis, reg *obs.Registry) *Result {
 		reg.SetGauge("osa.accesses", int64(len(r.Accesses)))
 		reg.SetGauge("osa.visited", int64(r.Visited))
 	}
-	return r
+	return r, nil
 }
 
 type visitor struct {
 	a    *pta.Analysis
 	r    *Result
 	seen map[visitKey]bool
+	ctx  context.Context // nil when cancellation is not observable
+	tick int
+	err  error
 }
 
 func (v *visitor) visit(fn pta.FnCtxID, origin pta.OriginID) {
+	if v.err != nil {
+		return
+	}
+	if v.ctx != nil {
+		v.tick++
+		if v.tick&255 == 0 {
+			if err := v.ctx.Err(); err != nil {
+				v.err = pta.CtxErr(err)
+				return
+			}
+		}
+	}
 	k := visitKey{fn, origin}
 	if v.seen[k] {
 		return

@@ -10,6 +10,7 @@
 package pta
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -19,8 +20,26 @@ import (
 )
 
 // ErrBudget is returned when the analysis exceeds its configured step or
-// time budget (the analogue of the paper's ">4h" timeouts).
+// time budget (the analogue of the paper's ">4h" timeouts). A context
+// deadline expiring mid-analysis reports the same error, so one mechanism
+// serves both explicit budgets and service-level job deadlines.
 var ErrBudget = errors.New("pta: analysis budget exceeded")
+
+// ErrCanceled is returned when the context passed to SolveCtx (or any
+// downstream pipeline stage) is canceled mid-analysis. It wraps
+// context.Canceled, so errors.Is(err, context.Canceled) holds.
+var ErrCanceled = fmt.Errorf("pta: analysis canceled: %w", context.Canceled)
+
+// CtxErr maps a non-nil context error onto the pipeline's sentinel
+// errors: an expired deadline is a budget exhaustion (ErrBudget),
+// everything else is a cancellation (ErrCanceled). Shared by every stage
+// that honors a context (pta, osa, shb, race).
+func CtxErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ErrBudget
+	}
+	return ErrCanceled
+}
 
 // Config configures an analysis run.
 type Config struct {
@@ -98,7 +117,7 @@ type Analysis struct {
 	iterations  int64 // worklist pops (constraint generations + node processings)
 	constraints int64 // load/store/call/edge constraints registered
 	numEdges    int
-	deadline    time.Time
+	ctx         context.Context
 	err         error
 }
 
@@ -129,14 +148,28 @@ func New(prog *ir.Program, cfg Config) *Analysis {
 }
 
 // Solve runs the analysis to fixpoint. It may return ErrBudget.
-func (a *Analysis) Solve() error {
+func (a *Analysis) Solve() error { return a.SolveCtx(context.Background()) }
+
+// SolveCtx runs the analysis to fixpoint under a context. Cancellation is
+// observed in the step loop (every few thousand propagation steps), so
+// SolveCtx returns promptly after the context ends: ErrCanceled on
+// cancellation, ErrBudget when the context deadline (or Config.TimeBudget,
+// which derives one) expires.
+func (a *Analysis) SolveCtx(ctx context.Context) error {
 	sp := a.Cfg.Obs.StartSpan("pta")
 	defer func() {
 		a.recordObs()
 		sp.End()
 	}()
 	if a.Cfg.TimeBudget > 0 {
-		a.deadline = time.Now().Add(a.Cfg.TimeBudget)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, a.Cfg.TimeBudget)
+		defer cancel()
+	}
+	a.ctx = ctx
+	if err := ctx.Err(); err != nil {
+		a.err = CtxErr(err)
+		return a.err
 	}
 	if a.Prog.Main == nil {
 		return fmt.Errorf("pta: program has no main")
@@ -190,9 +223,11 @@ func (a *Analysis) budget() bool {
 		a.err = ErrBudget
 		return false
 	}
-	if a.Cfg.TimeBudget > 0 && a.steps%4096 == 0 && time.Now().After(a.deadline) {
-		a.err = ErrBudget
-		return false
+	if a.steps%4096 == 0 && a.ctx != nil {
+		if err := a.ctx.Err(); err != nil {
+			a.err = CtxErr(err)
+			return false
+		}
 	}
 	return true
 }

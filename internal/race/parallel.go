@@ -15,17 +15,24 @@ import (
 // pairBudget is the shared atomic candidate-pair budget. Every worker
 // reserves one unit per pair via take before checking it, so the total
 // number of pairs examined never exceeds limit regardless of the worker
-// count. A limit of 0 means unlimited.
+// count. A limit of 0 means unlimited. The budget doubles as the
+// cancellation latch: DetectCtx's context watcher sets canceled, and the
+// per-pair reservation that every worker already performs observes it —
+// no extra synchronization appears in the hot loop.
 type pairBudget struct {
-	limit   int64
-	used    atomic.Int64
-	tripped atomic.Bool
+	limit    int64
+	used     atomic.Int64
+	tripped  atomic.Bool
+	canceled atomic.Bool
 }
 
-// take reserves one pair. It returns false once the budget is exhausted,
-// marking the budget as tripped; a failed reservation is rolled back so
-// used never exceeds limit.
+// take reserves one pair. It returns false once the budget is exhausted
+// or detection is canceled, marking the budget as tripped on exhaustion;
+// a failed reservation is rolled back so used never exceeds limit.
 func (b *pairBudget) take() bool {
+	if b.canceled.Load() {
+		return false
+	}
 	if b.limit <= 0 {
 		return true
 	}
@@ -40,7 +47,15 @@ func (b *pairBudget) take() bool {
 	return true
 }
 
+// cancel latches context cancellation into the budget; every subsequent
+// take fails and workers stop claiming groups.
+func (b *pairBudget) cancel() { b.canceled.Store(true) }
+
 func (b *pairBudget) isTripped() bool { return b.tripped.Load() }
+
+// stopped reports whether detection should claim no further groups,
+// either because the pair budget tripped or the context ended.
+func (b *pairBudget) stopped() bool { return b.tripped.Load() || b.canceled.Load() }
 
 // detectParallel shards the sorted candidate groups across workers.
 // Workers claim group indices from a shared atomic cursor and write each
@@ -74,7 +89,7 @@ func detectParallel(a *pta.Analysis, g *shb.Graph, opt Options, rep *Report, gro
 				}()
 			}
 			for {
-				if bud.isTripped() {
+				if bud.stopped() {
 					return
 				}
 				i := int(next.Add(1)) - 1

@@ -8,6 +8,7 @@
 package race
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -134,6 +135,18 @@ type Report struct {
 // sequential pass would). Detect only reads the analysis and graph, so
 // concurrent Detect calls on the same solved inputs are safe.
 func Detect(a *pta.Analysis, sharing *osa.Result, g *shb.Graph, opt Options) *Report {
+	rep, _ := DetectCtx(context.Background(), a, sharing, g, opt)
+	return rep
+}
+
+// DetectCtx is Detect under a context. A watcher goroutine latches the
+// context's end into the shared budget flag, which every worker already
+// consults once per candidate pair — so cancellation stops the pairwise
+// loop within a handful of pair checks, in both sequential and parallel
+// modes. The partial report is returned alongside pta.ErrCanceled (or
+// pta.ErrBudget when the context deadline expired); it is a valid lower
+// bound but not the full result.
+func DetectCtx(ctx context.Context, a *pta.Analysis, sharing *osa.Result, g *shb.Graph, opt Options) (*Report, error) {
 	sp := opt.Obs.StartSpan("detect")
 	start := time.Now()
 	rep := &Report{}
@@ -153,6 +166,17 @@ func Detect(a *pta.Analysis, sharing *osa.Result, g *shb.Graph, opt Options) *Re
 		workers = len(keys)
 	}
 	bud := &pairBudget{limit: opt.PairBudget}
+	if ctx.Done() != nil {
+		stopWatch := make(chan struct{})
+		defer close(stopWatch)
+		go func() {
+			select {
+			case <-ctx.Done():
+				bud.cancel()
+			case <-stopWatch:
+			}
+		}()
+	}
 	var busyNS int64
 	if workers > 1 {
 		busyNS = detectParallel(a, g, opt, rep, groups, keys, bud, workers, sp)
@@ -169,7 +193,10 @@ func Detect(a *pta.Analysis, sharing *osa.Result, g *shb.Graph, opt Options) *Re
 	}
 	rep.recordObs(opt.Obs, workers, busyNS)
 	sp.End()
-	return rep
+	if err := ctx.Err(); err != nil {
+		return rep, pta.CtxErr(err)
+	}
+	return rep, nil
 }
 
 // recordObs publishes the report's work counters and the worker-pool
@@ -203,7 +230,7 @@ func (rep *Report) recordObs(reg *obs.Registry, workers int, busyNS int64) {
 func detectSequential(a *pta.Analysis, g *shb.Graph, opt Options, rep *Report, groups map[osa.Key][]acc, keys []osa.Key, bud *pairBudget) {
 	seen := map[raceSig]bool{}
 	for _, k := range keys {
-		if bud.isTripped() {
+		if bud.stopped() {
 			break
 		}
 		gr := checkGroup(a, g, k, groups[k], opt, bud)

@@ -1,0 +1,78 @@
+package sched
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// lru is the bounded result cache: a classic map + intrusive-list LRU
+// guarded by one mutex. Values are *Summary snapshots of completed jobs;
+// capacity is a fixed entry count (summaries are small — the scheduler
+// never retains full analysis states). Hit/miss/eviction counters feed
+// GET /statsz and the bench gate's batch section.
+type lru struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type lruEntry struct {
+	key string
+	sum *Summary
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// get returns the cached summary and promotes the entry. The miss counter
+// is NOT bumped here — Submit counts a miss only when it goes on to run
+// the job, so racing submissions of the same program do not double-count.
+func (c *lru) get(key string) (*Summary, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*lruEntry).sum, true
+}
+
+func (c *lru) miss() { c.misses.Add(1) }
+
+// put inserts or refreshes an entry, evicting the least recently used
+// entry when over capacity.
+func (c *lru) put(key string, sum *Summary) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).sum = sum
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, sum: sum})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+func (c *lru) stats() (hits, misses, evictions int64, entries int) {
+	c.mu.Lock()
+	entries = c.ll.Len()
+	c.mu.Unlock()
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load(), entries
+}

@@ -1,0 +1,669 @@
+// Package sched is the batch-analysis job scheduler: a bounded worker
+// pool that runs full O2 pipelines as jobs, with per-job context
+// deadlines and cancellation, an admission queue with backpressure, a
+// graceful shutdown that drains in-flight jobs, and an LRU result cache
+// keyed by (source hash, config fingerprint) so repeated submissions of
+// unchanged programs complete in microseconds. It is the engine behind
+// `o2 serve` and `o2 batch` — the RacerD-style deployment shape of a
+// static race detector analyzing many compilation units concurrently.
+package sched
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"o2"
+	"o2/internal/ir"
+	"o2/internal/lang"
+	"o2/internal/obs"
+)
+
+// Sentinel errors of the scheduler.
+var (
+	// ErrQueueFull is returned by Submit when the admission queue is at
+	// capacity — the backpressure signal. Callers should retry later
+	// (HTTP clients see 429).
+	ErrQueueFull = errors.New("sched: admission queue full")
+	// ErrShutdown is returned by Submit after Shutdown started.
+	ErrShutdown = errors.New("sched: scheduler is shut down")
+	// ErrParse wraps minilang compile errors so clients can branch on the
+	// failure class without string matching.
+	ErrParse = errors.New("sched: parse error")
+	// ErrUnknownJob is returned for job IDs the scheduler has never seen.
+	ErrUnknownJob = errors.New("sched: unknown job")
+)
+
+// ErrKind classifies a job failure for exit codes and HTTP responses.
+type ErrKind string
+
+const (
+	KindNone     ErrKind = ""         // no error
+	KindParse    ErrKind = "parse"    // minilang compile error
+	KindBudget   ErrKind = "budget"   // step/time budget or deadline exhausted
+	KindCanceled ErrKind = "canceled" // job canceled (explicitly or by shutdown)
+	KindInternal ErrKind = "internal" // anything else
+)
+
+// Classify maps an analysis error onto its ErrKind.
+func Classify(err error) ErrKind {
+	switch {
+	case err == nil:
+		return KindNone
+	case errors.Is(err, ErrParse):
+		return KindParse
+	case errors.Is(err, o2.ErrBudget):
+		return KindBudget
+	case errors.Is(err, o2.ErrCanceled), errors.Is(err, context.Canceled):
+		return KindCanceled
+	}
+	return KindInternal
+}
+
+// State is a job's lifecycle state.
+type State string
+
+const (
+	Queued   State = "queued"
+	Running  State = "running"
+	Done     State = "done"   // analysis completed (races or not)
+	Failed   State = "failed" // parse error, budget, internal error
+	Canceled State = "canceled"
+)
+
+// Options configures a Scheduler.
+type Options struct {
+	// Workers is the worker-pool size (number of concurrently running
+	// jobs). 0 defaults to GOMAXPROCS.
+	Workers int
+	// QueueDepth is the admission-queue capacity; submissions beyond it
+	// fail with ErrQueueFull. 0 defaults to 64.
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache (0 defaults to 128,
+	// negative disables caching).
+	CacheEntries int
+	// DefaultTimeout is the per-job deadline applied when the request
+	// carries none (0 = no deadline).
+	DefaultTimeout time.Duration
+	// CollectStats gives every job its own obs.Registry and attaches the
+	// frozen RunStats report to the job summary.
+	CollectStats bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 128
+	}
+	return o
+}
+
+// Request is one analysis submission: a set of minilang sources plus the
+// analysis configuration. The Config's Obs field is ignored (jobs get
+// their own registry when Options.CollectStats is set).
+type Request struct {
+	// Files maps filename to minilang source; all files compile into one
+	// program.
+	Files map[string]string
+	// Config is the analysis configuration.
+	Config o2.Config
+	// Timeout overrides Options.DefaultTimeout for this job (0 = use the
+	// scheduler default).
+	Timeout time.Duration
+	// Label is a caller-chosen display name (defaults to the first file).
+	Label string
+}
+
+// RaceAccess is one side of a reported race, rendered for transport.
+type RaceAccess struct {
+	Op     string `json:"op"`
+	Pos    string `json:"pos"`
+	Fn     string `json:"fn"`
+	Origin string `json:"origin"`
+}
+
+// RaceInfo is one reported race, rendered for transport.
+type RaceInfo struct {
+	Location string     `json:"location"`
+	A        RaceAccess `json:"a"`
+	B        RaceAccess `json:"b"`
+}
+
+// Summary is a job's result: the race report projected onto plain data
+// (the full o2.Result holds the whole points-to state and is not retained
+// by the scheduler), phase timings, and the observability report.
+type Summary struct {
+	Races    []RaceInfo    `json:"races"`
+	TimedOut bool          `json:"timed_out,omitempty"` // pair budget tripped: races are a lower bound
+	PTANS    int64         `json:"pta_ns"`
+	OSANS    int64         `json:"osa_ns"`
+	SHBNS    int64         `json:"shb_ns"`
+	DetectNS int64         `json:"detect_ns"`
+	TotalNS  int64         `json:"total_ns"`
+	Stats    *obs.RunStats `json:"stats,omitempty"`
+	// Cached reports that this summary was served from the result cache;
+	// the timings are those of the original (cold) run.
+	Cached bool `json:"cached,omitempty"`
+}
+
+func summarize(res *o2.Result) *Summary {
+	s := &Summary{
+		Races:    []RaceInfo{},
+		TimedOut: res.Report.TimedOut,
+		PTANS:    int64(res.PTATime),
+		OSANS:    int64(res.OSATime),
+		SHBNS:    int64(res.SHBTime),
+		DetectNS: int64(res.DetectTime),
+		TotalNS:  int64(res.TotalTime()),
+		Stats:    res.RunStats,
+	}
+	for _, r := range res.Races() {
+		mk := func(write bool, pos, fn string, origin string) RaceAccess {
+			op := "read"
+			if write {
+				op = "write"
+			}
+			return RaceAccess{Op: op, Pos: pos, Fn: fn, Origin: origin}
+		}
+		s.Races = append(s.Races, RaceInfo{
+			Location: r.Key.String(),
+			A:        mk(r.A.Write, r.A.Pos.String(), r.A.Fn, res.Analysis.Origins.Get(r.A.Origin).String()),
+			B:        mk(r.B.Write, r.B.Pos.String(), r.B.Fn, res.Analysis.Origins.Get(r.B.Origin).String()),
+		})
+	}
+	return s
+}
+
+// withCached returns a shallow copy flagged as cache-served.
+func (s *Summary) withCached() *Summary {
+	cp := *s
+	cp.Cached = true
+	return &cp
+}
+
+// Job is one scheduled analysis. All accessors are safe for concurrent
+// use; Done() closes when the job reaches a terminal state.
+type Job struct {
+	ID    string
+	Label string
+
+	mu       sync.Mutex
+	state    State
+	summary  *Summary
+	err      error
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+	done     chan struct{}
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Summary returns the result summary (nil until Done).
+func (j *Job) Summary() *Summary {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.summary
+}
+
+// Err returns the terminal error (nil while running or on success).
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// ErrKind returns the classified failure kind.
+func (j *Job) ErrKind() ErrKind { return Classify(j.Err()) }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wall returns queued→finished wall time (running time if not finished).
+func (j *Job) Wall() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.finished.IsZero() {
+		return time.Since(j.created)
+	}
+	return j.finished.Sub(j.created)
+}
+
+func (j *Job) finish(state State, sum *Summary, err error) {
+	j.mu.Lock()
+	if j.state == Done || j.state == Failed || j.state == Canceled {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.summary = sum
+	j.err = err
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// View is a transportable snapshot of a job.
+type View struct {
+	ID       string   `json:"id"`
+	Label    string   `json:"label,omitempty"`
+	State    State    `json:"state"`
+	Error    string   `json:"error,omitempty"`
+	ErrKind  ErrKind  `json:"error_kind,omitempty"`
+	WallNS   int64    `json:"wall_ns"`
+	Summary  *Summary `json:"summary,omitempty"`
+	RaceCnt  int      `json:"race_count"`
+	Finished bool     `json:"finished"`
+}
+
+// View snapshots the job for transport.
+func (j *Job) View() View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := View{ID: j.ID, Label: j.Label, State: j.state, Summary: j.summary}
+	if j.err != nil {
+		v.Error = j.err.Error()
+		v.ErrKind = Classify(j.err)
+	}
+	if j.summary != nil {
+		v.RaceCnt = len(j.summary.Races)
+	}
+	if j.finished.IsZero() {
+		v.WallNS = int64(time.Since(j.created))
+	} else {
+		v.WallNS = int64(j.finished.Sub(j.created))
+		v.Finished = true
+	}
+	return v
+}
+
+// Stats is a point-in-time snapshot of scheduler health, served by
+// GET /statsz.
+type Stats struct {
+	Workers    int   `json:"workers"`
+	QueueDepth int   `json:"queue_depth"`
+	QueueLen   int   `json:"queue_len"`
+	InFlight   int64 `json:"in_flight"`
+
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	Rejected  int64 `json:"rejected"`
+
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEvictions int64 `json:"cache_evictions"`
+	CacheEntries   int   `json:"cache_entries"`
+}
+
+// Scheduler is the bounded-worker batch analysis service.
+type Scheduler struct {
+	opts  Options
+	queue chan *Job
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	reqs   map[string]Request // pending request payloads, removed once run
+	order  []string
+	closed bool
+	seq    int64
+
+	cache *lru
+	wg    sync.WaitGroup
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+	rejected  atomic.Int64
+	inFlight  atomic.Int64
+}
+
+// New creates a scheduler and starts its worker pool.
+func New(opts Options) *Scheduler {
+	opts = opts.withDefaults()
+	s := &Scheduler{
+		opts:  opts,
+		queue: make(chan *Job, opts.QueueDepth),
+		jobs:  map[string]*Job{},
+		reqs:  map[string]Request{},
+	}
+	if opts.CacheEntries > 0 {
+		s.cache = newLRU(opts.CacheEntries)
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// cacheKey derives the result-cache key: the SHA-256 of the sorted
+// (filename, source) pairs combined with the config fingerprint. Two
+// requests collide only if both the full source hash and every
+// report-affecting config field agree.
+func cacheKey(req Request) string {
+	h := sha256.New()
+	names := make([]string, 0, len(req.Files))
+	for n := range req.Files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(h, "%d:%s:%d:", len(n), n, len(req.Files[n]))
+		h.Write([]byte(req.Files[n]))
+	}
+	h.Write([]byte(req.Config.Fingerprint()))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Submit admits a job. It never blocks: a full queue returns ErrQueueFull
+// (backpressure), a shut-down scheduler returns ErrShutdown. A result-
+// cache hit completes the job immediately — without entering the queue —
+// in microseconds.
+func (s *Scheduler) Submit(req Request) (*Job, error) {
+	if len(req.Files) == 0 {
+		return nil, fmt.Errorf("%w: no files", ErrParse)
+	}
+	if req.Label == "" {
+		names := make([]string, 0, len(req.Files))
+		for n := range req.Files {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		req.Label = names[0]
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return nil, ErrShutdown
+	}
+	s.seq++
+	j := &Job{
+		ID:      fmt.Sprintf("job-%06d", s.seq),
+		Label:   req.Label,
+		state:   Queued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.mu.Unlock()
+
+	// Cache lookup before admission: a hit never consumes a worker. A
+	// second lookup happens at dispatch (runJob) so that identical
+	// requests submitted back-to-back — before the first one finished —
+	// still hit once the first result lands. Misses are counted there,
+	// when a job actually runs.
+	if s.cache != nil {
+		if sum, ok := s.cache.get(cacheKey(req)); ok {
+			s.submitted.Add(1)
+			s.completed.Add(1)
+			j.finish(Done, sum.withCached(), nil)
+			return j, nil
+		}
+	}
+
+	s.mu.Lock()
+	if s.closed { // Shutdown raced the cache lookup
+		delete(s.jobs, j.ID)
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return nil, ErrShutdown
+	}
+	s.reqs[j.ID] = req
+	select {
+	case s.queue <- j:
+		s.mu.Unlock()
+		s.submitted.Add(1)
+		return j, nil
+	default:
+		delete(s.jobs, j.ID)
+		delete(s.reqs, j.ID)
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// Get returns a job by ID.
+func (s *Scheduler) Get(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	return j, nil
+}
+
+// Wait blocks until the job finishes or ctx ends.
+func (s *Scheduler) Wait(ctx context.Context, id string) (*Job, error) {
+	j, err := s.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-j.Done():
+		return j, nil
+	case <-ctx.Done():
+		return j, ctx.Err()
+	}
+}
+
+// Cancel cancels a job: a queued job is marked canceled before it runs, a
+// running job's context is canceled (the pipeline returns within
+// milliseconds). Returns false for unknown or already-finished jobs.
+func (s *Scheduler) Cancel(id string) bool {
+	j, err := s.Get(id)
+	if err != nil {
+		return false
+	}
+	j.mu.Lock()
+	switch j.state {
+	case Queued:
+		j.state = Canceled
+		j.err = o2.ErrCanceled
+		j.finished = time.Now()
+		j.mu.Unlock()
+		close(j.done)
+		s.canceled.Add(1)
+		return true
+	case Running:
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return true
+	}
+	j.mu.Unlock()
+	return false
+}
+
+// Jobs returns snapshots of every known job in submission order.
+func (s *Scheduler) Jobs() []View {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := s.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]View, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.View()
+	}
+	return out
+}
+
+// Stats snapshots the scheduler counters.
+func (s *Scheduler) Stats() Stats {
+	st := Stats{
+		Workers:    s.opts.Workers,
+		QueueDepth: s.opts.QueueDepth,
+		QueueLen:   len(s.queue),
+		InFlight:   s.inFlight.Load(),
+		Submitted:  s.submitted.Load(),
+		Completed:  s.completed.Load(),
+		Failed:     s.failed.Load(),
+		Canceled:   s.canceled.Load(),
+		Rejected:   s.rejected.Load(),
+	}
+	if s.cache != nil {
+		hits, misses, evictions, entries := s.cache.stats()
+		st.CacheHits, st.CacheMisses, st.CacheEvictions, st.CacheEntries = hits, misses, evictions, entries
+	}
+	return st
+}
+
+// Shutdown stops admission and drains: queued and running jobs finish
+// normally. If ctx ends before the drain completes, every remaining job
+// is canceled and Shutdown waits for the (now fast) drain, returning the
+// context's error.
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+	}
+	// Hard stop: cancel everything still alive, then wait out the drain.
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	}
+	s.mu.Unlock()
+	<-drained
+	return ctx.Err()
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.mu.Lock()
+		req, ok := s.reqs[j.ID]
+		delete(s.reqs, j.ID)
+		s.mu.Unlock()
+		if !ok || j.State() != Queued {
+			continue // canceled while queued
+		}
+		s.runJob(j, req)
+	}
+}
+
+func (s *Scheduler) runJob(j *Job, req Request) {
+	timeout := req.Timeout
+	if timeout == 0 {
+		timeout = s.opts.DefaultTimeout
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), timeout)
+	}
+	defer cancel()
+
+	j.mu.Lock()
+	if j.state != Queued {
+		j.mu.Unlock()
+		return
+	}
+	j.state = Running
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	key := cacheKey(req)
+	if s.cache != nil {
+		if sum, ok := s.cache.get(key); ok {
+			s.completed.Add(1)
+			j.finish(Done, sum.withCached(), nil)
+			return
+		}
+		s.cache.miss()
+	}
+
+	cfg := req.Config
+	if s.opts.CollectStats {
+		cfg.Obs = obs.New()
+	} else {
+		cfg.Obs = nil
+	}
+
+	prog, err := lang.CompileFiles(req.Files, entriesOf(cfg))
+	if err != nil {
+		s.failed.Add(1)
+		j.finish(Failed, nil, fmt.Errorf("%w: %s", ErrParse, err))
+		return
+	}
+	res, err := o2.Analyze(ctx, prog, cfg)
+	switch Classify(err) {
+	case KindNone:
+		sum := summarize(res)
+		if s.cache != nil {
+			s.cache.put(key, sum)
+		}
+		s.completed.Add(1)
+		j.finish(Done, sum, nil)
+	case KindCanceled:
+		s.canceled.Add(1)
+		j.finish(Canceled, nil, err)
+	default:
+		s.failed.Add(1)
+		j.finish(Failed, nil, err)
+	}
+}
+
+// entriesOf resolves the entry configuration the compile step should use
+// (mirrors o2's normalize defaulting without exporting it).
+func entriesOf(cfg o2.Config) (e ir.EntryConfig) {
+	e = cfg.Entries
+	if e.ThreadEntries == nil && e.EventEntries == nil && e.StartMethods == nil && e.JoinMethods == nil {
+		e = ir.DefaultEntryConfig()
+	}
+	return e
+}

@@ -1,0 +1,190 @@
+// Package server exposes the batch scheduler as an HTTP JSON API — the
+// `o2 serve` surface. Endpoints:
+//
+//	POST /analyze    submit minilang sources for analysis (optionally wait)
+//	GET  /jobs/{id}  poll a job
+//	GET  /jobs       list all jobs
+//	GET  /healthz    liveness
+//	GET  /statsz     scheduler + cache counters
+//
+// The handler is plain net/http over sched.Scheduler; it owns no state of
+// its own, so it is safe to serve from multiple listeners.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"o2"
+	"o2/internal/sched"
+)
+
+// AnalyzeRequest is the POST /analyze body.
+type AnalyzeRequest struct {
+	// Files maps filename to minilang source. A single unnamed source can
+	// be passed via Source instead.
+	Files  map[string]string `json:"files,omitempty"`
+	Source string            `json:"source,omitempty"`
+	Config ConfigRequest     `json:"config"`
+	// TimeoutMS is the per-job deadline in milliseconds (0 = server
+	// default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Wait blocks the request until the job finishes and returns the full
+	// result; otherwise the job ID is returned immediately (202).
+	Wait  bool   `json:"wait,omitempty"`
+	Label string `json:"label,omitempty"`
+}
+
+// ConfigRequest is the wire form of the analysis configuration. The zero
+// value means the paper's default configuration.
+type ConfigRequest struct {
+	// Context selects the pointer-analysis policy: "origin" (default),
+	// "0ctx", "kcfa", "kobj".
+	Context string `json:"context,omitempty"`
+	K       int    `json:"k,omitempty"`
+	Android bool   `json:"android,omitempty"`
+	// ReplicateEvents treats event origins as concurrently re-entrant.
+	ReplicateEvents bool  `json:"replicate_events,omitempty"`
+	Workers         int   `json:"workers,omitempty"`
+	StepBudget      int64 `json:"step_budget,omitempty"`
+	TimeBudgetMS    int64 `json:"time_budget_ms,omitempty"`
+	MaxSHBNodes     int   `json:"max_shb_nodes,omitempty"`
+}
+
+func (cr ConfigRequest) toConfig() (o2.Config, error) {
+	cfg := o2.DefaultConfig()
+	pol, err := o2.PolicyByName(cr.Context, cr.K)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Policy = pol
+	cfg.Android = cr.Android
+	cfg.ReplicateEvents = cr.ReplicateEvents
+	cfg.Workers = cr.Workers
+	cfg.StepBudget = cr.StepBudget
+	cfg.TimeBudget = time.Duration(cr.TimeBudgetMS) * time.Millisecond
+	cfg.MaxSHBNodes = cr.MaxSHBNodes
+	return cfg, nil
+}
+
+// errorBody is every non-2xx JSON response.
+type errorBody struct {
+	Error string        `json:"error"`
+	Kind  sched.ErrKind `json:"kind,omitempty"`
+}
+
+// Server is the HTTP front end over a scheduler.
+type Server struct {
+	sched *sched.Scheduler
+	mux   *http.ServeMux
+}
+
+// New builds the handler over s.
+func New(s *sched.Scheduler) *Server {
+	srv := &Server{sched: s, mux: http.NewServeMux()}
+	srv.mux.HandleFunc("POST /analyze", srv.handleAnalyze)
+	srv.mux.HandleFunc("GET /jobs/{id}", srv.handleJob)
+	srv.mux.HandleFunc("GET /jobs", srv.handleJobs)
+	srv.mux.HandleFunc("GET /healthz", srv.handleHealthz)
+	srv.mux.HandleFunc("GET /statsz", srv.handleStatsz)
+	return srv
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, kind sched.ErrKind, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...), Kind: kind})
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, sched.KindParse, "bad request body: %s", err)
+		return
+	}
+	files := req.Files
+	if files == nil {
+		files = map[string]string{}
+	}
+	if req.Source != "" {
+		files["input.mini"] = req.Source
+	}
+	if len(files) == 0 {
+		writeError(w, http.StatusBadRequest, sched.KindParse, "no source files in request")
+		return
+	}
+	cfg, err := req.Config.toConfig()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, sched.KindParse, "%s", err)
+		return
+	}
+	job, err := s.sched.Submit(sched.Request{
+		Files:   files,
+		Config:  cfg,
+		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+		Label:   req.Label,
+	})
+	switch {
+	case err == nil:
+	case errors.Is(err, sched.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "", "queue full, retry later")
+		return
+	case errors.Is(err, sched.ErrShutdown):
+		writeError(w, http.StatusServiceUnavailable, "", "server is shutting down")
+		return
+	case errors.Is(err, sched.ErrParse):
+		writeError(w, http.StatusBadRequest, sched.KindParse, "%s", err)
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, sched.KindInternal, "%s", err)
+		return
+	}
+	if req.Wait {
+		if _, err := s.sched.Wait(r.Context(), job.ID); err != nil {
+			// Client went away; the job keeps running server-side.
+			writeError(w, http.StatusRequestTimeout, sched.KindCanceled, "wait interrupted: %s", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, job.View())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.View())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, err := s.sched.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "", "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.Jobs())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.Stats())
+}
+
+// Shutdown gracefully drains the scheduler (admission already stopped by
+// the caller closing the listener).
+func (s *Server) Shutdown(ctx context.Context) error { return s.sched.Shutdown(ctx) }

@@ -1,0 +1,349 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"o2/internal/sched"
+)
+
+const racySrc = `
+class S { field data; }
+class W {
+  field s;
+  W(s) { this.s = s; }
+  run() { sh = this.s; sh.data = this; }
+}
+main {
+  s = new S();
+  t1 = new W(s);
+  t2 = new W(s);
+  t1.start();
+  t2.start();
+}
+`
+
+const cleanSrc = `
+class S { field data; }
+class M { }
+class W {
+  field s; field m;
+  W(s, m) { this.s = s; this.m = m; }
+  run() { l = this.m; sync (l) { sh = this.s; sh.data = this; } }
+}
+main {
+  s = new S();
+  m = new M();
+  t1 = new W(s, m);
+  t2 = new W(s, m);
+  t1.start();
+  t2.start();
+}
+`
+
+func newTestServer(t *testing.T, opts sched.Options) (*httptest.Server, *sched.Scheduler) {
+	t.Helper()
+	s := sched.New(opts)
+	ts := httptest.NewServer(New(s))
+	t.Cleanup(func() {
+		ts.Close()
+		s.Shutdown(context.Background())
+	})
+	return ts, s
+}
+
+func postAnalyze(t *testing.T, url string, req AnalyzeRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+func TestAnalyzeWaitEndToEnd(t *testing.T) {
+	ts, _ := newTestServer(t, sched.Options{Workers: 1, CollectStats: true})
+
+	resp, raw := postAnalyze(t, ts.URL, AnalyzeRequest{Source: racySrc, Wait: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s: %s", resp.Status, raw)
+	}
+	var view sched.View
+	if err := json.Unmarshal(raw, &view); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, raw)
+	}
+	if view.State != sched.Done || view.RaceCnt != 1 {
+		t.Fatalf("state=%s races=%d", view.State, view.RaceCnt)
+	}
+	if view.Summary == nil || view.Summary.Stats == nil {
+		t.Fatal("missing summary / RunStats in response")
+	}
+
+	// Second identical submission must be cache-served.
+	resp, raw = postAnalyze(t, ts.URL, AnalyzeRequest{Source: racySrc, Wait: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	if err := json.Unmarshal(raw, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Summary == nil || !view.Summary.Cached {
+		t.Fatal("identical resubmission not cache-served")
+	}
+}
+
+func TestAnalyzeAsyncAndPoll(t *testing.T) {
+	ts, _ := newTestServer(t, sched.Options{Workers: 1})
+
+	resp, raw := postAnalyze(t, ts.URL, AnalyzeRequest{Source: cleanSrc})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %s, want 202", resp.Status)
+	}
+	var view sched.View
+	if err := json.Unmarshal(raw, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.ID == "" {
+		t.Fatal("no job ID in 202 response")
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/jobs/" + view.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("poll status %s", r.Status)
+		}
+		if err := json.Unmarshal(raw, &view); err != nil {
+			t.Fatal(err)
+		}
+		if view.Finished {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if view.State != sched.Done || view.RaceCnt != 0 {
+		t.Fatalf("state=%s races=%d err=%s", view.State, view.RaceCnt, view.Error)
+	}
+}
+
+func TestUnknownJob404(t *testing.T) {
+	ts, _ := newTestServer(t, sched.Options{Workers: 1})
+	resp, err := http.Get(ts.URL + "/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %s, want 404", resp.Status)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t, sched.Options{Workers: 1})
+
+	for name, req := range map[string]AnalyzeRequest{
+		"no files":   {Wait: true},
+		"bad policy": {Source: racySrc, Config: ConfigRequest{Context: "psychic"}},
+	} {
+		resp, _ := postAnalyze(t, ts.URL, req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %s, want 400", name, resp.Status)
+		}
+	}
+
+	resp, err := http.Post(ts.URL+"/analyze", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %s, want 400", resp.Status)
+	}
+
+	// Parse errors in the source surface as a failed job, not a 400.
+	resp, raw := postAnalyze(t, ts.URL, AnalyzeRequest{Source: "class {", Wait: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("parse-error submission: status %s", resp.Status)
+	}
+	var view sched.View
+	if err := json.Unmarshal(raw, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.State != sched.Failed || view.ErrKind != sched.KindParse {
+		t.Fatalf("state=%s kind=%s", view.State, view.ErrKind)
+	}
+}
+
+func TestQueueFull429(t *testing.T) {
+	// Big program + tiny queue: concurrent async submissions must
+	// eventually see 429 with a Retry-After header.
+	ts, _ := newTestServer(t, sched.Options{Workers: 1, QueueDepth: 1, CacheEntries: -1})
+
+	big := genSource(200)
+	saw429 := false
+	for i := 0; i < 20 && !saw429; i++ {
+		resp, _ := postAnalyze(t, ts.URL, AnalyzeRequest{Source: big})
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+		case http.StatusTooManyRequests:
+			saw429 = true
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("429 without Retry-After")
+			}
+		default:
+			t.Fatalf("status %s", resp.Status)
+		}
+	}
+	if !saw429 {
+		t.Fatal("queue never returned 429")
+	}
+}
+
+func TestHealthzStatsz(t *testing.T) {
+	ts, _ := newTestServer(t, sched.Options{Workers: 1})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %s", resp.Status)
+	}
+
+	postAnalyze(t, ts.URL, AnalyzeRequest{Source: racySrc, Wait: true})
+	r, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	var st sched.Stats
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("statsz JSON: %v\n%s", err, raw)
+	}
+	if st.Submitted == 0 || st.Completed == 0 {
+		t.Fatalf("statsz counters empty: %+v", st)
+	}
+}
+
+// TestConcurrentSubmissions drives many parallel waiting clients through
+// the full HTTP stack.
+func TestConcurrentSubmissions(t *testing.T) {
+	ts, s := newTestServer(t, sched.Options{Workers: 2, QueueDepth: 64})
+
+	sources := []string{racySrc, cleanSrc, genSource(3), genSource(4)}
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				src := sources[(c+i)%len(sources)]
+				resp, raw := postAnalyze(t, ts.URL, AnalyzeRequest{Source: src, Wait: true})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("client %d: status %s: %s", c, resp.Status, raw)
+					return
+				}
+				var view sched.View
+				if err := json.Unmarshal(raw, &view); err != nil {
+					t.Error(err)
+					return
+				}
+				if view.State != sched.Done {
+					t.Errorf("client %d: state=%s err=%s", c, view.State, view.Error)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Completed != 40 {
+		t.Fatalf("completed=%d, want 40", st.Completed)
+	}
+	if st.CacheHits == 0 {
+		t.Fatal("repeated sources produced no cache hits")
+	}
+}
+
+// TestGracefulShutdownDrains: jobs admitted before Shutdown complete even
+// though admission stops.
+func TestGracefulShutdownDrains(t *testing.T) {
+	s := sched.New(sched.Options{Workers: 1, QueueDepth: 16, CacheEntries: -1})
+	srv := New(s)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		resp, raw := postAnalyze(t, ts.URL, AnalyzeRequest{Source: genSource(20)})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("status %s", resp.Status)
+		}
+		var view sched.View
+		if err := json.Unmarshal(raw, &view); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, view.ID)
+	}
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		j, err := s.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State() != sched.Done {
+			t.Fatalf("job %s state=%s after drain", id, j.State())
+		}
+	}
+
+	resp, _ := postAnalyze(t, ts.URL, AnalyzeRequest{Source: racySrc})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown status %s, want 503", resp.Status)
+	}
+}
+
+func genSource(n int) string {
+	var b strings.Builder
+	b.WriteString("class S { field data; }\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "class W%d { field s; W%d(s) { this.s = s; } run() { sh = this.s; sh.data = this; } }\n", i, i)
+	}
+	b.WriteString("main {\n  s = new S();\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "  t%d = new W%d(s);\n  t%d.start();\n", i, i, i)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

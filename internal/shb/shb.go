@@ -15,6 +15,7 @@
 package shb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -109,6 +110,16 @@ type Config struct {
 
 // Build constructs the SHB graph from a solved pointer analysis.
 func Build(a *pta.Analysis, cfg Config) *Graph {
+	g, _ := BuildCtx(context.Background(), a, cfg)
+	return g
+}
+
+// BuildCtx is Build under a context. The trace walk polls the context
+// between segments and every few thousand emitted instructions, so an
+// ended context aborts construction promptly; the partial graph is
+// returned alongside pta.ErrCanceled (or pta.ErrBudget for an expired
+// deadline) and must not be used for detection.
+func BuildCtx(ctx context.Context, a *pta.Analysis, cfg Config) (*Graph, error) {
 	sp := cfg.Obs.StartSpan("shb")
 	defer sp.End()
 	g := &Graph{
@@ -121,12 +132,27 @@ func Build(a *pta.Analysis, cfg Config) *Graph {
 	g.reachHits = cfg.Obs.Counter("shb.reach_hits")
 	g.reachMisses = cfg.Obs.Counter("shb.reach_misses")
 	b := &builder{a: a, g: g, cfg: cfg, segIdx: map[segKey]SegID{}}
+	if ctx.Done() != nil {
+		b.ctx = ctx
+	}
 	main := a.MainNode()
 	b.segment(main, pta.MainOrigin)
 	for len(b.queue) > 0 {
+		if b.ctx != nil {
+			if err := b.ctx.Err(); err != nil {
+				b.ctxErr = pta.CtxErr(err)
+				break
+			}
+		}
 		s := b.queue[0]
 		b.queue = b.queue[1:]
 		b.buildSegment(s)
+		if b.ctxErr != nil {
+			break
+		}
+	}
+	if b.ctxErr != nil {
+		return g, b.ctxErr
 	}
 	// Resolve pending joins now that every segment's Last is known.
 	for _, pj := range b.joins {
@@ -154,7 +180,7 @@ func Build(a *pta.Analysis, cfg Config) *Graph {
 		cfg.Obs.SetGauge("shb.regions", int64(g.Regions))
 		cfg.Obs.SetGauge("shb.locksets", int64(g.Locksets.Len()))
 	}
-	return g
+	return g, nil
 }
 
 // connectCondVars adds the condition-variable happens-before edges: every
@@ -220,6 +246,9 @@ type builder struct {
 	segIdx map[segKey]SegID
 	queue  []*Segment
 	joins  []pendingJoin
+	ctx    context.Context // nil when cancellation is not observable
+	ctxErr error
+	tick   int
 
 	// per-segment walk state
 	cur       *Segment
@@ -329,7 +358,18 @@ func (b *builder) full() bool {
 	if b.cfg.MaxNodes > 0 && len(b.g.Nodes) >= b.cfg.MaxNodes {
 		b.truncated = true
 	}
-	return b.truncated
+	// Piggyback the cancellation poll on the per-instruction size check:
+	// an ended context truncates the walk exactly like a full trace, and
+	// BuildCtx turns the recorded error into its return value.
+	if !b.truncated && b.ctx != nil && b.ctxErr == nil {
+		b.tick++
+		if b.tick&2047 == 0 {
+			if err := b.ctx.Err(); err != nil {
+				b.ctxErr = pta.CtxErr(err)
+			}
+		}
+	}
+	return b.truncated || b.ctxErr != nil
 }
 
 // walk replays the instructions of a contexted function into the current

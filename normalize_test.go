@@ -1,0 +1,122 @@
+package o2
+
+import (
+	"strings"
+	"testing"
+
+	"o2/internal/ir"
+	"o2/internal/obs"
+	"o2/internal/race"
+)
+
+// TestNormalizeDefaults: a zero config gets Table 1 entries and the full
+// O2 optimization set.
+func TestNormalizeDefaults(t *testing.T) {
+	n := Config{}.normalize()
+	if entriesUnset(n.Entries) {
+		t.Fatal("normalize left entries unset")
+	}
+	if n.Detector != race.O2Options() {
+		t.Fatalf("zero Detector not upgraded to O2Options: %+v", n.Detector)
+	}
+}
+
+// TestNormalizeKeepsExplicitDetector: a deliberately non-zero Detector
+// (here: the naive baseline with one flag set) is NOT upgraded.
+func TestNormalizeKeepsExplicitDetector(t *testing.T) {
+	c := Config{Detector: race.Options{HBCache: true}}
+	n := c.normalize()
+	if n.Detector.RegionMerge || n.Detector.CanonicalLocksets || n.Detector.OSAFilter {
+		t.Fatalf("explicit Detector was upgraded: %+v", n.Detector)
+	}
+	if !n.Detector.HBCache {
+		t.Fatal("explicit HBCache flag lost")
+	}
+}
+
+// TestNormalizeWorkersObsOrthogonal: Workers and Obs set on an otherwise
+// zero Detector must not block the upgrade, and must survive it.
+func TestNormalizeWorkersObsOrthogonal(t *testing.T) {
+	reg := obs.New()
+	c := Config{Detector: race.Options{Workers: 3, Obs: reg}}
+	n := c.normalize()
+	if n.Detector != (race.Options{RegionMerge: true, CanonicalLocksets: true, HBCache: true, OSAFilter: true, Workers: 3, Obs: reg}) {
+		t.Fatalf("Workers/Obs-only Detector not upgraded correctly: %+v", n.Detector)
+	}
+}
+
+// TestNormalizeTopLevelOverrides: top-level Workers and Obs override the
+// Detector fields.
+func TestNormalizeTopLevelOverrides(t *testing.T) {
+	reg := obs.New()
+	c := Config{Workers: 7, Obs: reg, Detector: race.Options{Workers: 2}}
+	n := c.normalize()
+	if n.Detector.Workers != 7 {
+		t.Fatalf("top-level Workers not applied: %d", n.Detector.Workers)
+	}
+	if n.Detector.Obs != reg {
+		t.Fatal("top-level Obs not applied")
+	}
+}
+
+// TestNormalizeExplicitEmptyEntries: an explicitly empty slice disables
+// that origin kind rather than triggering the defaults.
+func TestNormalizeExplicitEmptyEntries(t *testing.T) {
+	c := Config{Entries: ir.EntryConfig{ThreadEntries: []string{}}}
+	n := c.normalize()
+	if len(n.Entries.ThreadEntries) != 0 {
+		t.Fatalf("explicit empty ThreadEntries replaced by defaults: %v", n.Entries.ThreadEntries)
+	}
+}
+
+// TestNormalizeIdempotent: normalize(normalize(c)) == normalize(c) on the
+// fingerprint projection.
+func TestNormalizeIdempotent(t *testing.T) {
+	c := DefaultConfig()
+	c.Android = true
+	once := c.normalize()
+	twice := once.normalize()
+	if once.Fingerprint() != twice.Fingerprint() {
+		t.Fatal("normalize is not idempotent")
+	}
+}
+
+// TestFingerprintSensitivity: the fingerprint must change with every
+// report-affecting knob and ignore Workers/Obs.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := DefaultConfig().Fingerprint()
+
+	mutants := map[string]Config{
+		"policy":    {Policy: Insensitive},
+		"android":   func() Config { c := DefaultConfig(); c.Android = true; return c }(),
+		"replicate": func() Config { c := DefaultConfig(); c.ReplicateEvents = true; return c }(),
+		"detector":  {Detector: race.Options{HBCache: true}},
+		"budget":    func() Config { c := DefaultConfig(); c.StepBudget = 99; return c }(),
+		"entries":   {Entries: ir.EntryConfig{ThreadEntries: []string{"go"}}},
+	}
+	for name, c := range mutants {
+		if c.Fingerprint() == base {
+			t.Errorf("%s change did not alter the fingerprint", name)
+		}
+	}
+
+	same := DefaultConfig()
+	same.Workers = 9
+	same.Obs = obs.New()
+	if same.Fingerprint() != base {
+		t.Error("Workers/Obs changed the fingerprint; cache would needlessly miss")
+	}
+	if !strings.HasPrefix(base, "v1|") {
+		t.Errorf("fingerprint not versioned: %q", base)
+	}
+}
+
+// TestFingerprintEntryOrderInsensitive: entry lists are sets; order must
+// not change the fingerprint.
+func TestFingerprintEntryOrderInsensitive(t *testing.T) {
+	a := Config{Entries: ir.EntryConfig{ThreadEntries: []string{"x", "y"}}}
+	b := Config{Entries: ir.EntryConfig{ThreadEntries: []string{"y", "x"}}}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("entry order changed the fingerprint")
+	}
+}

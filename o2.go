@@ -11,11 +11,17 @@
 //  4. a hybrid happens-before + lockset race detector with the paper's
 //     three sound optimizations.
 //
-// The entry points are AnalyzeSource (minilang text) and AnalyzeProgram
-// (programmatically built IR).
+// The primary entry points are Analyze (programmatically built IR) and
+// AnalyzeSourceCtx (minilang text), both context-first: cancellation and
+// deadlines propagate into every pipeline stage. AnalyzeSource and
+// AnalyzeProgram are thin context.Background wrappers kept for
+// convenience.
 package o2
 
 import (
+	"context"
+	"fmt"
+	"sort"
 	"time"
 
 	"o2/internal/deadlock"
@@ -27,6 +33,16 @@ import (
 	"o2/internal/pta"
 	"o2/internal/race"
 	"o2/internal/shb"
+)
+
+// Sentinel errors of the analysis pipeline. ErrBudget is returned when a
+// step budget, the TimeBudget-derived deadline, or a caller-supplied
+// context deadline is exceeded (errors.Is against pta.ErrBudget holds).
+// ErrCanceled is returned when the caller's context is canceled
+// mid-analysis (errors.Is against context.Canceled holds).
+var (
+	ErrBudget   = pta.ErrBudget
+	ErrCanceled = pta.ErrCanceled
 )
 
 // Re-exported context policies for configuration convenience.
@@ -46,6 +62,26 @@ func Obj(k int) pta.Policy { return pta.Policy{Kind: pta.KObj, K: k} }
 // OriginsK returns a k-origin-sensitive policy for nested origins (§3.2,
 // K-Origin-Sensitivity).
 func OriginsK(k int) pta.Policy { return pta.Policy{Kind: pta.KOrigin, K: k} }
+
+// PolicyByName resolves the CLI / service spelling of a context policy
+// ("origin", "0ctx", "kcfa", "kobj") with depth k. Shared by cmd/o2 and
+// the batch-analysis server so both accept the same configuration.
+func PolicyByName(name string, k int) (pta.Policy, error) {
+	if k <= 0 {
+		k = 1
+	}
+	switch name {
+	case "", "origin":
+		return pta.Policy{Kind: pta.KOrigin, K: k}, nil
+	case "0ctx":
+		return pta.Policy{Kind: pta.Insensitive}, nil
+	case "kcfa":
+		return pta.Policy{Kind: pta.KCFA, K: k}, nil
+	case "kobj":
+		return pta.Policy{Kind: pta.KObj, K: k}, nil
+	}
+	return pta.Policy{}, fmt.Errorf("unknown context policy %q", name)
+}
 
 // Config configures a full analysis run.
 type Config struct {
@@ -135,68 +171,136 @@ func (r *Result) TotalTime() time.Duration {
 	return r.PTATime + r.OSATime + r.SHBTime + r.DetectTime
 }
 
-// AnalyzeSource compiles one minilang source and analyzes it.
-func AnalyzeSource(filename, src string, cfg Config) (*Result, error) {
-	entries := cfg.Entries
-	if entriesUnset(entries) {
-		entries = ir.DefaultEntryConfig()
+// normalize resolves the config's defaulting rules into an explicit,
+// ready-to-run form: unset entry points become the Table 1 defaults, a
+// zero-value Detector (ignoring Workers and Obs, which are orthogonal
+// knobs) is upgraded to the full O2 optimization set, and the top-level
+// Workers and Obs fields override their Detector counterparts. normalize
+// is idempotent; AnalyzeProgram used to inline this logic, which made the
+// upgrade rules untestable in isolation.
+func (c Config) normalize() Config {
+	if entriesUnset(c.Entries) {
+		c.Entries = ir.DefaultEntryConfig()
 	}
-	prog, err := lang.Compile(filename, src, entries)
-	if err != nil {
-		return nil, err
-	}
-	return AnalyzeProgram(prog, cfg)
-}
-
-// AnalyzeProgram analyzes a finalized IR program.
-func AnalyzeProgram(prog *ir.Program, cfg Config) (*Result, error) {
-	entries := cfg.Entries
-	if entriesUnset(entries) {
-		entries = ir.DefaultEntryConfig()
-	}
-	if err := prog.Finalize(entries); err != nil {
-		return nil, err
-	}
-	opts := cfg.Detector
-	// The zero-value upgrade ignores Workers and Obs: a config that only
-	// picks a worker count or a registry still gets the full optimization
-	// set.
-	base := opts
+	base := c.Detector
 	base.Workers = 0
 	base.Obs = nil
 	if base == (race.Options{}) {
-		opts = race.O2Options()
-		opts.Workers = cfg.Detector.Workers
+		workers := c.Detector.Workers
+		obsReg := c.Detector.Obs
+		c.Detector = race.O2Options()
+		c.Detector.Workers = workers
+		c.Detector.Obs = obsReg
 	}
-	if cfg.Workers != 0 {
-		opts.Workers = cfg.Workers
+	if c.Workers != 0 {
+		c.Detector.Workers = c.Workers
 	}
-	if cfg.Obs != nil {
-		opts.Obs = cfg.Obs
+	if c.Obs != nil {
+		c.Detector.Obs = c.Obs
+	}
+	return c
+}
+
+// Fingerprint returns a stable string identifying every configuration
+// field that can change the analysis report: policy, entry points, event
+// treatment, detector optimizations and budgets. Worker count and the
+// observability registry are deliberately excluded — the report is
+// identical for every worker count, and observability never alters
+// results. The batch scheduler keys its result cache on
+// (source hash, Fingerprint).
+func (c Config) Fingerprint() string {
+	n := c.normalize()
+	d := n.Detector
+	return fmt.Sprintf("v1|pol=%d.%d|e=%s|android=%t|rep=%t|det=%t%t%t%t|pb=%d|sb=%d|tb=%d|shb=%d",
+		n.Policy.Kind, n.Policy.K, entriesFingerprint(n.Entries), n.Android, n.ReplicateEvents,
+		d.RegionMerge, d.CanonicalLocksets, d.HBCache, d.OSAFilter,
+		d.PairBudget, n.StepBudget, int64(n.TimeBudget), n.MaxSHBNodes)
+}
+
+func entriesFingerprint(e ir.EntryConfig) string {
+	part := func(ss []string) string {
+		s := append([]string(nil), ss...)
+		sort.Strings(s)
+		return fmt.Sprint(s)
+	}
+	return part(e.ThreadEntries) + part(e.EventEntries) + part(e.StartMethods) +
+		part(e.JoinMethods) + part(e.WaitMethods) + part(e.NotifyMethods) +
+		part(e.LockFuncs) + part(e.UnlockFuncs)
+}
+
+// AnalyzeSource compiles one minilang source and analyzes it.
+func AnalyzeSource(filename, src string, cfg Config) (*Result, error) {
+	return AnalyzeSourceCtx(context.Background(), filename, src, cfg)
+}
+
+// AnalyzeSourceCtx compiles one minilang source and analyzes it under a
+// context; see Analyze for the cancellation contract.
+func AnalyzeSourceCtx(ctx context.Context, filename, src string, cfg Config) (*Result, error) {
+	cfg = cfg.normalize()
+	prog, err := lang.Compile(filename, src, cfg.Entries)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(ctx, prog, cfg)
+}
+
+// AnalyzeProgram analyzes a finalized IR program without cancellation.
+func AnalyzeProgram(prog *ir.Program, cfg Config) (*Result, error) {
+	return Analyze(context.Background(), prog, cfg)
+}
+
+// Analyze is the primary entry point: it runs the full pipeline (pointer
+// analysis, origin-sharing, SHB construction, race detection) on a
+// finalized IR program under a context. Cancellation propagates into
+// every stage — the pta step loop, the OSA and SHB traversals and the
+// race worker pool all poll the context and return within milliseconds of
+// it ending. A canceled run returns (nil, ErrCanceled); an expired
+// deadline returns (nil, ErrBudget). Config.TimeBudget is implemented as
+// a derived context deadline covering the whole pipeline, so explicit
+// budgets and caller deadlines share one mechanism.
+func Analyze(ctx context.Context, prog *ir.Program, cfg Config) (*Result, error) {
+	cfg = cfg.normalize()
+	if cfg.TimeBudget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.TimeBudget)
+		defer cancel()
+	}
+	if err := prog.Finalize(cfg.Entries); err != nil {
+		return nil, err
 	}
 
 	root := cfg.Obs.StartSpan("analyze")
+	defer root.End()
 	t0 := time.Now()
 	a := pta.New(prog, pta.Config{
 		Policy:          cfg.Policy,
-		Entries:         entries,
+		Entries:         cfg.Entries,
 		ReplicateEvents: cfg.ReplicateEvents,
 		StepBudget:      cfg.StepBudget,
-		TimeBudget:      cfg.TimeBudget,
-		Obs:             cfg.Obs,
+		// TimeBudget is not forwarded: the derived deadline above bounds
+		// the whole pipeline, not just the solver.
+		Obs: cfg.Obs,
 	})
-	if err := a.Solve(); err != nil {
-		root.End()
+	if err := a.SolveCtx(ctx); err != nil {
 		return nil, err
 	}
 	t1 := time.Now()
-	sharing := osa.AnalyzeWith(a, cfg.Obs)
+	sharing, err := osa.AnalyzeCtx(ctx, a, cfg.Obs)
+	if err != nil {
+		return nil, err
+	}
 	t2 := time.Now()
-	g := shb.Build(a, shb.Config{AndroidEvents: cfg.Android, MaxNodes: cfg.MaxSHBNodes, Obs: cfg.Obs})
+	g, err := shb.BuildCtx(ctx, a, shb.Config{AndroidEvents: cfg.Android, MaxNodes: cfg.MaxSHBNodes, Obs: cfg.Obs})
+	if err != nil {
+		return nil, err
+	}
 	t3 := time.Now()
-	rep := race.Detect(a, sharing, g, opts)
+	rep, err := race.DetectCtx(ctx, a, sharing, g, cfg.Detector)
+	if err != nil {
+		return nil, err
+	}
 	t4 := time.Now()
-	root.End()
+	root.End() // idempotent; close before snapshotting so the span is final
 
 	res := &Result{
 		Prog:     prog,
