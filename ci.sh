@@ -8,12 +8,22 @@
 #   ./ci.sh             run everything
 #   ./ci.sh bench-gate  run only the bench gate (emits BENCH_ci.json)
 #   ./ci.sh cover       run only the coverage floors
+#   ./ci.sh eval        run only the precision gate + metamorphic smoke
 set -eux
 
 bench_gate() {
 	go run ./cmd/o2bench -table gate \
 		-stats-json BENCH_ci.json \
 		-golden internal/bench/testdata/bench_gate_golden.json
+}
+
+# Precision gate over the ground-truth oracle corpus (internal/truth):
+# recall must be 1.0 and precision at or above the checked-in baseline,
+# then the metamorphic suite must leave every canonical race-report set
+# invariant (all source transforms x the corpus, all IR transforms x
+# three workload presets). See `o2 eval -h`.
+eval_gate() {
+	go run ./cmd/o2 eval -metamorphic
 }
 
 # End-to-end smoke of the batch-analysis service: build the CLI, start
@@ -76,9 +86,13 @@ smoke)
 	smoke
 	exit 0
 	;;
+eval)
+	eval_gate
+	exit 0
+	;;
 all) ;;
 *)
-	echo "usage: ./ci.sh [bench-gate|cover|smoke]" >&2
+	echo "usage: ./ci.sh [bench-gate|cover|smoke|eval]" >&2
 	exit 2
 	;;
 esac
@@ -89,4 +103,5 @@ go test ./...
 go test -race ./internal/race/ ./internal/shb/ ./internal/lockset/ ./internal/obs/ ./internal/sched/ ./internal/server/
 cover
 smoke
+eval_gate
 bench_gate

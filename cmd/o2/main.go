@@ -6,13 +6,14 @@
 //	o2 serve  [flags]                       run the batch-analysis HTTP service
 //	o2 batch  [flags] dir|file ...          analyze many programs via the scheduler
 //	o2 submit [flags] file.mini ...         submit to a running o2 serve
+//	o2 eval   [flags]                       score against the oracle corpus
 //
 // Run `o2 <subcommand> -h` for per-command flags.
 //
 // Exit codes (all subcommands):
 //
-//	0  analysis completed, no races
-//	1  analysis completed, races found
+//	0  analysis completed, no races (for eval: gate passed)
+//	1  analysis completed, races found (for eval: gate failed)
 //	2  usage error (bad flags or arguments)
 //	3  source parse / compile error
 //	4  budget exhausted (step budget, time budget or deadline)
@@ -53,9 +54,11 @@ func run(args []string) int {
 			return runSubmit(args[1:])
 		case "analyze":
 			return runAnalyze(args[1:])
+		case "eval":
+			return runEval(args[1:])
 		case "help", "-h", "-help", "--help":
 			fmt.Fprintln(os.Stderr, "usage: o2 [flags] file.mini ...")
-			fmt.Fprintln(os.Stderr, "       o2 serve|batch|submit|analyze [flags] ...")
+			fmt.Fprintln(os.Stderr, "       o2 serve|batch|submit|analyze|eval [flags] ...")
 			return exitUsage
 		}
 	}

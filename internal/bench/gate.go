@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"o2/internal/obs"
+	"o2/internal/truth"
 	"o2/internal/workload"
 )
 
@@ -32,6 +33,12 @@ type GateReport struct {
 	// Batch is the report-only scheduler-throughput section (see
 	// BatchStats); it never participates in the golden comparison.
 	Batch *BatchStats `json:"batch,omitempty"`
+	// Eval is the ground-truth precision/recall report over the oracle
+	// corpus (internal/truth). It is gated against the checked-in
+	// internal/truth/baseline.json — recall must stay 1.0 and precision
+	// must not drop — rather than against the golden file, so it is
+	// stripped from the deterministic projection like Batch.
+	Eval *truth.EvalReport `json:"eval,omitempty"`
 }
 
 // GatePreset is one workload's gate entry.
@@ -73,6 +80,11 @@ func RunGate(o Opts) (*GateReport, error) {
 		return nil, err
 	}
 	rep.Batch = batch
+	ev, err := truth.Evaluate()
+	if err != nil {
+		return nil, fmt.Errorf("bench gate: eval: %w", err)
+	}
+	rep.Eval = ev
 	return rep, nil
 }
 
@@ -177,6 +189,18 @@ func Gate(w io.Writer, o Opts, goldenPath, statsPath string, update bool) error 
 		fmt.Fprintf(w, "bench gate: batch %d jobs @ %.1f jobs/s (cache %d/%d, warm hit %s) [report-only]\n",
 			rep.Batch.Jobs, rep.Batch.JobsPerSec, rep.Batch.CacheHits,
 			rep.Batch.CacheHits+rep.Batch.CacheMisses, time.Duration(rep.Batch.WarmHitNS))
+	}
+	if rep.Eval != nil {
+		t := rep.Eval.Total
+		fmt.Fprintf(w, "bench gate: eval precision=%.4f recall=%.4f f1=%.4f (tp=%d fp=%d fn=%d)\n",
+			t.Precision, t.Recall, t.F1, t.TP, t.FP, t.FN)
+		base, err := truth.Baseline()
+		if err != nil {
+			return fmt.Errorf("bench gate: baseline: %w", err)
+		}
+		if err := rep.Eval.CheckAgainstBaseline(base); err != nil {
+			return fmt.Errorf("bench gate: %w", err)
+		}
 	}
 	if update {
 		data, err := rep.Deterministic().MarshalIndent()

@@ -140,3 +140,15 @@ func (FuncAddrExpr) expr() {}
 func (*CallExpr) expr()    {}
 func (NullLit) expr()      {}
 func (IntLit) expr()       {}
+
+// Line returns a statement's source line (for tools outside the package;
+// the interface method is unexported).
+func Line(s Stmt) int { return s.stmtLine() }
+
+// NewIfStmt builds an if statement at the given line. The frontend's
+// conditions are ignored by the analysis, so none is taken; this exists
+// for AST-rewriting tools (the metamorphic suite wraps bodies in
+// redundant blocks).
+func NewIfStmt(line int, then, els []Stmt) *IfStmt {
+	return &IfStmt{stmtBase: stmtBase{Line: line}, Then: then, Else: els}
+}

@@ -1,0 +1,117 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"o2/internal/ir"
+)
+
+const printSrc = `// leading comment
+class Counter extends Base {
+	field n; static field total;
+	volatile field flag;
+	Counter(m) { super(m); this.n = m; }
+	origin run() {
+		sync (this) { this.n = 1; }
+		if (this.n > 0) { this.n = 2; } else if (1) { this.n = 3; }
+		while (this.n < 10) { arr[this.n] = 1; }
+		return;
+	}
+	get() { return n; }
+}
+class Base { field b; Base(x) { this.b = x; } }
+func helper(a, b) { a.n = b; Counter.total = 1; }
+main {
+	c = new Counter(5);
+	c.start();
+	s = "str lit";
+	f = &helper;
+	x = null;
+	c.join();
+}
+`
+
+// TestFormatFixedPoint: formatting is canonical — parse→format→parse→format
+// must reproduce the same text.
+func TestFormatFixedPoint(t *testing.T) {
+	f, err := Parse("p.mini", printSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text1, _ := Format(f)
+	f2, err := Parse("p.mini", text1)
+	if err != nil {
+		t.Fatalf("formatted text does not reparse: %v\n%s", err, text1)
+	}
+	text2, _ := Format(f2)
+	if text1 != text2 {
+		t.Errorf("Format is not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", text1, text2)
+	}
+}
+
+// TestFormatLineMap: every statement line in the formatted text must map
+// back to the line of the corresponding statement in the original source.
+func TestFormatLineMap(t *testing.T) {
+	f, err := Parse("p.mini", printSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, lines := Format(f)
+	f2, err := Parse("p.mini", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var orig, printed []int
+	collectStmtLines(f, &orig)
+	collectStmtLines(f2, &printed)
+	if len(orig) != len(printed) {
+		t.Fatalf("statement count changed: %d vs %d", len(orig), len(printed))
+	}
+	for i := range printed {
+		if got := lines[printed[i]]; got != orig[i] {
+			t.Errorf("stmt %d: printed line %d maps to %d, want %d", i, printed[i], got, orig[i])
+		}
+	}
+}
+
+func collectStmtLines(f *File, out *[]int) {
+	var walk func(body []Stmt)
+	walk = func(body []Stmt) {
+		for _, s := range body {
+			*out = append(*out, s.stmtLine())
+			switch st := s.(type) {
+			case *SyncStmt:
+				walk(st.Body)
+			case *IfStmt:
+				walk(st.Then)
+				walk(st.Else)
+			case *WhileStmt:
+				walk(st.Body)
+			}
+		}
+	}
+	for _, cd := range f.Classes {
+		for _, m := range cd.Methods {
+			walk(m.Body)
+		}
+	}
+	for _, fd := range f.Funcs {
+		walk(fd.Body)
+	}
+}
+
+// TestFormatCompiles: the canonical text compiles like the original.
+func TestFormatCompiles(t *testing.T) {
+	f, err := Parse("p.mini", printSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := Format(f)
+	if !strings.Contains(text, "super(m);") || !strings.Contains(text, "main {") {
+		t.Fatalf("canonical text lost constructs:\n%s", text)
+	}
+	if _, err := Compile("p.mini", text, ir.DefaultEntryConfig()); err != nil {
+		t.Fatalf("formatted text does not compile: %v\n%s", err, text)
+	}
+}

@@ -38,6 +38,16 @@ type Options struct {
 	// OSAFilter restricts checking to OSA's origin-shared locations; when
 	// false all locations with accesses from two segments are checked.
 	OSAFilter bool
+	// NoHB disables the happens-before ordering check entirely (beyond
+	// NoHB≠!HBCache: HBCache merely switches the query implementation).
+	// Every cross-segment candidate pair then races unless lock-protected —
+	// the lockset-only ablation used by the Table 10 category tests to show
+	// which analysis suppresses which false-positive class. Unsound as a
+	// detector configuration; never enabled by O2Options or NaiveOptions.
+	NoHB bool
+	// NoLockset disables the common-lock check: lock-protected pairs are
+	// reported unless happens-before ordered — the HB-only ablation.
+	NoLockset bool
 	// PairBudget bounds the number of candidate pairs examined (0 =
 	// unlimited); exceeding it stops detection and sets Report.TimedOut —
 	// the analogue of the paper's ">4h" detection cells. The budget is a
@@ -296,10 +306,10 @@ func checkGroup(a *pta.Analysis, g *shb.Graph, k osa.Key, accs []acc, opt Option
 				return gr
 			}
 			gr.pairs++
-			if commonLock(g, x, y, opt, &gr) {
+			if !opt.NoLockset && commonLock(g, x, y, opt, &gr) {
 				continue
 			}
-			if sx != sy {
+			if !opt.NoHB && sx != sy {
 				gr.hbq++
 				ordered := false
 				if opt.HBCache {

@@ -1,0 +1,171 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"o2/internal/pta"
+	"o2/internal/race"
+)
+
+// RaceKey is the canonical, order-independent identity of a reported race:
+// the location's source-level name, the unordered source-position pair
+// (normalized so A ≤ B), and the origin kind pair. The detector's raw
+// report can present the two accesses of a race in either order and — in
+// array cases where several abstract objects collapse onto the synthetic
+// "*" field — keyed by whichever abstract object the instruction ordering
+// visited first. Scoring against a ground-truth corpus and metamorphic
+// report comparison both need a representation where none of that shows
+// through, which is what Canonical computes.
+//
+// Identity (Ident, sorting, equality for scoring) is the triple
+// (Loc, A position, B position). Pair is carried for display and the
+// `.expect` sidecars' readability but excluded from identity: the
+// detector deduplicates races by (location, position pair) keeping the
+// first origin pair encountered, so Pair can legitimately flip between
+// equivalent runs (e.g. after a declaration reorder) while the race
+// itself is unchanged.
+type RaceKey struct {
+	// Loc is the source-level location name: the instance field name, the
+	// "Class.field" static signature, or "*" for array element accesses.
+	Loc string `json:"loc"`
+	// AFile:ALine / BFile:BLine are the two access positions with
+	// (AFile, ALine) ≤ (BFile, BLine).
+	AFile string `json:"a_file"`
+	ALine int    `json:"a_line"`
+	BFile string `json:"b_file"`
+	BLine int    `json:"b_line"`
+	// Pair is the unordered origin kind pair, e.g. "main-thread" or
+	// "event-event" (kinds sorted lexicographically). Informational only.
+	Pair string `json:"pair"`
+}
+
+// Ident is the race's identity string: location and normalized position
+// pair, without the informational origin pair.
+func (k RaceKey) Ident() string {
+	return fmt.Sprintf("%s @ %s:%d %s:%d", k.Loc, k.AFile, k.ALine, k.BFile, k.BLine)
+}
+
+func (k RaceKey) String() string {
+	return fmt.Sprintf("%s (%s)", k.Ident(), k.Pair)
+}
+
+// less orders keys by identity: location, then A position, then B
+// position. Pair never participates.
+func (k RaceKey) less(o RaceKey) bool {
+	if k.Loc != o.Loc {
+		return k.Loc < o.Loc
+	}
+	if k.AFile != o.AFile {
+		return k.AFile < o.AFile
+	}
+	if k.ALine != o.ALine {
+		return k.ALine < o.ALine
+	}
+	if k.BFile != o.BFile {
+		return k.BFile < o.BFile
+	}
+	return k.BLine < o.BLine
+}
+
+// sameIdent reports whether two keys have the same identity (ignoring
+// Pair).
+func (k RaceKey) sameIdent(o RaceKey) bool {
+	return k.Loc == o.Loc && k.AFile == o.AFile && k.ALine == o.ALine &&
+		k.BFile == o.BFile && k.BLine == o.BLine
+}
+
+// Canonical projects a race report onto its canonical key set: one RaceKey
+// per distinct (location, position pair), sorted, with positions
+// normalized. The origin table resolves each access's origin kind for the
+// informational Pair field; it may be nil, in which case Pair is empty.
+func Canonical(rep *race.Report, origins *pta.OriginTable) []RaceKey {
+	if rep == nil {
+		return nil
+	}
+	keys := make([]RaceKey, 0, len(rep.Races))
+	for i := range rep.Races {
+		keys = append(keys, CanonicalRace(&rep.Races[i], origins))
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	// Dedup by identity; the detector already dedups by signature, so this
+	// only collapses keys that differ in the informational Pair.
+	out := keys[:0]
+	for _, k := range keys {
+		if len(out) > 0 && out[len(out)-1].sameIdent(k) {
+			continue
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// CanonicalRace computes the canonical key of a single race.
+func CanonicalRace(r *race.Race, origins *pta.OriginTable) RaceKey {
+	loc := r.Key.Field
+	if r.Key.Static != "" {
+		loc = r.Key.Static
+	}
+	k := RaceKey{
+		Loc:   loc,
+		AFile: r.A.Pos.File, ALine: r.A.Pos.Line,
+		BFile: r.B.Pos.File, BLine: r.B.Pos.Line,
+	}
+	ka, kb := originKind(origins, r.A.Origin), originKind(origins, r.B.Origin)
+	if k.BFile < k.AFile || (k.BFile == k.AFile && k.BLine < k.ALine) {
+		k.AFile, k.ALine, k.BFile, k.BLine = k.BFile, k.BLine, k.AFile, k.ALine
+		ka, kb = kb, ka
+	}
+	if kb < ka {
+		ka, kb = kb, ka
+	}
+	if ka != "" {
+		k.Pair = ka + "-" + kb
+	}
+	return k
+}
+
+func originKind(origins *pta.OriginTable, id pta.OriginID) string {
+	if origins == nil {
+		return ""
+	}
+	return origins.Get(id).Kind.String()
+}
+
+// Normalize re-canonicalizes keys whose positions were rewritten after
+// Canonical ran (e.g. mapped from a transformed program's lines back to
+// the original source): each key's position pair is re-normalized to
+// A ≤ B, the set is re-sorted and deduplicated by identity.
+func Normalize(keys []RaceKey) []RaceKey {
+	out := make([]RaceKey, 0, len(keys))
+	for _, k := range keys {
+		if k.BFile < k.AFile || (k.BFile == k.AFile && k.BLine < k.ALine) {
+			k.AFile, k.ALine, k.BFile, k.BLine = k.BFile, k.BLine, k.AFile, k.ALine
+		}
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
+	dedup := out[:0]
+	for _, k := range out {
+		if len(dedup) > 0 && dedup[len(dedup)-1].sameIdent(k) {
+			continue
+		}
+		dedup = append(dedup, k)
+	}
+	return dedup
+}
+
+// SameKeys reports whether two canonical key sets are identical (by
+// identity, ignoring the informational Pair). Both inputs must already be
+// canonical (sorted, deduped), as produced by Canonical.
+func SameKeys(a, b []RaceKey) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].sameIdent(b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,89 @@
+package report
+
+import (
+	"testing"
+
+	"o2/internal/ir"
+	"o2/internal/osa"
+	"o2/internal/race"
+)
+
+func mkRace(loc string, static bool, aLine, bLine int) race.Race {
+	k := osa.Key{Obj: 1, Field: loc}
+	if static {
+		k = osa.Key{Static: loc}
+	}
+	return race.Race{
+		Key: k,
+		A:   race.Access{Pos: ir.Pos{File: "p.mini", Line: aLine}},
+		B:   race.Access{Pos: ir.Pos{File: "p.mini", Line: bLine}},
+	}
+}
+
+func TestCanonicalNormalizesAndSorts(t *testing.T) {
+	rep := &race.Report{Races: []race.Race{
+		mkRace("y", false, 9, 4),  // reversed positions
+		mkRace("x", false, 7, 3),  // reversed positions
+		mkRace("C.s", true, 2, 8), // static, already ordered
+		mkRace("*", false, 5, 5),  // array self-race, equal lines
+	}}
+	keys := Canonical(rep, nil)
+	want := []string{
+		"* @ p.mini:5 p.mini:5",
+		"C.s @ p.mini:2 p.mini:8",
+		"x @ p.mini:3 p.mini:7",
+		"y @ p.mini:4 p.mini:9",
+	}
+	if len(keys) != len(want) {
+		t.Fatalf("got %d keys, want %d: %v", len(keys), len(want), keys)
+	}
+	for i, w := range want {
+		if keys[i].Ident() != w {
+			t.Errorf("key %d = %q, want %q", i, keys[i].Ident(), w)
+		}
+	}
+}
+
+func TestCanonicalDedupsAcrossObjects(t *testing.T) {
+	// Two abstract objects exhibiting the same source-level array race must
+	// collapse onto one canonical key.
+	a := mkRace("*", false, 3, 6)
+	b := mkRace("*", false, 6, 3)
+	b.Key.Obj = 2
+	rep := &race.Report{Races: []race.Race{a, b}}
+	keys := Canonical(rep, nil)
+	if len(keys) != 1 {
+		t.Fatalf("got %d keys, want 1: %v", len(keys), keys)
+	}
+	if got := keys[0].Ident(); got != "* @ p.mini:3 p.mini:6" {
+		t.Errorf("key = %q", got)
+	}
+}
+
+func TestCanonicalNilReport(t *testing.T) {
+	if keys := Canonical(nil, nil); keys != nil {
+		t.Fatalf("nil report: got %v", keys)
+	}
+}
+
+func TestSameKeysIgnoresPair(t *testing.T) {
+	a := []RaceKey{{Loc: "x", AFile: "f", ALine: 1, BFile: "f", BLine: 2, Pair: "main-thread"}}
+	b := []RaceKey{{Loc: "x", AFile: "f", ALine: 1, BFile: "f", BLine: 2, Pair: "thread-thread"}}
+	if !SameKeys(a, b) {
+		t.Error("SameKeys must ignore the informational Pair")
+	}
+	c := []RaceKey{{Loc: "x", AFile: "f", ALine: 1, BFile: "f", BLine: 3}}
+	if SameKeys(a, c) {
+		t.Error("SameKeys must distinguish positions")
+	}
+	if SameKeys(a, nil) {
+		t.Error("SameKeys must distinguish lengths")
+	}
+}
+
+func TestRaceKeyStringIncludesPair(t *testing.T) {
+	k := RaceKey{Loc: "x", AFile: "f", ALine: 1, BFile: "f", BLine: 2, Pair: "event-thread"}
+	if got, want := k.String(), "x @ f:1 f:2 (event-thread)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

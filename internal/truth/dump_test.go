@@ -1,0 +1,57 @@
+package truth
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestDumpActualKeys is a corpus-authoring aid, not an assertion: with
+// TRUTH_DUMP=1 it prints every program's *actual* canonical race keys in
+// .expect syntax so a human can diff them against the intended ground
+// truth and spot both analysis surprises and labeling mistakes. It never
+// writes files — the labels in the sidecars are hand-verified, not
+// regenerated.
+func TestDumpActualKeys(t *testing.T) {
+	if os.Getenv("TRUTH_DUMP") == "" {
+		t.Skip("set TRUTH_DUMP=1 to dump actual corpus race keys")
+	}
+	corpus, err := Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range corpus {
+		p := &corpus[i]
+		keys, err := p.ActualKeys()
+		if err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+			continue
+		}
+		fmt.Printf("## %s (%s)\n", p.Name, p.Category)
+		for _, k := range keys {
+			fmt.Printf("race %s @ %d %d  # %s\n", k.Loc, k.ALine, k.BLine, k.Pair)
+		}
+		if len(keys) == 0 {
+			fmt.Println("# no races reported")
+		}
+		fmt.Println()
+	}
+}
+
+// TestDumpEvalJSON prints the current eval report as JSON (the baseline
+// format) with TRUTH_DUMP=1, for regenerating baseline.json after a
+// deliberate precision change.
+func TestDumpEvalJSON(t *testing.T) {
+	if os.Getenv("TRUTH_DUMP") == "" {
+		t.Skip("set TRUTH_DUMP=1 to dump the eval report")
+	}
+	rep, err := Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(string(data))
+}

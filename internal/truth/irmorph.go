@@ -1,0 +1,135 @@
+package truth
+
+import (
+	"context"
+	"strings"
+
+	"o2"
+	"o2/internal/ir"
+	"o2/internal/report"
+	"o2/internal/workload"
+)
+
+// IR-level metamorphic transforms, the analogue of the source transforms
+// for generated workload programs (built directly as IR, so the source
+// layer never sees them). Each rewrite happens on a raw (un-finalized)
+// program: Finalize then assigns fresh site/instruction numbering, so the
+// transforms deliberately shake every internal ID while leaving run-time
+// behavior — and therefore the canonical race-key set — unchanged.
+
+// IRTransform is a named race-preserving rewrite of a raw IR program.
+type IRTransform struct {
+	Name  string
+	Apply func(p *ir.Program)
+}
+
+// IRTransforms returns the IR rewrites applied to workload presets.
+func IRTransforms() []IRTransform {
+	return []IRTransform{
+		{Name: "identity", Apply: func(p *ir.Program) {}},
+		{Name: "rename-vars", Apply: renameVarsIR},
+		{Name: "reorder-funcs", Apply: reorderFuncsIR},
+		{Name: "permute-spawns", Apply: permuteSpawnBlocksIR},
+	}
+}
+
+// PresetKeys builds the preset, applies one IR transform, and returns the
+// canonical race keys. Instruction positions are assigned at build time
+// and travel with the instructions, so keys from different transforms of
+// the same preset are directly comparable.
+func PresetKeys(p workload.Preset, tr IRTransform, cfg o2.Config) ([]report.RaceKey, error) {
+	prog := workload.BuildRaw(p)
+	tr.Apply(prog)
+	if err := prog.Finalize(cfg.Entries); err != nil {
+		return nil, err
+	}
+	res, err := o2.Analyze(context.Background(), prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return report.Canonical(res.Report, res.Analysis.Origins), nil
+}
+
+// renameVarsIR renames every local and parameter (except the receiver and
+// compiler-generated "$" temporaries) — names must never reach the
+// report.
+func renameVarsIR(p *ir.Program) {
+	for _, f := range p.Funcs {
+		for _, v := range f.Locals {
+			if v.Name == "this" || strings.HasPrefix(v.Name, "$") {
+				continue
+			}
+			v.Name += "_mr"
+		}
+	}
+}
+
+// reorderFuncsIR reverses the function list. Finalize numbers allocation
+// and call sites in Funcs order, so this shifts every site ID, object ID
+// and origin ID in the program.
+func reorderFuncsIR(p *ir.Program) {
+	reverse(p.Funcs)
+}
+
+// permuteSpawnBlocksIR reverses maximal runs of adjacent spawn blocks in
+// main: an (Alloc, start-Call) instruction pair per origin. Adjacent
+// blocks have no intervening accesses, so spawn order cannot affect any
+// happens-before relation.
+func permuteSpawnBlocksIR(p *ir.Program) {
+	if p.Main == nil {
+		return
+	}
+	body := p.Main.Body
+	type block struct{ start int } // index of the Alloc; Call is start+1
+	isBlock := func(i int) (*ir.Alloc, bool) {
+		if i+1 >= len(body) {
+			return nil, false
+		}
+		al, ok := body[i].(*ir.Alloc)
+		if !ok || al.Dst == nil || al.InLoop {
+			return nil, false
+		}
+		call, ok := body[i+1].(*ir.Call)
+		if !ok || call.Recv != al.Dst || call.Method != "start" || call.Dst != nil {
+			return nil, false
+		}
+		return al, true
+	}
+	i := 0
+	for i < len(body) {
+		var run []block
+		var allocs []*ir.Alloc
+		dsts := map[*ir.Var]bool{}
+		j := i
+		for {
+			al, ok := isBlock(j)
+			if !ok {
+				break
+			}
+			dsts[al.Dst] = true
+			allocs = append(allocs, al)
+			run = append(run, block{start: j})
+			j += 2
+		}
+		independent := true
+		for _, al := range allocs {
+			for _, a := range al.Args {
+				if dsts[a] && a != al.Dst {
+					independent = false
+				}
+			}
+		}
+		if len(run) >= 2 && independent {
+			// Reverse the run block-wise in place.
+			perm := make([]ir.Instr, 0, len(run)*2)
+			for k := len(run) - 1; k >= 0; k-- {
+				perm = append(perm, body[run[k].start], body[run[k].start+1])
+			}
+			copy(body[i:], perm)
+		}
+		if j == i {
+			j = i + 1
+		}
+		i = j
+	}
+}

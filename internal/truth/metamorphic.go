@@ -1,0 +1,382 @@
+package truth
+
+import (
+	"fmt"
+
+	"o2"
+	"o2/internal/ir"
+	"o2/internal/lang"
+	"o2/internal/report"
+)
+
+// The metamorphic layer: race-preserving source transformations. Each
+// transform rewrites a parsed minilang file in a way that cannot change
+// which races the program has at run time — renaming identifiers,
+// reordering independent declarations, wrapping bodies in redundant
+// blocks, permuting the registration order of independent origins. The
+// analysis must therefore produce the *same canonical race-key set* for
+// the transformed program, once positions are mapped back to the original
+// source through the printer's line map. Any difference is a bug: either
+// an unwanted sensitivity (output depends on declaration order or naming)
+// or a latent nondeterminism.
+
+// Transform is a named race-preserving rewrite of a parsed file.
+type Transform struct {
+	Name  string
+	Apply func(f *lang.File, entries ir.EntryConfig)
+}
+
+// Transforms are the source-level metamorphic transformations, applied
+// independently (not composed) by the suite. "pretty-print" is the
+// identity transform: it checks that formatting alone (the substrate of
+// all others) preserves the report.
+func Transforms() []Transform {
+	return []Transform{
+		{Name: "pretty-print", Apply: func(f *lang.File, entries ir.EntryConfig) {}},
+		{Name: "rename-idents", Apply: renameIdents},
+		{Name: "reorder-decls", Apply: reorderDecls},
+		{Name: "wrap-blocks", Apply: wrapBlocks},
+		{Name: "permute-dispatch", Apply: permuteDispatch},
+	}
+}
+
+// TransformedKeys applies one transform to the program's source, analyzes
+// the canonical text under the program's own configuration, and returns
+// the race keys with positions mapped back to the original source lines.
+// The result is directly comparable (report.SameKeys) with the keys of
+// the untransformed program.
+func TransformedKeys(p *Program, tr Transform) ([]report.RaceKey, error) {
+	f, err := lang.Parse(p.File, p.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	tr.Apply(f, ir.DefaultEntryConfig())
+	text, lines := lang.Format(f)
+	res, err := o2AnalyzeText(p, text)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", p.Name, tr.Name, err)
+	}
+	keys := report.Canonical(res.Report, res.Analysis.Origins)
+	for i := range keys {
+		a, okA := lines[keys[i].ALine]
+		b, okB := lines[keys[i].BLine]
+		if !okA || !okB {
+			return nil, fmt.Errorf("%s/%s: race position %s has no original line",
+				p.Name, tr.Name, keys[i].Ident())
+		}
+		keys[i].ALine, keys[i].BLine = a, b
+	}
+	return report.Normalize(keys), nil
+}
+
+// ---- rename-idents ----
+
+// renameIdents renames every local variable, parameter and free function
+// to a "_mr"-suffixed form. Class, field and method names are untouched:
+// fields and statics name race locations, and method names carry entry
+// semantics (run/start/handleEvent/...), so renaming them would change
+// what is being compared rather than exercise name-independence.
+func renameIdents(f *lang.File, entries ir.EntryConfig) {
+	funcs := map[string]string{}
+	for _, fd := range f.Funcs {
+		if fd.Name != "main" {
+			funcs[fd.Name] = fd.Name + "_mr"
+		}
+	}
+	rename := func(fd *lang.FuncDecl) {
+		locals := map[string]string{}
+		for i, p := range fd.Params {
+			locals[p] = p + "_mr"
+			fd.Params[i] = p + "_mr"
+		}
+		// First pass: every assigned-to variable is a local.
+		var collect func(body []lang.Stmt)
+		collect = func(body []lang.Stmt) {
+			for _, s := range body {
+				switch st := s.(type) {
+				case *lang.AssignStmt:
+					if v, ok := st.Lhs.(lang.VarRef); ok {
+						locals[v.Name] = v.Name + "_mr"
+					}
+				case *lang.SyncStmt:
+					collect(st.Body)
+				case *lang.IfStmt:
+					collect(st.Then)
+					collect(st.Else)
+				case *lang.WhileStmt:
+					collect(st.Body)
+				}
+			}
+		}
+		collect(fd.Body)
+		mapName := func(n string) string {
+			if r, ok := locals[n]; ok {
+				return r
+			}
+			return n
+		}
+		var rw func(body []lang.Stmt)
+		rwExpr := func(e lang.Expr) lang.Expr {
+			switch x := e.(type) {
+			case lang.VarRef:
+				return lang.VarRef{Name: mapName(x.Name)}
+			case lang.FieldRef:
+				return lang.FieldRef{Base: mapName(x.Base), Field: x.Field}
+			case lang.IndexRef:
+				return lang.IndexRef{Base: mapName(x.Base)}
+			case lang.FuncAddrExpr:
+				if r, ok := funcs[x.Name]; ok {
+					return lang.FuncAddrExpr{Name: r}
+				}
+				return x
+			default:
+				return e
+			}
+		}
+		rwCall := func(c *lang.CallExpr) {
+			if c.Recv != "" && c.Recv != "this" {
+				c.Recv = mapName(c.Recv)
+			} else if c.Recv == "" {
+				if r, ok := funcs[c.Method]; ok {
+					c.Method = r
+				}
+			}
+			for i := range c.Args {
+				c.Args[i] = rwExpr(c.Args[i])
+			}
+		}
+		rw = func(body []lang.Stmt) {
+			for _, s := range body {
+				switch st := s.(type) {
+				case *lang.AssignStmt:
+					switch l := st.Lhs.(type) {
+					case lang.VarRef:
+						st.Lhs = lang.VarRef{Name: mapName(l.Name)}
+					case lang.FieldRef:
+						st.Lhs = lang.FieldRef{Base: mapName(l.Base), Field: l.Field}
+					case lang.IndexRef:
+						st.Lhs = lang.IndexRef{Base: mapName(l.Base)}
+					}
+					switch r := st.Rhs.(type) {
+					case *lang.CallExpr:
+						rwCall(r)
+					case *lang.NewExpr:
+						for i := range r.Args {
+							r.Args[i] = rwExpr(r.Args[i])
+						}
+					default:
+						st.Rhs = rwExpr(st.Rhs)
+					}
+				case *lang.CallStmt:
+					rwCall(st.Call)
+				case *lang.SyncStmt:
+					st.Obj = mapName(st.Obj)
+					rw(st.Body)
+				case *lang.IfStmt:
+					rw(st.Then)
+					rw(st.Else)
+				case *lang.WhileStmt:
+					rw(st.Body)
+				case *lang.ReturnStmt:
+					if st.Val != nil {
+						st.Val = rwExpr(st.Val)
+					}
+				}
+			}
+		}
+		rw(fd.Body)
+	}
+	for _, fd := range f.Funcs {
+		if r, ok := funcs[fd.Name]; ok {
+			fd.Name = r
+		}
+		rename(fd)
+	}
+	for _, cd := range f.Classes {
+		for _, m := range cd.Methods {
+			rename(m)
+		}
+	}
+}
+
+// ---- reorder-decls ----
+
+// reorderDecls reverses the order of class declarations, free functions
+// and the methods within each class. Declaration order has no run-time
+// meaning; it does, however, shift every allocation-site, call-site and
+// object ID the analysis assigns, so this transform catches any report
+// detail that leaks internal numbering.
+func reorderDecls(f *lang.File, entries ir.EntryConfig) {
+	reverse(f.Classes)
+	reverse(f.Funcs)
+	for _, cd := range f.Classes {
+		reverse(cd.Methods)
+	}
+}
+
+func reverse[T any](s []T) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// ---- wrap-blocks ----
+
+// wrapBlocks wraps every body that contains no return statement in a
+// redundant if-block. The lowering keeps both branches of an if, so the
+// wrapped body is analyzed exactly as before — but every statement moves
+// to a different printed line and nesting depth.
+func wrapBlocks(f *lang.File, entries ir.EntryConfig) {
+	wrap := func(fd *lang.FuncDecl) {
+		if len(fd.Body) == 0 || hasReturn(fd.Body) {
+			return
+		}
+		fd.Body = []lang.Stmt{lang.NewIfStmt(lang.Line(fd.Body[0]), fd.Body, nil)}
+	}
+	for _, fd := range f.Funcs {
+		wrap(fd)
+	}
+	for _, cd := range f.Classes {
+		for _, m := range cd.Methods {
+			wrap(m)
+		}
+	}
+}
+
+func hasReturn(body []lang.Stmt) bool {
+	for _, s := range body {
+		switch st := s.(type) {
+		case *lang.ReturnStmt:
+			return true
+		case *lang.SyncStmt:
+			if hasReturn(st.Body) {
+				return true
+			}
+		case *lang.IfStmt:
+			if hasReturn(st.Then) || hasReturn(st.Else) {
+				return true
+			}
+		case *lang.WhileStmt:
+			if hasReturn(st.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---- permute-dispatch ----
+
+// permuteDispatch reverses maximal runs of consecutive, independent
+// origin-dispatch statements in main: thread starts, event-handler
+// dispatches, pthread_create and event_register calls. Adjacent dispatches
+// with no intervening statements are unordered with respect to every
+// access in the program, so registration order must not show in the
+// report.
+func permuteDispatch(f *lang.File, entries ir.EntryConfig) {
+	var main *lang.FuncDecl
+	for _, fd := range f.Funcs {
+		if fd.Name == "main" {
+			main = fd
+		}
+	}
+	if main == nil {
+		return
+	}
+	body := main.Body
+	i := 0
+	for i < len(body) {
+		if !dispatchStmt(body[i], entries) {
+			i++
+			continue
+		}
+		j := i
+		for j < len(body) && dispatchStmt(body[j], entries) {
+			j++
+		}
+		if j-i >= 2 && runIndependent(body[i:j]) {
+			reverse(body[i:j])
+		}
+		i = j
+	}
+}
+
+// dispatchStmt reports whether s only dispatches an origin: a start or
+// event-entry method call, or a pthread_create/event_register builtin
+// (possibly assigning its handle to a fresh variable).
+func dispatchStmt(s lang.Stmt, entries ir.EntryConfig) bool {
+	var call *lang.CallExpr
+	switch st := s.(type) {
+	case *lang.CallStmt:
+		call = st.Call
+	case *lang.AssignStmt:
+		c, ok := st.Rhs.(*lang.CallExpr)
+		if !ok {
+			return false
+		}
+		if _, ok := st.Lhs.(lang.VarRef); !ok {
+			return false
+		}
+		call = c
+	default:
+		return false
+	}
+	if call.Recv != "" {
+		return entries.IsStart(call.Method) || entries.IsEventEntry(call.Method)
+	}
+	return call.Method == "pthread_create" || call.Method == "event_register"
+}
+
+// runIndependent reports whether no statement in the run reads a variable
+// another statement in the run writes (handle variables must not feed a
+// later dispatch in the same run).
+func runIndependent(run []lang.Stmt) bool {
+	writes := map[string]bool{}
+	for _, s := range run {
+		if st, ok := s.(*lang.AssignStmt); ok {
+			v := st.Lhs.(lang.VarRef)
+			if writes[v.Name] {
+				return false // same handle written twice
+			}
+			writes[v.Name] = true
+		}
+	}
+	for _, s := range run {
+		var call *lang.CallExpr
+		switch st := s.(type) {
+		case *lang.CallStmt:
+			call = st.Call
+		case *lang.AssignStmt:
+			call = st.Rhs.(*lang.CallExpr)
+		}
+		if call.Recv != "" && writes[call.Recv] {
+			return false
+		}
+		for _, a := range call.Args {
+			if v, ok := a.(lang.VarRef); ok && writes[v.Name] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FormattedSource applies a transform and returns the canonical text it
+// produces (for vacuity checks and debugging).
+func FormattedSource(p *Program, tr Transform) (string, error) {
+	f, err := lang.Parse(p.File, p.Source)
+	if err != nil {
+		return "", err
+	}
+	tr.Apply(f, ir.DefaultEntryConfig())
+	text, _ := lang.Format(f)
+	return text, nil
+}
+
+// o2AnalyzeText analyzes replacement source text under the program's
+// configuration (same file name, so canonical keys stay comparable).
+func o2AnalyzeText(p *Program, text string) (*o2.Result, error) {
+	q := *p
+	q.Source = text
+	return q.Analyze()
+}

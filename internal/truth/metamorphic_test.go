@@ -1,0 +1,155 @@
+package truth
+
+import (
+	"fmt"
+	"testing"
+
+	"o2"
+	"o2/internal/report"
+	"o2/internal/workload"
+)
+
+func keySet(keys []report.RaceKey) string {
+	s := ""
+	for _, k := range keys {
+		s += k.Ident() + "\n"
+	}
+	return s
+}
+
+// TestMetamorphicCorpus: every source transform leaves every corpus
+// program's canonical race-key set identical (after mapping positions
+// back to the original lines).
+func TestMetamorphicCorpus(t *testing.T) {
+	corpus, err := Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	transforms := Transforms()
+	for i := range corpus {
+		p := &corpus[i]
+		base, err := p.ActualKeys()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range transforms {
+			tr := tr
+			t.Run(p.Name+"/"+tr.Name, func(t *testing.T) {
+				got, err := TransformedKeys(p, tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !report.SameKeys(base, got) {
+					t.Errorf("race set changed under %s:\n--- original ---\n%s--- transformed ---\n%s",
+						tr.Name, keySet(base), keySet(got))
+				}
+			})
+		}
+	}
+}
+
+// TestTransformsNotVacuous: the rewrites must actually change the
+// programs they claim to shake, or the suite proves nothing. Checked on
+// representative corpus programs via the canonical text.
+func TestTransformsNotVacuous(t *testing.T) {
+	corpus, err := Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*Program{}
+	for i := range corpus {
+		byName[corpus[i].Name] = &corpus[i]
+	}
+	changed := func(t *testing.T, p *Program, tr Transform) bool {
+		t.Helper()
+		a, err := FormattedSource(p, Transforms()[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := FormattedSource(p, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a != b
+	}
+	cases := []struct{ program, transform string }{
+		{"thread_counter", "rename-idents"},
+		{"thread_counter", "reorder-decls"},
+		{"thread_counter", "wrap-blocks"},
+		{"thread_three", "permute-dispatch"},
+		{"event_two_handlers", "permute-dispatch"},
+		{"thread_pthread", "permute-dispatch"},
+	}
+	for _, c := range cases {
+		p, ok := byName[c.program]
+		if !ok {
+			t.Fatalf("no corpus program %s", c.program)
+		}
+		var tr Transform
+		for _, cand := range Transforms() {
+			if cand.Name == c.transform {
+				tr = cand
+			}
+		}
+		if tr.Apply == nil {
+			t.Fatalf("no transform %s", c.transform)
+		}
+		if !changed(t, p, tr) {
+			t.Errorf("%s leaves %s textually unchanged — vacuous", c.transform, c.program)
+		}
+	}
+}
+
+// TestMetamorphicPresets: IR transforms leave the canonical race-key set
+// of generated workload presets bit-identical. Three presets spanning the
+// benchmark families (Dacapo, distributed, C-style).
+func TestMetamorphicPresets(t *testing.T) {
+	for _, name := range []string{"avrora", "zookeeper", "memcached"} {
+		preset, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("no preset %s", name)
+		}
+		cfg := o2.DefaultConfig()
+		cfg.Workers = 1
+		base, err := PresetKeys(preset, IRTransforms()[0], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(base) == 0 {
+			t.Errorf("%s: no races — preset invariance check is vacuous", name)
+		}
+		for _, tr := range IRTransforms()[1:] {
+			tr := tr
+			t.Run(name+"/"+tr.Name, func(t *testing.T) {
+				got, err := PresetKeys(preset, tr, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !report.SameKeys(base, got) {
+					t.Errorf("race set changed under %s: %d keys vs %d\n--- base ---\n%s--- transformed ---\n%s",
+						tr.Name, len(base), len(got), keySet(base), keySet(got))
+				}
+			})
+		}
+	}
+}
+
+// TestPermuteSpawnsNotVacuousOnPresets: the spawn permutation must find
+// at least one run to reverse in at least one tested preset.
+func TestPermuteSpawnsNotVacuousOnPresets(t *testing.T) {
+	found := false
+	for _, name := range []string{"avrora", "zookeeper", "memcached"} {
+		preset, _ := workload.ByName(name)
+		a := workload.BuildRaw(preset)
+		b := workload.BuildRaw(preset)
+		permuteSpawnBlocksIR(b)
+		sa := fmt.Sprint(a.Main.Body)
+		sb := fmt.Sprint(b.Main.Body)
+		if sa != sb {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("permute-spawns changed no preset main body — vacuous")
+	}
+}

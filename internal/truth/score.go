@@ -1,0 +1,253 @@
+package truth
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"o2/internal/report"
+)
+
+// EvalSchemaVersion versions the eval report layout. Bump on any
+// incompatible change so downstream consumers (CI, dashboards) can detect
+// drift instead of misreading fields.
+const EvalSchemaVersion = 1
+
+// Score is a precision/recall aggregate.
+type Score struct {
+	TP        int     `json:"tp"`
+	FP        int     `json:"fp"`
+	FN        int     `json:"fn"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+}
+
+func mkScore(tp, fp, fn int) Score {
+	s := Score{TP: tp, FP: fp, FN: fn, Precision: 1, Recall: 1}
+	if tp+fp > 0 {
+		s.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		s.Recall = float64(tp) / float64(tp+fn)
+	}
+	if s.Precision+s.Recall > 0 {
+		s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+	}
+	// Round to a fixed number of decimals so the JSON rendering is stable
+	// and diffable regardless of float formatting quirks.
+	s.Precision = round4(s.Precision)
+	s.Recall = round4(s.Recall)
+	s.F1 = round4(s.F1)
+	return s
+}
+
+func round4(f float64) float64 { return math.Round(f*1e4) / 1e4 }
+
+// ProgramScore is one corpus program's outcome: matched counts plus the
+// spurious (reported but not expected) and missing (expected but not
+// reported) race identities, for debuggable gate failures.
+type ProgramScore struct {
+	Name     string   `json:"name"`
+	Category string   `json:"category"`
+	TP       int      `json:"tp"`
+	FP       int      `json:"fp"`
+	FN       int      `json:"fn"`
+	Spurious []string `json:"spurious,omitempty"`
+	Missing  []string `json:"missing,omitempty"`
+}
+
+// CategoryScore aggregates all programs of one category.
+type CategoryScore struct {
+	Category string `json:"category"`
+	Programs int    `json:"programs"`
+	Score
+}
+
+// EvalReport is the versioned, machine-readable precision/recall report
+// (the eval analogue of obs.RunStats): per-program outcomes, per-category
+// aggregates in Categories order, and the corpus-wide total.
+type EvalReport struct {
+	Schema     int             `json:"schema"`
+	Programs   []ProgramScore  `json:"programs"`
+	Categories []CategoryScore `json:"categories"`
+	Total      Score           `json:"total"`
+}
+
+// ScoreProgram matches an actual canonical key set against the expected
+// one. Both sets are matched by key identity (location + position pair);
+// the informational origin Pair never participates. Duplicate keys in
+// either input collapse (Canonical and Normalize already dedup; stray
+// duplicates must not double-count).
+func ScoreProgram(name, category string, expected, actual []report.RaceKey) ProgramScore {
+	exp := map[string]bool{}
+	for _, k := range expected {
+		exp[k.Ident()] = true
+	}
+	act := map[string]bool{}
+	for _, k := range actual {
+		act[k.Ident()] = true
+	}
+	ps := ProgramScore{Name: name, Category: category}
+	seen := map[string]bool{}
+	for _, k := range actual {
+		id := k.Ident()
+		if seen[id] {
+			continue // duplicate report: count once
+		}
+		seen[id] = true
+		if exp[id] {
+			ps.TP++
+		} else {
+			ps.FP++
+			ps.Spurious = append(ps.Spurious, id)
+		}
+	}
+	seen = map[string]bool{}
+	for _, k := range expected {
+		id := k.Ident()
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		if !act[id] {
+			ps.FN++
+			ps.Missing = append(ps.Missing, id)
+		}
+	}
+	return ps
+}
+
+// BuildEval aggregates program scores into the versioned report.
+// Categories appear in canonical Categories order, restricted to those
+// present; programs keep their given order (the corpus is sorted by
+// name).
+func BuildEval(programs []ProgramScore) *EvalReport {
+	r := &EvalReport{Schema: EvalSchemaVersion, Programs: programs}
+	type agg struct{ tp, fp, fn, n int }
+	byCat := map[string]*agg{}
+	var ttp, tfp, tfn int
+	for _, ps := range programs {
+		a := byCat[ps.Category]
+		if a == nil {
+			a = &agg{}
+			byCat[ps.Category] = a
+		}
+		a.tp += ps.TP
+		a.fp += ps.FP
+		a.fn += ps.FN
+		a.n++
+		ttp += ps.TP
+		tfp += ps.FP
+		tfn += ps.FN
+	}
+	for _, cat := range Categories {
+		a := byCat[cat]
+		if a == nil {
+			continue
+		}
+		r.Categories = append(r.Categories, CategoryScore{
+			Category: cat, Programs: a.n, Score: mkScore(a.tp, a.fp, a.fn),
+		})
+		delete(byCat, cat)
+	}
+	// Categories outside the canonical list (possible for synthetic scorer
+	// inputs) are appended in name order for determinism.
+	if len(byCat) > 0 {
+		var extra []string
+		for cat := range byCat {
+			extra = append(extra, cat)
+		}
+		sort.Strings(extra)
+		for _, cat := range extra {
+			a := byCat[cat]
+			r.Categories = append(r.Categories, CategoryScore{
+				Category: cat, Programs: a.n, Score: mkScore(a.tp, a.fp, a.fn),
+			})
+		}
+	}
+	r.Total = mkScore(ttp, tfp, tfn)
+	return r
+}
+
+// Evaluate runs the full pipeline over the embedded corpus and scores
+// every program against its labels.
+func Evaluate() (*EvalReport, error) {
+	corpus, err := Corpus()
+	if err != nil {
+		return nil, err
+	}
+	var scores []ProgramScore
+	for i := range corpus {
+		p := &corpus[i]
+		actual, err := p.ActualKeys()
+		if err != nil {
+			return nil, err
+		}
+		scores = append(scores, ScoreProgram(p.Name, p.Category, p.Expected, actual))
+	}
+	return BuildEval(scores), nil
+}
+
+// MarshalIndent renders the report as stable, diffable JSON.
+func (r *EvalReport) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// ParseEval parses a JSON eval report (baseline files).
+func ParseEval(data []byte) (*EvalReport, error) {
+	var r EvalReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("truth: bad eval report: %w", err)
+	}
+	if r.Schema != EvalSchemaVersion {
+		return nil, fmt.Errorf("truth: eval report schema %d, want %d", r.Schema, EvalSchemaVersion)
+	}
+	return &r, nil
+}
+
+// CheckAgainstBaseline enforces the precision gate. Recall must be
+// exactly 1.0 — a missed true race is a soundness regression of the
+// reproduction on its own corpus and fails regardless of the baseline.
+// Total precision and every per-category precision must be at or above
+// the baseline's (tiny epsilon for the rounded floats). Precision
+// *improvements* pass; refresh the baseline to lock them in.
+func (r *EvalReport) CheckAgainstBaseline(baseline *EvalReport) error {
+	const eps = 1e-9
+	var problems []string
+	if r.Total.Recall < 1.0 {
+		var missing []string
+		for _, ps := range r.Programs {
+			for _, m := range ps.Missing {
+				missing = append(missing, ps.Name+": "+m)
+			}
+		}
+		problems = append(problems,
+			fmt.Sprintf("recall %.4f < 1.0, missed true races:\n    %s",
+				r.Total.Recall, strings.Join(missing, "\n    ")))
+	}
+	if r.Total.Precision < baseline.Total.Precision-eps {
+		problems = append(problems, fmt.Sprintf("total precision %.4f below baseline %.4f",
+			r.Total.Precision, baseline.Total.Precision))
+	}
+	base := map[string]CategoryScore{}
+	for _, c := range baseline.Categories {
+		base[c.Category] = c
+	}
+	for _, c := range r.Categories {
+		b, ok := base[c.Category]
+		if !ok {
+			continue
+		}
+		if c.Precision < b.Precision-eps {
+			problems = append(problems, fmt.Sprintf("category %s precision %.4f below baseline %.4f",
+				c.Category, c.Precision, b.Precision))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("eval gate failed:\n  %s", strings.Join(problems, "\n  "))
+	}
+	return nil
+}

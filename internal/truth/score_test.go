@@ -1,0 +1,217 @@
+package truth
+
+import (
+	"strings"
+	"testing"
+
+	"o2/internal/report"
+)
+
+func key(loc string, a, b int) report.RaceKey {
+	return report.RaceKey{Loc: loc, AFile: "t.mini", ALine: a, BFile: "t.mini", BLine: b}
+}
+
+func TestScoreProgram(t *testing.T) {
+	tests := []struct {
+		name       string
+		expected   []report.RaceKey
+		actual     []report.RaceKey
+		tp, fp, fn int
+		spurious   []string
+		missing    []string
+	}{
+		{name: "empty both"},
+		{
+			name:     "exact match",
+			expected: []report.RaceKey{key("v", 3, 7), key("w", 4, 4)},
+			actual:   []report.RaceKey{key("v", 3, 7), key("w", 4, 4)},
+			tp:       2,
+		},
+		{
+			name:     "false positive only",
+			actual:   []report.RaceKey{key("v", 3, 7)},
+			fp:       1,
+			spurious: []string{"v @ t.mini:3 t.mini:7"},
+		},
+		{
+			name:     "false negative only",
+			expected: []report.RaceKey{key("v", 3, 7)},
+			fn:       1,
+			missing:  []string{"v @ t.mini:3 t.mini:7"},
+		},
+		{
+			name:     "mixed tp fp fn",
+			expected: []report.RaceKey{key("v", 3, 7), key("w", 4, 4)},
+			actual:   []report.RaceKey{key("v", 3, 7), key("x", 9, 9)},
+			tp:       1, fp: 1, fn: 1,
+			spurious: []string{"x @ t.mini:9 t.mini:9"},
+			missing:  []string{"w @ t.mini:4 t.mini:4"},
+		},
+		{
+			name:     "duplicate actuals count once",
+			expected: []report.RaceKey{key("v", 3, 7)},
+			actual:   []report.RaceKey{key("v", 3, 7), key("v", 3, 7), key("x", 9, 9), key("x", 9, 9)},
+			tp:       1, fp: 1,
+			spurious: []string{"x @ t.mini:9 t.mini:9"},
+		},
+		{
+			name:     "duplicate expecteds count once",
+			expected: []report.RaceKey{key("v", 3, 7), key("v", 3, 7)},
+			fn:       1,
+			missing:  []string{"v @ t.mini:3 t.mini:7"},
+		},
+		{
+			name:     "pair difference is not a mismatch",
+			expected: []report.RaceKey{key("v", 3, 7)},
+			actual: []report.RaceKey{{
+				Loc: "v", AFile: "t.mini", ALine: 3, BFile: "t.mini", BLine: 7,
+				Pair: "thread-thread",
+			}},
+			tp: 1,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ps := ScoreProgram("p", "thread", tt.expected, tt.actual)
+			if ps.TP != tt.tp || ps.FP != tt.fp || ps.FN != tt.fn {
+				t.Errorf("tp/fp/fn = %d/%d/%d, want %d/%d/%d",
+					ps.TP, ps.FP, ps.FN, tt.tp, tt.fp, tt.fn)
+			}
+			if got := strings.Join(ps.Spurious, ","); got != strings.Join(tt.spurious, ",") {
+				t.Errorf("spurious = %q, want %q", ps.Spurious, tt.spurious)
+			}
+			if got := strings.Join(ps.Missing, ","); got != strings.Join(tt.missing, ",") {
+				t.Errorf("missing = %q, want %q", ps.Missing, tt.missing)
+			}
+		})
+	}
+}
+
+func TestMkScoreEdges(t *testing.T) {
+	tests := []struct {
+		tp, fp, fn       int
+		prec, recall, f1 float64
+	}{
+		{0, 0, 0, 1, 1, 1}, // vacuous program: perfect by convention
+		{0, 2, 0, 0, 1, 0}, // only FPs: recall vacuously 1
+		{0, 0, 2, 1, 0, 0}, // only FNs: precision vacuously 1
+		{3, 1, 0, 0.75, 1, 0.8571},
+		{1, 0, 1, 1, 0.5, 0.6667},
+	}
+	for _, tt := range tests {
+		s := mkScore(tt.tp, tt.fp, tt.fn)
+		if s.Precision != tt.prec || s.Recall != tt.recall || s.F1 != tt.f1 {
+			t.Errorf("mkScore(%d,%d,%d) = %v/%v/%v, want %v/%v/%v",
+				tt.tp, tt.fp, tt.fn, s.Precision, s.Recall, s.F1, tt.prec, tt.recall, tt.f1)
+		}
+	}
+}
+
+func TestBuildEvalAggregates(t *testing.T) {
+	rep := BuildEval([]ProgramScore{
+		{Name: "a", Category: "thread", TP: 2},
+		{Name: "b", Category: "thread", TP: 1, FP: 1},
+		{Name: "c", Category: "known-fp", FP: 2},
+		{Name: "d", Category: "custom", TP: 1, FN: 1},
+	})
+	if rep.Schema != EvalSchemaVersion {
+		t.Errorf("schema = %d", rep.Schema)
+	}
+	// Canonical categories first (in Categories order), extras appended.
+	var order []string
+	for _, c := range rep.Categories {
+		order = append(order, c.Category)
+	}
+	if got := strings.Join(order, ","); got != "thread,known-fp,custom" {
+		t.Errorf("category order = %s", got)
+	}
+	th := rep.Categories[0]
+	if th.Programs != 2 || th.TP != 3 || th.FP != 1 || th.Precision != 0.75 {
+		t.Errorf("thread agg = %+v", th)
+	}
+	if rep.Total.TP != 4 || rep.Total.FP != 3 || rep.Total.FN != 1 {
+		t.Errorf("total = %+v", rep.Total)
+	}
+}
+
+func TestParseEvalRoundTripAndSchema(t *testing.T) {
+	rep := BuildEval([]ProgramScore{{Name: "a", Category: "thread", TP: 1}})
+	data, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseEval(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Total.TP != 1 {
+		t.Errorf("round trip lost data: %+v", back.Total)
+	}
+	if _, err := ParseEval([]byte(`{"schema": 999}`)); err == nil {
+		t.Error("wrong schema must be rejected")
+	}
+	if _, err := ParseEval([]byte(`not json`)); err == nil {
+		t.Error("bad JSON must be rejected")
+	}
+}
+
+func TestCheckAgainstBaseline(t *testing.T) {
+	base := BuildEval([]ProgramScore{
+		{Name: "a", Category: "thread", TP: 3, FP: 1},
+	})
+	t.Run("equal passes", func(t *testing.T) {
+		cur := BuildEval([]ProgramScore{{Name: "a", Category: "thread", TP: 3, FP: 1}})
+		if err := cur.CheckAgainstBaseline(base); err != nil {
+			t.Errorf("unexpected failure: %v", err)
+		}
+	})
+	t.Run("improvement passes", func(t *testing.T) {
+		cur := BuildEval([]ProgramScore{{Name: "a", Category: "thread", TP: 3}})
+		if err := cur.CheckAgainstBaseline(base); err != nil {
+			t.Errorf("unexpected failure: %v", err)
+		}
+	})
+	t.Run("missed race fails with its identity", func(t *testing.T) {
+		cur := BuildEval([]ProgramScore{
+			{Name: "a", Category: "thread", TP: 2, FP: 1, FN: 1,
+				Missing: []string{"v @ t.mini:3 t.mini:7"}},
+		})
+		err := cur.CheckAgainstBaseline(base)
+		if err == nil || !strings.Contains(err.Error(), "a: v @ t.mini:3 t.mini:7") {
+			t.Errorf("want recall failure naming the race, got %v", err)
+		}
+	})
+	t.Run("precision drop fails", func(t *testing.T) {
+		cur := BuildEval([]ProgramScore{{Name: "a", Category: "thread", TP: 3, FP: 2}})
+		err := cur.CheckAgainstBaseline(base)
+		if err == nil || !strings.Contains(err.Error(), "total precision") {
+			t.Errorf("want total precision failure, got %v", err)
+		}
+	})
+	t.Run("per-category drop fails even if total holds", func(t *testing.T) {
+		base2 := BuildEval([]ProgramScore{
+			{Name: "a", Category: "thread", TP: 3, FP: 1},
+			{Name: "b", Category: "event", TP: 4},
+		})
+		cur := BuildEval([]ProgramScore{
+			{Name: "a", Category: "thread", TP: 3},       // thread improves
+			{Name: "b", Category: "event", TP: 4, FP: 1}, // event regresses
+		})
+		err := cur.CheckAgainstBaseline(base2)
+		if err == nil || !strings.Contains(err.Error(), "category event") {
+			t.Errorf("want event category failure, got %v", err)
+		}
+	})
+	t.Run("new category not in baseline is ignored", func(t *testing.T) {
+		cur := BuildEval([]ProgramScore{
+			{Name: "a", Category: "thread", TP: 3, FP: 1},
+			{Name: "z", Category: "array", TP: 1, FP: 1},
+		})
+		// Total drops below baseline, so this still fails, but only for the
+		// total — the unknown category itself is not compared.
+		err := cur.CheckAgainstBaseline(base)
+		if err == nil || strings.Contains(err.Error(), "category array") {
+			t.Errorf("unknown category must not be compared: %v", err)
+		}
+	})
+}

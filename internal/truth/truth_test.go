@@ -1,0 +1,136 @@
+package truth
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCorpusWellFormed: every program parses, carries a category, and the
+// corpus exercises every declared category.
+func TestCorpusWellFormed(t *testing.T) {
+	corpus, err := Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) < 40 {
+		t.Errorf("corpus has %d programs, want at least 40", len(corpus))
+	}
+	seen := map[string]int{}
+	for i := range corpus {
+		p := &corpus[i]
+		seen[p.Category]++
+		if _, err := p.Analyze(); err != nil {
+			t.Errorf("%s does not analyze: %v", p.Name, err)
+		}
+	}
+	for _, cat := range Categories {
+		if seen[cat] == 0 {
+			t.Errorf("category %q has no corpus programs", cat)
+		}
+	}
+}
+
+// TestEvalMeetsTargets is the precision/recall acceptance gate on the
+// oracle corpus: recall 1.0 (no true race missed), precision >= 0.9, and
+// no regression against the checked-in baseline.
+func TestEvalMeetsTargets(t *testing.T) {
+	rep, err := Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total.Recall != 1.0 {
+		for _, ps := range rep.Programs {
+			for _, m := range ps.Missing {
+				t.Errorf("%s: missed true race %s", ps.Name, m)
+			}
+		}
+		t.Fatalf("recall = %v, want 1.0", rep.Total.Recall)
+	}
+	if rep.Total.Precision < 0.9 {
+		for _, ps := range rep.Programs {
+			for _, s := range ps.Spurious {
+				t.Errorf("%s: spurious race %s", ps.Name, s)
+			}
+		}
+		t.Fatalf("precision = %v, want >= 0.9", rep.Total.Precision)
+	}
+	base, err := Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.CheckAgainstBaseline(base); err != nil {
+		t.Error(err)
+	}
+	// The baseline must be the *current* truth, not a stale snapshot: a
+	// baseline looser than reality would mask precision regressions up to
+	// the stale level.
+	if base.Total != rep.Total {
+		t.Errorf("baseline total %+v differs from current %+v; regenerate baseline.json",
+			base.Total, rep.Total)
+	}
+}
+
+// TestKnownFPsStayKnown pins the residual false positives: the known-fp
+// programs must report exactly their documented spurious races. If one
+// disappears, precision improved — move the program's comment and
+// regenerate the baseline deliberately rather than silently.
+func TestKnownFPsStayKnown(t *testing.T) {
+	rep, err := Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"fp_infeasible_path": "slot @ fp_infeasible_path.mini:10 fp_infeasible_path.mini:10",
+		"fp_unknown_lock":    "v @ fp_unknown_lock.mini:4 fp_unknown_lock.mini:4",
+		"fp_flag_protocol":   "data @ fp_flag_protocol.mini:10 fp_flag_protocol.mini:23",
+	}
+	for _, ps := range rep.Programs {
+		exp, ok := want[ps.Name]
+		if !ok {
+			continue
+		}
+		if got := strings.Join(ps.Spurious, ","); got != exp {
+			t.Errorf("%s: spurious = %q, want %q", ps.Name, got, exp)
+		}
+		delete(want, ps.Name)
+	}
+	for name := range want {
+		t.Errorf("known-fp program %s missing from eval", name)
+	}
+}
+
+func TestParseExpectErrors(t *testing.T) {
+	tests := []struct {
+		name, text, wantErr string
+	}{
+		{"missing category", "race v @ 1 2\n", "missing category"},
+		{"bad category", "category: nope\n", "unknown category"},
+		{"bad race line", "category: thread\nrace v 1 2\n", "race <loc> @ <line> <line>"},
+		{"bad line number", "category: thread\nrace v @ 0 2\n", "bad line pair"},
+		{"junk line", "category: thread\nhello\n", "unrecognized line"},
+		{"bad android", "category: thread\nandroid: maybe\n", "bad android directive"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := parseExpect("p", tt.text)
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("err = %v, want substring %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseExpectNormalizes: race lines may list positions in either
+// order and duplicate each other; Expected comes out canonical.
+func TestParseExpectNormalizes(t *testing.T) {
+	p, err := parseExpect("p", "category: thread\nrace v @ 9 3\nrace v @ 3 9\n# comment\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Expected) != 1 {
+		t.Fatalf("want 1 normalized race, got %d", len(p.Expected))
+	}
+	if got := p.Expected[0].Ident(); got != "v @ p.mini:3 p.mini:9" {
+		t.Errorf("normalized ident = %q", got)
+	}
+}

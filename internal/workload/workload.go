@@ -95,6 +95,18 @@ func (p Preset) approxInstrs() int {
 
 // Build generates the preset's program, finalized against entries.
 func Build(p Preset, entries ir.EntryConfig) *ir.Program {
+	prog := BuildRaw(p)
+	if err := prog.Finalize(entries); err != nil {
+		panic("workload: " + err.Error()) // generator bug: always has main
+	}
+	return prog
+}
+
+// BuildRaw generates the preset's program without finalizing it, for
+// callers that rewrite the IR before analysis (the metamorphic suite
+// permutes declarations and spawn blocks to assert report invariance).
+// The result must be finalized before use; Build is BuildRaw + Finalize.
+func BuildRaw(p Preset) *ir.Program {
 	g := &gen{
 		p:    p,
 		rng:  rand.New(rand.NewSource(p.Seed)),
@@ -103,9 +115,6 @@ func Build(p Preset, entries ir.EntryConfig) *ir.Program {
 		line: 1,
 	}
 	g.build()
-	if err := g.prog.Finalize(entries); err != nil {
-		panic("workload: " + err.Error()) // generator bug: always has main
-	}
 	return g.prog
 }
 

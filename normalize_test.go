@@ -91,6 +91,8 @@ func TestFingerprintSensitivity(t *testing.T) {
 		"android":   func() Config { c := DefaultConfig(); c.Android = true; return c }(),
 		"replicate": func() Config { c := DefaultConfig(); c.ReplicateEvents = true; return c }(),
 		"detector":  {Detector: race.Options{HBCache: true}},
+		"nohb":      func() Config { c := DefaultConfig(); c.Detector.NoHB = true; return c }(),
+		"nolockset": func() Config { c := DefaultConfig(); c.Detector.NoLockset = true; return c }(),
 		"budget":    func() Config { c := DefaultConfig(); c.StepBudget = 99; return c }(),
 		"entries":   {Entries: ir.EntryConfig{ThreadEntries: []string{"go"}}},
 	}
@@ -106,7 +108,7 @@ func TestFingerprintSensitivity(t *testing.T) {
 	if same.Fingerprint() != base {
 		t.Error("Workers/Obs changed the fingerprint; cache would needlessly miss")
 	}
-	if !strings.HasPrefix(base, "v1|") {
+	if !strings.HasPrefix(base, "v2|") {
 		t.Errorf("fingerprint not versioned: %q", base)
 	}
 }

@@ -211,9 +211,9 @@ func (c Config) normalize() Config {
 func (c Config) Fingerprint() string {
 	n := c.normalize()
 	d := n.Detector
-	return fmt.Sprintf("v1|pol=%d.%d|e=%s|android=%t|rep=%t|det=%t%t%t%t|pb=%d|sb=%d|tb=%d|shb=%d",
+	return fmt.Sprintf("v2|pol=%d.%d|e=%s|android=%t|rep=%t|det=%t%t%t%t%t%t|pb=%d|sb=%d|tb=%d|shb=%d",
 		n.Policy.Kind, n.Policy.K, entriesFingerprint(n.Entries), n.Android, n.ReplicateEvents,
-		d.RegionMerge, d.CanonicalLocksets, d.HBCache, d.OSAFilter,
+		d.RegionMerge, d.CanonicalLocksets, d.HBCache, d.OSAFilter, d.NoHB, d.NoLockset,
 		d.PairBudget, n.StepBudget, int64(n.TimeBudget), n.MaxSHBNodes)
 }
 
