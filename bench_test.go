@@ -16,6 +16,7 @@ package o2_test
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"testing"
@@ -335,6 +336,40 @@ func BenchmarkParallelDetectObs(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			opts.Obs = obs.New()
 			race.Detect(a, sh, g, opts)
+		}
+	})
+	// The telemetry-disabled paths added with /metrics and structured
+	// logging must stay as cheap as the nil registry: a nil *Histogram
+	// observation and a nil *slog.Logger guard are one branch each.
+	b.Run("hist-disabled", func(b *testing.B) {
+		opts := race.O2Options()
+		opts.Workers = 4
+		var h *obs.Histogram
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			race.Detect(a, sh, g, opts)
+			h.ObserveSince(start)
+		}
+	})
+	b.Run("hist-enabled", func(b *testing.B) {
+		opts := race.O2Options()
+		opts.Workers = 4
+		h := obs.NewHistogram(nil)
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			race.Detect(a, sh, g, opts)
+			h.ObserveSince(start)
+		}
+	})
+	b.Run("slog-disabled", func(b *testing.B) {
+		opts := race.O2Options()
+		opts.Workers = 4
+		var log *slog.Logger
+		for i := 0; i < b.N; i++ {
+			rep := race.Detect(a, sh, g, opts)
+			if log != nil {
+				log.Info("detect", "races", len(rep.Races))
+			}
 		}
 	})
 }

@@ -48,11 +48,37 @@ smoke() {
 	"$dir/o2" submit -addr "@$dir/addr" testdata/smoke_clean.mini >"$dir/clean.json"
 	grep -q '"race_count": 0' "$dir/clean.json" || { echo "smoke: clean program reported races" >&2; exit 1; }
 
+	# The Prometheus exposition must be non-empty and reflect the traffic
+	# above (o2 submit -metrics fails on empty/TYPE-less output itself).
+	"$dir/o2" submit -addr "@$dir/addr" -metrics >"$dir/metrics.txt"
+	grep -q '^o2_sched_completed [1-9]' "$dir/metrics.txt" || { echo "smoke: /metrics shows no completed jobs" >&2; exit 1; }
+	grep -q '^# TYPE o2_server_request_seconds histogram' "$dir/metrics.txt" || { echo "smoke: /metrics missing latency histogram" >&2; exit 1; }
+
 	kill -TERM "$pid"
 	wait "$pid" || { echo "smoke: serve did not drain cleanly" >&2; cat "$dir/serve.log" >&2; exit 1; }
 	trap - EXIT
 	rm -rf "$dir"
 	echo "smoke: ok"
+}
+
+# Telemetry artifacts end to end: run the CLI with -explain-json and
+# -trace-out on the smoke example and validate both artifacts are
+# well-formed JSON (python3 json.tool; schema details are covered by the
+# Go tests in internal/obs and internal/race).
+telemetry() {
+	dir=$(mktemp -d)
+	trap 'rm -rf "$dir"' EXIT
+	rc=0
+	go run ./cmd/o2 analyze -explain-json -trace-out "$dir/trace.json" \
+		testdata/smoke_racy.mini >"$dir/witness.json" || rc=$?
+	[ "$rc" -eq 1 ] || { echo "telemetry: racy exit=$rc, want 1" >&2; exit 1; }
+	python3 -m json.tool "$dir/witness.json" >/dev/null || { echo "telemetry: witness JSON invalid" >&2; exit 1; }
+	python3 -m json.tool "$dir/trace.json" >/dev/null || { echo "telemetry: trace JSON invalid" >&2; exit 1; }
+	grep -q '"schema"' "$dir/witness.json" || { echo "telemetry: witness missing schema stamp" >&2; exit 1; }
+	grep -q '"ph"' "$dir/trace.json" || { echo "telemetry: trace has no events" >&2; exit 1; }
+	trap - EXIT
+	rm -rf "$dir"
+	echo "telemetry: ok"
 }
 
 # Minimum statement coverage per observability-critical package. Floors
@@ -86,13 +112,17 @@ smoke)
 	smoke
 	exit 0
 	;;
+telemetry)
+	telemetry
+	exit 0
+	;;
 eval)
 	eval_gate
 	exit 0
 	;;
 all) ;;
 *)
-	echo "usage: ./ci.sh [bench-gate|cover|smoke|eval]" >&2
+	echo "usage: ./ci.sh [bench-gate|cover|smoke|telemetry|eval]" >&2
 	exit 2
 	;;
 esac
@@ -103,5 +133,6 @@ go test ./...
 go test -race ./internal/race/ ./internal/shb/ ./internal/lockset/ ./internal/obs/ ./internal/sched/ ./internal/server/
 cover
 smoke
+telemetry
 eval_gate
 bench_gate

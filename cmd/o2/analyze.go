@@ -29,7 +29,9 @@ func runAnalyze(args []string) int {
 	origins := fs.Bool("origins", false, "print discovered origins and attributes")
 	stats := fs.Bool("stats", false, "print analysis statistics")
 	asJSON := fs.Bool("json", false, "emit the race report as JSON")
+	explainJSON := fs.Bool("explain-json", false, "emit machine-readable race witnesses as versioned JSON (overrides -json)")
 	statsJSON := fs.String("stats-json", "", "write the RunStats observability report to this file")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON file of the span tree (open in Perfetto)")
 	traceSpans := fs.Bool("trace-spans", false, "print the phase span tree to stderr")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
@@ -81,7 +83,7 @@ func runAnalyze(args []string) int {
 	cfg.Workers = *workers
 	cfg.TimeBudget = *timeBudget
 	var reg *obs.Registry
-	if *statsJSON != "" || *traceSpans {
+	if *statsJSON != "" || *traceSpans || *traceOut != "" {
 		reg = obs.New()
 		cfg.Obs = reg
 	}
@@ -112,6 +114,11 @@ func runAnalyze(args []string) int {
 
 	if *statsJSON != "" {
 		if err := res.RunStats.WriteFile(*statsJSON); err != nil {
+			return fail(exitInternal, err)
+		}
+	}
+	if *traceOut != "" {
+		if err := res.RunStats.WriteTraceFile(*traceOut); err != nil {
 			return fail(exitInternal, err)
 		}
 	}
@@ -166,6 +173,21 @@ func runAnalyze(args []string) int {
 	}
 
 	races := res.Races()
+	if *explainJSON {
+		// The machine-readable witness report: one versioned Witness per
+		// race (origin spawn chains, lockset derivation, HB-absence
+		// evidence). Byte-stable for a fixed input — golden-tested over
+		// the truth corpus.
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(race.Witnesses(res.Analysis, res.Graph, res.Report)); err != nil {
+			return fail(exitInternal, err)
+		}
+		if len(races) > 0 {
+			return exitRaces
+		}
+		return exitOK
+	}
 	if *asJSON {
 		type jsonAccess struct {
 			Op     string `json:"op"`

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -15,6 +16,27 @@ import (
 	"o2/internal/sched"
 	"o2/internal/server"
 )
+
+// newLogger builds the structured logger behind -log-format/-log-level.
+// Format "none" (or an empty string) disables logging entirely — the
+// sched/server layers take a nil logger as "off".
+func newLogger(format, level string) (*slog.Logger, error) {
+	if format == "none" || format == "" {
+		return nil, nil
+	}
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("bad -log-format %q (want json, text or none)", format)
+}
 
 // runServe starts the batch-analysis HTTP service and blocks until
 // SIGINT/SIGTERM, then drains in-flight jobs before exiting.
@@ -27,12 +49,18 @@ func runServe(args []string) int {
 	cache := fs.Int("cache", 128, "result-cache entries (-1 disables caching)")
 	jobTimeout := fs.Duration("job-timeout", 0, "default per-job deadline (0 = none)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	logFormat := fs.String("log-format", "text", "structured-log format: json, text, none")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
 	if fs.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: o2 serve [flags]")
 		return exitUsage
+	}
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		return fail(exitUsage, err)
 	}
 
 	s := sched.New(sched.Options{
@@ -41,8 +69,9 @@ func runServe(args []string) int {
 		CacheEntries:   *cache,
 		DefaultTimeout: *jobTimeout,
 		CollectStats:   true,
+		Log:            logger,
 	})
-	srv := server.New(s)
+	srv := server.New(s, server.WithLogger(logger))
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -27,8 +27,36 @@ func runSubmit(args []string) int {
 	timeoutMS := fs.Int64("timeout-ms", 0, "per-job deadline in milliseconds (0 = server default)")
 	retry := fs.Int("retry", 0, "retry connection errors this many times (1s apart)")
 	healthz := fs.Bool("healthz", false, "just check GET /healthz and exit")
+	metrics := fs.Bool("metrics", false, "scrape GET /metrics, print the exposition and exit (fails if empty)")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
+	}
+
+	if *metrics {
+		var body []byte
+		if err := withRetry(*retry, func() error {
+			base, err := resolveAddr(*addr)
+			if err != nil {
+				return err
+			}
+			resp, err := http.Get(base + "/metrics")
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("metrics: status %s", resp.Status)
+			}
+			body, err = io.ReadAll(resp.Body)
+			return err
+		}); err != nil {
+			return fail(exitInternal, err)
+		}
+		if !bytes.Contains(body, []byte("# TYPE ")) {
+			return fail(exitInternal, fmt.Errorf("metrics: exposition has no # TYPE lines:\n%s", body))
+		}
+		os.Stdout.Write(body)
+		return exitOK
 	}
 
 	if *healthz {

@@ -11,6 +11,7 @@
 //	o2bench -quick                     # representative subset of presets
 //	o2bench -steps 1000000 -pairs 5000000  # budgets (the paper's ">4h")
 //	o2bench -stats-json out.json       # write the observability report
+//	o2bench -trace-out trace.json      # write a Perfetto-loadable trace_event file
 //	o2bench -trace-spans               # print the span tree to stderr
 //	o2bench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
@@ -39,6 +40,7 @@ func run() int {
 	quick := flag.Bool("quick", false, "run a representative subset of presets")
 	workers := flag.Int("workers", 0, "detection worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
 	statsJSON := flag.String("stats-json", "", "write the RunStats/gate observability report to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file of the span tree (open in Perfetto)")
 	traceSpans := flag.Bool("trace-spans", false, "print the phase span tree to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -87,7 +89,7 @@ func run() int {
 	}
 
 	var reg *obs.Registry
-	if *statsJSON != "" || *traceSpans {
+	if *statsJSON != "" || *traceSpans || *traceOut != "" {
 		reg = obs.New()
 		o.Obs = reg
 	}
@@ -136,6 +138,11 @@ func run() int {
 
 	if *statsJSON != "" {
 		if err := reg.Snapshot().WriteFile(*statsJSON); err != nil {
+			return fail(err)
+		}
+	}
+	if *traceOut != "" {
+		if err := reg.Snapshot().WriteTraceFile(*traceOut); err != nil {
 			return fail(err)
 		}
 	}

@@ -12,6 +12,8 @@
 package obs
 
 import (
+	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,12 +57,109 @@ func (c *Counter) Set(n int64) {
 	c.v.Store(n)
 }
 
-// Registry interns counters and gauges by name and owns the span tree.
-// All methods are safe for concurrent use and no-ops on a nil receiver.
+// DefBuckets are the default histogram bucket bounds in seconds, tuned
+// for request/analysis latencies (sub-millisecond cache hits through
+// multi-second cold analyses).
+var DefBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Histogram is a fixed-bucket histogram with atomic per-bucket counters,
+// following the package's nil-safe design: a nil Histogram discards
+// observations, so callers hold and observe unconditionally. Bounds are
+// inclusive upper bounds in ascending order; values above the last bound
+// land in an implicit +Inf bucket. The exposition (Prometheus text,
+// RunStats snapshot) reports cumulative bucket counts.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// NewHistogram returns a standalone histogram over the given ascending
+// bounds (DefBuckets when nil).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value. No-op on a nil histogram; the disabled path
+// is a single nil check, like Counter.Add.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v, i.e. the le bucket
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start — the common
+// latency-instrumentation call. No-op on nil.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the total number of observations; 0 on nil.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values; 0 on nil.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Bounds returns the finite upper bounds (not a copy; do not modify).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// Cumulative returns the cumulative count at or below each finite bound,
+// aligned with Bounds. The total (the +Inf bucket) is Count.
+func (h *Histogram) Cumulative() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.bounds))
+	var acc int64
+	for i := range h.bounds {
+		acc += h.counts[i].Load()
+		out[i] = acc
+	}
+	return out
+}
+
+// Registry interns counters, gauges and histograms by name and owns the
+// span tree. All methods are safe for concurrent use and no-ops on a nil
+// receiver.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Counter
+	hists    map[string]*Histogram
 
 	start time.Time
 	roots []*Span
@@ -72,8 +171,18 @@ func New() *Registry {
 	return &Registry{
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Counter{},
+		hists:    map[string]*Histogram{},
 		start:    time.Now(),
 	}
+}
+
+// Start returns the registry creation time (the zero time on nil) — the
+// origin of span start offsets in RunStats and trace exports.
+func (r *Registry) Start() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.start
 }
 
 // Enabled reports whether the registry collects anything.
@@ -93,6 +202,24 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Histogram interns the named histogram over the given bounds (DefBuckets
+// when nil). The bounds of the first interning win; later calls with
+// different bounds return the existing histogram. Returns nil on a nil
+// registry, so the result can be held and observed unconditionally.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
 }
 
 // SetGauge records a point-in-time value (sizes, configuration). Gauges
@@ -122,6 +249,10 @@ type Span struct {
 
 	reg    *Registry
 	parent *Span
+
+	// concurrent marks spans opened via Child: they run on their own
+	// goroutine (worker shards) and are exported on distinct trace tids.
+	concurrent bool
 
 	start    time.Time
 	startCPU time.Duration
@@ -160,7 +291,7 @@ func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{Name: name, reg: s.reg, parent: s, start: time.Now(), startCPU: processCPU()}
+	c := &Span{Name: name, reg: s.reg, parent: s, concurrent: true, start: time.Now(), startCPU: processCPU()}
 	s.addChild(c)
 	return c
 }

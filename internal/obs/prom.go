@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Registry in the Prometheus text exposition format
+// (version 0.0.4) without any client-library dependency. Metric names are
+// the registry's dotted names mapped onto the Prometheus charset with an
+// "o2_" namespace prefix ("sched.cache_hits" → "o2_sched_cache_hits"),
+// counters and gauges become their exposition types verbatim, and
+// histograms expand into the cumulative _bucket/_sum/_count series with
+// an explicit +Inf bucket. Output is sorted by metric name so scrapes are
+// byte-stable for a settled registry.
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromName maps a dotted registry name onto the Prometheus metric-name
+// charset: every character outside [a-zA-Z0-9_] becomes '_', and the
+// "o2_" namespace prefix is prepended.
+func PromName(name string) string {
+	var sb strings.Builder
+	sb.WriteString("o2_")
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			sb.WriteRune(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// promFloat renders a float the way Prometheus expects (no exponent for
+// the common cases, "+Inf" for the unbounded bucket).
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every counter, gauge and histogram in the
+// registry as Prometheus text exposition. No-op on a nil registry.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Counter, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	writeScalars(w, counters, "counter")
+	writeScalars(w, gauges, "gauge")
+
+	names := make([]string, 0, len(hists))
+	for k := range hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		writeHistogram(w, PromName(k), hists[k])
+	}
+}
+
+func writeScalars(w io.Writer, m map[string]*Counter, typ string) {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		name := PromName(k)
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+		fmt.Fprintf(w, "%s %d\n", name, m[k].Load())
+	}
+}
+
+func writeHistogram(w io.Writer, name string, h *Histogram) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	cum := h.Cumulative()
+	for i, b := range h.Bounds() {
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(b), cum[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+	fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+}

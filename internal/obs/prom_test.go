@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); math.Abs(got-55.65) > 1e-9 {
+		t.Fatalf("sum = %v, want 55.65", got)
+	}
+	// le semantics: 0.1 lands in the 0.1 bucket, 50 in +Inf.
+	want := []int64{2, 3, 4}
+	got := h.Cumulative()
+	if len(got) != len(want) {
+		t.Fatalf("cumulative = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cumulative = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHistogramNilAndDefaults(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)               // no-op
+	h.ObserveSince(time.Now()) // no-op
+	if h.Count() != 0 || h.Sum() != 0 || h.Cumulative() != nil || h.Bounds() != nil {
+		t.Fatal("nil histogram leaked state")
+	}
+	var r *Registry
+	if r.Histogram("x", nil) != nil {
+		t.Fatal("nil registry returned a histogram")
+	}
+	d := NewHistogram(nil)
+	if len(d.Bounds()) != len(DefBuckets) {
+		t.Fatalf("default bounds = %v", d.Bounds())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 || h.Cumulative()[0] != 8000 {
+		t.Fatalf("count = %d, cum = %v", h.Count(), h.Cumulative())
+	}
+	if math.Abs(h.Sum()-4000) > 1e-6 {
+		t.Fatalf("sum = %v, want 4000", h.Sum())
+	}
+}
+
+func TestRegistryHistogramInterning(t *testing.T) {
+	r := New()
+	a := r.Histogram("lat", []float64{1, 2})
+	b := r.Histogram("lat", []float64{5}) // later bounds ignored
+	if a != b {
+		t.Fatal("same name returned distinct histograms")
+	}
+	if len(a.Bounds()) != 2 {
+		t.Fatalf("bounds = %v", a.Bounds())
+	}
+}
+
+// TestPrometheusExposition validates the text format line by line: every
+// sample line is `name[{le="v"}] value`, every metric has a TYPE header,
+// histogram buckets are cumulative-monotone and end at +Inf == count.
+func TestPrometheusExposition(t *testing.T) {
+	r := New()
+	r.Counter("sched.cache_hits").Add(3)
+	r.SetGauge("sched.queue-depth", 64) // '-' must be sanitized
+	h := r.Histogram("server.request_seconds", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+
+	types := map[string]string{}
+	var bucketCum []int64
+	var lastName string
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("blank line in exposition:\n%s", out)
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			types[parts[2]] = parts[3]
+			lastName = parts[2]
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("sample line without value: %q", line)
+		}
+		name, val := line[:sp], line[sp+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			t.Fatalf("non-numeric value %q in line %q", val, line)
+		}
+		base := name
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			base = name[:i]
+			if !strings.HasSuffix(name, "\"}") || !strings.Contains(name, "le=\"") {
+				t.Fatalf("bad label syntax in %q", line)
+			}
+		}
+		for _, c := range base {
+			if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_') {
+				t.Fatalf("invalid metric-name char %q in %q", c, line)
+			}
+		}
+		if !strings.HasPrefix(base, lastName) {
+			t.Fatalf("sample %q not under its TYPE header %q", base, lastName)
+		}
+		if strings.HasSuffix(base, "_bucket") {
+			n, _ := strconv.ParseInt(val, 10, 64)
+			bucketCum = append(bucketCum, n)
+		}
+	}
+
+	for name, typ := range map[string]string{
+		"o2_sched_cache_hits":       "counter",
+		"o2_sched_queue_depth":      "gauge",
+		"o2_server_request_seconds": "histogram",
+	} {
+		if types[name] != typ {
+			t.Errorf("metric %s: type %q, want %q\n%s", name, types[name], typ, out)
+		}
+	}
+	if len(bucketCum) != 4 {
+		t.Fatalf("bucket lines = %d, want 4 (3 bounds + +Inf)", len(bucketCum))
+	}
+	for i := 1; i < len(bucketCum); i++ {
+		if bucketCum[i] < bucketCum[i-1] {
+			t.Fatalf("bucket counts not monotone: %v", bucketCum)
+		}
+	}
+	if want := fmt.Sprintf("o2_server_request_seconds_bucket{le=\"+Inf\"} %d", h.Count()); !strings.Contains(out, want) {
+		t.Errorf("missing +Inf bucket %q in:\n%s", want, out)
+	}
+	if !strings.Contains(out, "o2_server_request_seconds_count 3") {
+		t.Errorf("missing _count in:\n%s", out)
+	}
+
+	// Nil registry writes nothing.
+	var nilBuf bytes.Buffer
+	(*Registry)(nil).WritePrometheus(&nilBuf)
+	if nilBuf.Len() != 0 {
+		t.Fatal("nil registry produced output")
+	}
+}
+
+// TestPrometheusDeterministic pins scrape stability: two scrapes of a
+// settled registry are byte-identical.
+func TestPrometheusDeterministic(t *testing.T) {
+	r := New()
+	r.Counter("b").Add(2)
+	r.Counter("a").Add(1)
+	r.SetGauge("z", 9)
+	r.Histogram("lat", []float64{1}).Observe(0.5)
+	var one, two bytes.Buffer
+	r.WritePrometheus(&one)
+	r.WritePrometheus(&two)
+	if one.String() != two.String() {
+		t.Fatalf("scrapes differ:\n%s\nvs\n%s", one.String(), two.String())
+	}
+}

@@ -20,19 +20,36 @@ const SchemaVersion = 1
 // utilization). Zero-valued counters and gauges are omitted so reports
 // stay small and the golden schema is insensitive to unexercised paths.
 type RunStats struct {
-	Schema   int                `json:"schema"`
-	Phases   []PhaseStats       `json:"phases,omitempty"`
-	Counters map[string]int64   `json:"counters,omitempty"`
-	Gauges   map[string]int64   `json:"gauges,omitempty"`
-	Rates    map[string]float64 `json:"rates,omitempty"`
+	Schema   int                       `json:"schema"`
+	Phases   []PhaseStats              `json:"phases,omitempty"`
+	Counters map[string]int64          `json:"counters,omitempty"`
+	Gauges   map[string]int64          `json:"gauges,omitempty"`
+	Rates    map[string]float64        `json:"rates,omitempty"`
+	Hists    map[string]HistogramStats `json:"histograms,omitempty"`
 }
 
 // PhaseStats is one span in the report tree.
 type PhaseStats struct {
-	Name     string       `json:"name"`
-	WallNS   int64        `json:"wall_ns,omitempty"`
-	CPUNS    int64        `json:"cpu_ns,omitempty"`
-	Children []PhaseStats `json:"children,omitempty"`
+	Name string `json:"name"`
+	// StartNS is the span's start offset from the registry's creation, so
+	// the tree can be replayed on an absolute timeline (trace export).
+	StartNS int64 `json:"start_ns,omitempty"`
+	WallNS  int64 `json:"wall_ns,omitempty"`
+	CPUNS   int64 `json:"cpu_ns,omitempty"`
+	// Concurrent marks worker-shard spans (opened via Span.Child); they
+	// overlap their siblings and are exported on distinct trace tids.
+	Concurrent bool         `json:"concurrent,omitempty"`
+	Children   []PhaseStats `json:"children,omitempty"`
+}
+
+// HistogramStats is a histogram frozen into the report: cumulative counts
+// at each finite upper bound (the +Inf bucket equals Count). Bounds stay
+// finite so the report marshals as plain JSON numbers.
+type HistogramStats struct {
+	Bounds     []float64 `json:"bounds"`
+	Cumulative []int64   `json:"cumulative"`
+	Count      int64     `json:"count"`
+	Sum        float64   `json:"sum"`
 }
 
 // Snapshot freezes the registry into a RunStats report. Open spans are
@@ -54,6 +71,10 @@ func (r *Registry) Snapshot() *RunStats {
 	for k, v := range r.gauges {
 		gauges[k] = v
 	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
 	r.mu.Unlock()
 
 	for _, s := range roots {
@@ -62,6 +83,20 @@ func (r *Registry) Snapshot() *RunStats {
 	rs.Counters = loadNonZero(counters)
 	rs.Gauges = loadNonZero(gauges)
 	rs.Rates = deriveRates(rs.Counters, rs.Gauges)
+	for k, h := range hists {
+		if h.Count() == 0 {
+			continue // like zero-valued counters, unexercised histograms are omitted
+		}
+		if rs.Hists == nil {
+			rs.Hists = map[string]HistogramStats{}
+		}
+		rs.Hists[k] = HistogramStats{
+			Bounds:     h.Bounds(),
+			Cumulative: h.Cumulative(),
+			Count:      h.Count(),
+			Sum:        h.Sum(),
+		}
+	}
 	return rs
 }
 
@@ -80,7 +115,10 @@ func loadNonZero(m map[string]*Counter) map[string]int64 {
 
 func (s *Span) stats() PhaseStats {
 	s.mu.Lock()
-	ps := PhaseStats{Name: s.Name, WallNS: int64(s.wall), CPUNS: int64(s.cpu)}
+	ps := PhaseStats{Name: s.Name, WallNS: int64(s.wall), CPUNS: int64(s.cpu), Concurrent: s.concurrent}
+	if s.reg != nil {
+		ps.StartNS = int64(s.start.Sub(s.reg.start))
+	}
 	if !s.ended {
 		ps.WallNS = int64(time.Since(s.start))
 		ps.CPUNS = int64(processCPU() - s.startCPU)

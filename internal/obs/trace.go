@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// This file exports the span tree in the Chrome trace_event JSON array
+// format, loadable in Perfetto (ui.perfetto.dev) and chrome://tracing.
+// Driver-side phase spans share one timeline (tid 1); every concurrent
+// child span — a detection worker shard — gets its own tid so shards
+// render as overlapping tracks. Each span becomes a balanced B/E
+// ("duration begin/end") event pair; tids are announced with thread_name
+// metadata events.
+
+// TraceEvent is one Chrome trace_event entry.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds from the registry start
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const (
+	tracePID   = 1
+	driverTID  = 1
+	phaseBegin = "B"
+	phaseEnd   = "E"
+	phaseMeta  = "M"
+)
+
+// TraceEvents flattens the report's span tree into trace events. The
+// result is deterministic for a fixed report: spans are emitted in tree
+// order and tids are assigned in encounter order.
+func (rs *RunStats) TraceEvents() []TraceEvent {
+	if rs == nil {
+		return nil
+	}
+	events := []TraceEvent{{
+		Name: "process_name", Ph: phaseMeta, PID: tracePID, TID: driverTID,
+		Args: map[string]any{"name": "o2"},
+	}, {
+		Name: "thread_name", Ph: phaseMeta, PID: tracePID, TID: driverTID,
+		Args: map[string]any{"name": "driver"},
+	}}
+	nextTID := driverTID + 1
+	var walk func(p PhaseStats, tid int)
+	walk = func(p PhaseStats, tid int) {
+		if p.Concurrent {
+			tid = nextTID
+			nextTID++
+			events = append(events, TraceEvent{
+				Name: "thread_name", Ph: phaseMeta, PID: tracePID, TID: tid,
+				Args: map[string]any{"name": p.Name},
+			})
+		}
+		startUS := float64(p.StartNS) / 1e3
+		events = append(events, TraceEvent{
+			Name: p.Name, Ph: phaseBegin, TS: startUS, PID: tracePID, TID: tid,
+			Args: map[string]any{"cpu_ns": p.CPUNS},
+		})
+		for _, c := range p.Children {
+			walk(c, tid)
+		}
+		events = append(events, TraceEvent{
+			Name: p.Name, Ph: phaseEnd, TS: float64(p.StartNS+p.WallNS) / 1e3,
+			PID: tracePID, TID: tid,
+		})
+	}
+	for _, p := range rs.Phases {
+		walk(p, driverTID)
+	}
+	return events
+}
+
+// WriteTrace writes the trace_event JSON array to w.
+func (rs *RunStats) WriteTrace(w io.Writer) error {
+	data, err := json.MarshalIndent(rs.TraceEvents(), "", " ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteTraceFile writes the trace_event JSON array to path — the
+// -trace-out artifact of o2 and o2bench.
+func (rs *RunStats) WriteTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rs.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

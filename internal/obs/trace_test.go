@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// buildShardedRegistry runs a miniature pipeline shape through a live
+// registry: one root with two sequential phases, the second phase fanning
+// out into three concurrent worker-shard children.
+func buildShardedRegistry() *Registry {
+	r := New()
+	root := r.StartSpan("analyze")
+	p := r.StartSpan("pta")
+	p.End()
+	d := r.StartSpan("detect")
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ws := d.Child([]string{"worker-00", "worker-01", "worker-02"}[i])
+			ws.End()
+		}(i)
+	}
+	wg.Wait()
+	d.End()
+	root.End()
+	return r
+}
+
+// TestTraceEventSchema validates the trace_event contract: the export is
+// a valid JSON array, every B has a matching E on the same tid with
+// end ≥ begin, and concurrent shard spans carry distinct non-driver tids.
+func TestTraceEventSchema(t *testing.T) {
+	rs := buildShardedRegistry().Snapshot()
+	var buf bytes.Buffer
+	if err := rs.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []TraceEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v\n%s", err, buf.String())
+	}
+
+	type open struct {
+		name string
+		ts   float64
+	}
+	stacks := map[int][]open{}
+	shardTIDs := map[int]bool{}
+	begins, ends := 0, 0
+	for _, e := range events {
+		switch e.Ph {
+		case "M":
+			continue
+		case "B":
+			begins++
+			stacks[e.TID] = append(stacks[e.TID], open{e.Name, e.TS})
+		case "E":
+			ends++
+			st := stacks[e.TID]
+			if len(st) == 0 {
+				t.Fatalf("E without open B on tid %d: %+v", e.TID, e)
+			}
+			top := st[len(st)-1]
+			if top.name != e.Name {
+				t.Fatalf("unbalanced B/E on tid %d: open %q, closing %q", e.TID, top.name, e.Name)
+			}
+			if e.TS < top.ts {
+				t.Fatalf("span %q ends (%v) before it begins (%v)", e.Name, e.TS, top.ts)
+			}
+			stacks[e.TID] = st[:len(st)-1]
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+		if e.PID != tracePID {
+			t.Fatalf("event on pid %d, want %d", e.PID, tracePID)
+		}
+		if len(e.Name) >= 7 && e.Name[:7] == "worker-" && e.Ph == "B" {
+			shardTIDs[e.TID] = true
+			if e.TID == driverTID {
+				t.Fatalf("shard span %q on the driver tid", e.Name)
+			}
+		}
+	}
+	if begins != ends || begins != 6 { // analyze, pta, detect + 3 worker shards
+		t.Fatalf("B/E pairs unbalanced: %d begins, %d ends (want 6 each)", begins, ends)
+	}
+	for tid, st := range stacks {
+		if len(st) != 0 {
+			t.Fatalf("tid %d left %d spans open", tid, len(st))
+		}
+	}
+	if len(shardTIDs) != 3 {
+		t.Fatalf("shard tids = %v, want 3 distinct", shardTIDs)
+	}
+
+	// Metadata names the process and every thread track.
+	var procNamed bool
+	threadNames := map[int]bool{}
+	for _, e := range events {
+		if e.Ph != "M" {
+			continue
+		}
+		switch e.Name {
+		case "process_name":
+			procNamed = true
+		case "thread_name":
+			threadNames[e.TID] = true
+		}
+	}
+	if !procNamed {
+		t.Error("missing process_name metadata")
+	}
+	for tid := range shardTIDs {
+		if !threadNames[tid] {
+			t.Errorf("shard tid %d has no thread_name metadata", tid)
+		}
+	}
+	if (*RunStats)(nil).TraceEvents() != nil {
+		t.Error("nil RunStats produced events")
+	}
+}
+
+// TestSnapshotStartOffsets checks the new PhaseStats fields the trace
+// export depends on: children start at or after their parent, concurrent
+// shards are flagged, and the deterministic projection drops both.
+func TestSnapshotStartOffsets(t *testing.T) {
+	rs := buildShardedRegistry().Snapshot()
+	if len(rs.Phases) != 1 {
+		t.Fatalf("roots = %d", len(rs.Phases))
+	}
+	root := rs.Phases[0]
+	if root.Concurrent {
+		t.Error("root span flagged concurrent")
+	}
+	for _, c := range root.Children {
+		if c.StartNS < root.StartNS {
+			t.Errorf("child %q starts (%d) before parent (%d)", c.Name, c.StartNS, root.StartNS)
+		}
+		if c.Name == "detect" {
+			if len(c.Children) != 3 {
+				t.Fatalf("detect children = %d", len(c.Children))
+			}
+			for _, ws := range c.Children {
+				if !ws.Concurrent {
+					t.Errorf("shard %q not flagged concurrent", ws.Name)
+				}
+			}
+		}
+	}
+	det := rs.Deterministic()
+	var check func(p PhaseStats)
+	check = func(p PhaseStats) {
+		if p.StartNS != 0 || p.Concurrent {
+			t.Errorf("deterministic projection kept timing fields on %q", p.Name)
+		}
+		for _, c := range p.Children {
+			check(c)
+		}
+	}
+	for _, p := range det.Phases {
+		check(p)
+	}
+}

@@ -129,7 +129,9 @@ func (a *Analysis) OriginOfCtx(ctx CtxID) (OriginID, bool) {
 
 // OriginAttrs renders the attribute pointers of an origin: each attribute
 // variable with the allocation sites it may point to. This is the
-// user-facing part of the origin abstraction (§3.1).
+// user-facing part of the origin abstraction (§3.1). The rendered object
+// set is sorted so the string is byte-stable across runs — race witnesses
+// embed it and are golden-tested.
 func (a *Analysis) OriginAttrs(id OriginID) string {
 	o := a.Origins.Get(id)
 	if len(o.AttrVars) == 0 {
@@ -140,6 +142,7 @@ func (a *Analysis) OriginAttrs(id OriginID) string {
 		pts := a.PointsTo(v, o.AttrCtx)
 		objs := make([]string, 0, pts.Len())
 		pts.ForEach(func(ob uint32) { objs = append(objs, a.ObjString(ObjID(ob))) })
+		sort.Strings(objs)
 		parts = append(parts, fmt.Sprintf("%s→{%s}", v.Name, strings.Join(objs, ",")))
 	}
 	return "(" + strings.Join(parts, ", ") + ")"

@@ -2,8 +2,10 @@ package race
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
+	"o2/internal/lockset"
 	"o2/internal/pta"
 	"o2/internal/shb"
 )
@@ -11,30 +13,34 @@ import (
 // Explain renders a witness for a reported race: where each origin was
 // spawned, what locks each access held, and why neither access happens
 // before the other. This is the report a developer reads to judge the
-// warning, mirroring the per-race discussions of the paper's §5.4.
+// warning, mirroring the per-race discussions of the paper's §5.4. The
+// text is a rendering of the structured Witness (see BuildWitness), so
+// the human and machine reports can never disagree.
 func Explain(a *pta.Analysis, g *shb.Graph, r *Race) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "race on %s\n", r.Key)
-	explainSide(&sb, a, g, "first ", r.A)
-	explainSide(&sb, a, g, "second", r.B)
+	return BuildWitness(a, g, r).Text()
+}
 
-	na, nb := &g.Nodes[r.A.Node], &g.Nodes[r.B.Node]
-	la, lb := g.Locksets.Set(na.Locks), g.Locksets.Set(nb.Locks)
-	switch {
-	case len(la) == 0 && len(lb) == 0:
+// Text renders the witness as the human-readable explanation.
+func (w *Witness) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "race on %s\n", w.Location)
+	explainSide(&sb, "first ", w.A)
+	explainSide(&sb, "second", w.B)
+
+	switch w.Locks.Verdict {
+	case LocksNone:
 		sb.WriteString("  locks: neither access holds any lock\n")
-	case len(la) == 0 || len(lb) == 0:
+	case LocksUnprotected:
 		sb.WriteString("  locks: one access is unprotected\n")
 	default:
 		fmt.Fprintf(&sb, "  locks: disjoint locksets %v vs %v — no common lock\n",
-			lockNames(a, la), lockNames(a, lb))
+			w.Locks.A, w.Locks.B)
 	}
 
-	sa, sb2 := na.Seg, nb.Seg
-	switch {
-	case sa == sb2 && a.Origins.Get(g.Origin(r.A.Node)).Replicated:
+	switch w.Ordering.Verdict {
+	case OrderReplicated:
 		sb.WriteString("  ordering: both accesses run in concurrent instances of a replicated origin\n")
-	case !g.HappensBefore(r.A.Node, r.B.Node) && !g.HappensBefore(r.B.Node, r.A.Node):
+	case OrderNoHBPath:
 		sb.WriteString("  ordering: no happens-before path in either direction (no join, no start ordering,\n")
 		sb.WriteString("            no notify→wait edge connects the two accesses)\n")
 	default:
@@ -43,24 +49,29 @@ func Explain(a *pta.Analysis, g *shb.Graph, r *Race) string {
 	return sb.String()
 }
 
-func explainSide(w *strings.Builder, a *pta.Analysis, g *shb.Graph, label string, acc Access) {
-	org := a.Origins.Get(acc.Origin)
-	kind := org.Kind.String()
-	fmt.Fprintf(w, "  %s: %s at %s in %s\n", label, op(acc.Write), acc.Pos, acc.Fn)
-	switch {
-	case org.ID == pta.MainOrigin:
+func explainSide(w *strings.Builder, label string, acc WitnessAccess) {
+	fmt.Fprintf(w, "  %s: %s at %s in %s\n", label, acc.Op, acc.Pos, acc.Fn)
+	if acc.Origin.Kind == "main" {
 		fmt.Fprintf(w, "          on the main origin\n")
-	default:
-		fmt.Fprintf(w, "          on %s origin %s (spawned at %s) attrs=%s\n",
-			kind, org, org.Pos, a.OriginAttrs(org.ID))
+		return
 	}
+	fmt.Fprintf(w, "          on %s origin %s (spawned at %s) attrs=%s\n",
+		acc.Origin.Kind, acc.Origin.Name, acc.Origin.SpawnPos, acc.Origin.Attrs)
 }
 
+// lockNames resolves lock object IDs to their rendered names, sorted so
+// witness text and JSON are byte-stable across runs. The Android
+// event-loop sentinel is not a heap object and gets a symbolic name.
 func lockNames(a *pta.Analysis, objs []uint32) []string {
 	out := make([]string, len(objs))
 	for i, o := range objs {
+		if o == lockset.GlobalEventLock {
+			out[i] = "<android-event-loop>"
+			continue
+		}
 		out[i] = a.ObjString(pta.ObjID(o))
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -331,3 +331,18 @@ func detectSHBWith(t *testing.T, src string, pol pta.Policy) (*pta.Analysis, shb
 	g := shb.Build(a, shb.Config{})
 	return a, shbRun{g, race.Detect(a, sh, g, race.O2Options())}
 }
+
+func detectAndroidSHB(t *testing.T, src string) (*pta.Analysis, shbRun) {
+	t.Helper()
+	prog, err := lang.Compile("t.mini", src, ir.DefaultEntryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pta.New(prog, pta.Config{Policy: opa(), Entries: ir.DefaultEntryConfig()})
+	if err := a.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	sh := osa.Analyze(a)
+	g := shb.Build(a, shb.Config{AndroidEvents: true})
+	return a, shbRun{g, race.Detect(a, sh, g, race.O2Options())}
+}

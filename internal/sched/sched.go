@@ -14,6 +14,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
@@ -24,6 +25,7 @@ import (
 	"o2/internal/ir"
 	"o2/internal/lang"
 	"o2/internal/obs"
+	"o2/internal/race"
 )
 
 // Sentinel errors of the scheduler.
@@ -95,6 +97,10 @@ type Options struct {
 	// CollectStats gives every job its own obs.Registry and attaches the
 	// frozen RunStats report to the job summary.
 	CollectStats bool
+	// Log receives structured job-lifecycle events (submit, cache hit,
+	// start, finish) with job/request IDs. Nil disables logging — every
+	// log site is a single nil check, mirroring the obs layer's design.
+	Log *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -124,6 +130,29 @@ type Request struct {
 	Timeout time.Duration
 	// Label is a caller-chosen display name (defaults to the first file).
 	Label string
+	// RequestID is the originating HTTP request's ID (empty for direct
+	// submissions). It is propagated into the job's context (see
+	// RequestIDFrom), carried on the Job, echoed in views and attached to
+	// every log event, so a trace can be followed end to end.
+	RequestID string
+}
+
+// requestIDKey is the context key carrying the originating request ID.
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom extracts the request ID threaded through a job's context
+// ("" when absent) — available to any pipeline stage run under the job.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
 }
 
 // RaceAccess is one side of a reported race, rendered for transport.
@@ -134,11 +163,14 @@ type RaceAccess struct {
 	Origin string `json:"origin"`
 }
 
-// RaceInfo is one reported race, rendered for transport.
+// RaceInfo is one reported race, rendered for transport, with the full
+// machine-readable witness (spawn chains, lockset derivation, HB-absence
+// evidence) so API clients can triage without re-running the analysis.
 type RaceInfo struct {
-	Location string     `json:"location"`
-	A        RaceAccess `json:"a"`
-	B        RaceAccess `json:"b"`
+	Location string        `json:"location"`
+	A        RaceAccess    `json:"a"`
+	B        RaceAccess    `json:"b"`
+	Witness  *race.Witness `json:"witness,omitempty"`
 }
 
 // Summary is a job's result: the race report projected onto plain data
@@ -169,7 +201,9 @@ func summarize(res *o2.Result) *Summary {
 		TotalNS:  int64(res.TotalTime()),
 		Stats:    res.RunStats,
 	}
-	for _, r := range res.Races() {
+	races := res.Races()
+	for i := range races {
+		r := &races[i]
 		mk := func(write bool, pos, fn string, origin string) RaceAccess {
 			op := "read"
 			if write {
@@ -181,6 +215,7 @@ func summarize(res *o2.Result) *Summary {
 			Location: r.Key.String(),
 			A:        mk(r.A.Write, r.A.Pos.String(), r.A.Fn, res.Analysis.Origins.Get(r.A.Origin).String()),
 			B:        mk(r.B.Write, r.B.Pos.String(), r.B.Fn, res.Analysis.Origins.Get(r.B.Origin).String()),
+			Witness:  race.BuildWitness(res.Analysis, res.Graph, r),
 		})
 	}
 	return s
@@ -198,6 +233,10 @@ func (s *Summary) withCached() *Summary {
 type Job struct {
 	ID    string
 	Label string
+	// RequestID is the originating HTTP request ID ("" for direct
+	// submissions), echoed in views so API clients can correlate a job
+	// with the request that created it.
+	RequestID string
 
 	mu       sync.Mutex
 	state    State
@@ -263,22 +302,23 @@ func (j *Job) finish(state State, sum *Summary, err error) {
 
 // View is a transportable snapshot of a job.
 type View struct {
-	ID       string   `json:"id"`
-	Label    string   `json:"label,omitempty"`
-	State    State    `json:"state"`
-	Error    string   `json:"error,omitempty"`
-	ErrKind  ErrKind  `json:"error_kind,omitempty"`
-	WallNS   int64    `json:"wall_ns"`
-	Summary  *Summary `json:"summary,omitempty"`
-	RaceCnt  int      `json:"race_count"`
-	Finished bool     `json:"finished"`
+	ID        string   `json:"id"`
+	Label     string   `json:"label,omitempty"`
+	RequestID string   `json:"request_id,omitempty"`
+	State     State    `json:"state"`
+	Error     string   `json:"error,omitempty"`
+	ErrKind   ErrKind  `json:"error_kind,omitempty"`
+	WallNS    int64    `json:"wall_ns"`
+	Summary   *Summary `json:"summary,omitempty"`
+	RaceCnt   int      `json:"race_count"`
+	Finished  bool     `json:"finished"`
 }
 
 // View snapshots the job for transport.
 func (j *Job) View() View {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	v := View{ID: j.ID, Label: j.Label, State: j.state, Summary: j.summary}
+	v := View{ID: j.ID, Label: j.Label, RequestID: j.RequestID, State: j.state, Summary: j.summary}
 	if j.err != nil {
 		v.Error = j.err.Error()
 		v.ErrKind = Classify(j.err)
@@ -401,11 +441,12 @@ func (s *Scheduler) Submit(req Request) (*Job, error) {
 	}
 	s.seq++
 	j := &Job{
-		ID:      fmt.Sprintf("job-%06d", s.seq),
-		Label:   req.Label,
-		state:   Queued,
-		created: time.Now(),
-		done:    make(chan struct{}),
+		ID:        fmt.Sprintf("job-%06d", s.seq),
+		Label:     req.Label,
+		RequestID: req.RequestID,
+		state:     Queued,
+		created:   time.Now(),
+		done:      make(chan struct{}),
 	}
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
@@ -421,6 +462,7 @@ func (s *Scheduler) Submit(req Request) (*Job, error) {
 			s.submitted.Add(1)
 			s.completed.Add(1)
 			j.finish(Done, sum.withCached(), nil)
+			s.log("job cache hit", j, "races", len(sum.Races))
 			return j, nil
 		}
 	}
@@ -437,6 +479,7 @@ func (s *Scheduler) Submit(req Request) (*Job, error) {
 	case s.queue <- j:
 		s.mu.Unlock()
 		s.submitted.Add(1)
+		s.log("job queued", j, "files", len(req.Files))
 		return j, nil
 	default:
 		delete(s.jobs, j.ID)
@@ -518,6 +561,39 @@ func (s *Scheduler) Jobs() []View {
 		out[i] = j.View()
 	}
 	return out
+}
+
+// log emits a structured job-lifecycle event when a logger is
+// configured. Every record carries the job ID, label and (when present)
+// the originating request ID; extra attrs follow slog's key/value
+// convention.
+func (s *Scheduler) log(msg string, j *Job, args ...any) {
+	if s.opts.Log == nil {
+		return
+	}
+	attrs := make([]any, 0, 6+len(args))
+	attrs = append(attrs, "job", j.ID, "label", j.Label)
+	if j.RequestID != "" {
+		attrs = append(attrs, "request_id", j.RequestID)
+	}
+	attrs = append(attrs, args...)
+	s.opts.Log.Info(msg, attrs...)
+}
+
+// StateCounts returns the number of known jobs in each lifecycle state —
+// the `o2_sched_jobs{state="..."}` gauge behind GET /metrics.
+func (s *Scheduler) StateCounts() map[State]int {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	counts := map[State]int{Queued: 0, Running: 0, Done: 0, Failed: 0, Canceled: 0}
+	for _, j := range jobs {
+		counts[j.State()]++
+	}
+	return counts
 }
 
 // Stats snapshots the scheduler counters.
@@ -603,6 +679,9 @@ func (s *Scheduler) runJob(j *Job, req Request) {
 		ctx, cancel = context.WithTimeout(context.Background(), timeout)
 	}
 	defer cancel()
+	// Thread the originating request ID into the pipeline's context so any
+	// stage (and its logs) can be correlated with the HTTP request.
+	ctx = WithRequestID(ctx, req.RequestID)
 
 	j.mu.Lock()
 	if j.state != Queued {
@@ -613,6 +692,7 @@ func (s *Scheduler) runJob(j *Job, req Request) {
 	j.started = time.Now()
 	j.cancel = cancel
 	j.mu.Unlock()
+	s.log("job started", j)
 
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
@@ -638,6 +718,7 @@ func (s *Scheduler) runJob(j *Job, req Request) {
 	if err != nil {
 		s.failed.Add(1)
 		j.finish(Failed, nil, fmt.Errorf("%w: %s", ErrParse, err))
+		s.log("job failed", j, "kind", string(KindParse), "error", err)
 		return
 	}
 	res, err := o2.Analyze(ctx, prog, cfg)
@@ -649,12 +730,15 @@ func (s *Scheduler) runJob(j *Job, req Request) {
 		}
 		s.completed.Add(1)
 		j.finish(Done, sum, nil)
+		s.log("job done", j, "races", len(sum.Races), "wall", j.Wall())
 	case KindCanceled:
 		s.canceled.Add(1)
 		j.finish(Canceled, nil, err)
+		s.log("job canceled", j, "wall", j.Wall())
 	default:
 		s.failed.Add(1)
 		j.finish(Failed, nil, err)
+		s.log("job failed", j, "kind", string(Classify(err)), "error", err, "wall", j.Wall())
 	}
 }
 

@@ -1,25 +1,38 @@
 // Package server exposes the batch scheduler as an HTTP JSON API — the
 // `o2 serve` surface. Endpoints:
 //
-//	POST /analyze    submit minilang sources for analysis (optionally wait)
-//	GET  /jobs/{id}  poll a job
-//	GET  /jobs       list all jobs
-//	GET  /healthz    liveness
-//	GET  /statsz     scheduler + cache counters
+//	POST /analyze           submit minilang sources for analysis (optionally wait)
+//	GET  /jobs/{id}         poll a job (?trace=1 returns the Chrome trace of its run)
+//	GET  /jobs              list all jobs
+//	GET  /healthz           liveness
+//	GET  /statsz            scheduler + cache counters, uptime, build info, obs snapshot
+//	GET  /metrics           Prometheus text exposition (dependency-free)
 //
-// The handler is plain net/http over sched.Scheduler; it owns no state of
-// its own, so it is safe to serve from multiple listeners.
+// Every request is wrapped by a thin middleware: a request ID is honored
+// from X-Request-ID or generated, echoed back in the response header,
+// threaded into job contexts (sched.RequestIDFrom) and attached to the
+// structured access log; latency lands in the server.request_seconds
+// histogram that /metrics exports.
+//
+// The handler is plain net/http over sched.Scheduler; it owns no state
+// beyond its metrics registry, so it is safe to serve from multiple
+// listeners.
 package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"time"
 
 	"o2"
+	"o2/internal/obs"
 	"o2/internal/sched"
 )
 
@@ -81,20 +94,92 @@ type errorBody struct {
 type Server struct {
 	sched *sched.Scheduler
 	mux   *http.ServeMux
+	log   *slog.Logger
+	reg   *obs.Registry
+	start time.Time
+
+	reqSeconds *obs.Histogram
+	reqTotal   *obs.Counter
+	errTotal   *obs.Counter
 }
 
+// Option configures optional server behavior; see WithLogger and
+// WithRegistry.
+type Option func(*Server)
+
+// WithLogger installs a structured access/error logger. Nil (the
+// default) disables request logging.
+func WithLogger(l *slog.Logger) Option { return func(s *Server) { s.log = l } }
+
+// WithRegistry shares an existing obs registry for the server's request
+// metrics instead of the private one New creates — useful when embedding
+// the handler into a process that already owns a registry.
+func WithRegistry(r *obs.Registry) Option { return func(s *Server) { s.reg = r } }
+
 // New builds the handler over s.
-func New(s *sched.Scheduler) *Server {
-	srv := &Server{sched: s, mux: http.NewServeMux()}
+func New(s *sched.Scheduler, opts ...Option) *Server {
+	srv := &Server{sched: s, mux: http.NewServeMux(), start: time.Now()}
+	for _, o := range opts {
+		o(srv)
+	}
+	if srv.reg == nil {
+		srv.reg = obs.New()
+	}
+	srv.reqSeconds = srv.reg.Histogram("server.request_seconds", obs.DefBuckets)
+	srv.reqTotal = srv.reg.Counter("server.requests")
+	srv.errTotal = srv.reg.Counter("server.errors")
 	srv.mux.HandleFunc("POST /analyze", srv.handleAnalyze)
 	srv.mux.HandleFunc("GET /jobs/{id}", srv.handleJob)
 	srv.mux.HandleFunc("GET /jobs", srv.handleJobs)
 	srv.mux.HandleFunc("GET /healthz", srv.handleHealthz)
 	srv.mux.HandleFunc("GET /statsz", srv.handleStatsz)
+	srv.mux.HandleFunc("GET /metrics", srv.handleMetrics)
 	return srv
 }
 
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// statusWriter captures the response status for metrics and logs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// newRequestID returns a fresh opaque request ID (12 hex chars).
+func newRequestID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "req-unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ServeHTTP is the request middleware: request-ID assignment and echo,
+// latency/error accounting, structured access logging, then dispatch.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	id := r.Header.Get("X-Request-ID")
+	if id == "" {
+		id = newRequestID()
+	}
+	w.Header().Set("X-Request-ID", id)
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	r = r.WithContext(sched.WithRequestID(r.Context(), id))
+	s.mux.ServeHTTP(sw, r)
+	s.reqTotal.Inc()
+	if sw.status >= 400 {
+		s.errTotal.Inc()
+	}
+	s.reqSeconds.ObserveSince(start)
+	if s.log != nil {
+		s.log.Info("request",
+			"method", r.Method, "path", r.URL.Path, "status", sw.status,
+			"request_id", id, "duration", time.Since(start))
+	}
+}
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -131,10 +216,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job, err := s.sched.Submit(sched.Request{
-		Files:   files,
-		Config:  cfg,
-		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
-		Label:   req.Label,
+		Files:     files,
+		Config:    cfg,
+		Timeout:   time.Duration(req.TimeoutMS) * time.Millisecond,
+		Label:     req.Label,
+		RequestID: sched.RequestIDFrom(r.Context()),
 	})
 	switch {
 	case err == nil:
@@ -170,6 +256,18 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "", "unknown job %q", r.PathValue("id"))
 		return
 	}
+	if r.URL.Query().Get("trace") == "1" {
+		sum := job.Summary()
+		if sum == nil || sum.Stats == nil {
+			writeError(w, http.StatusNotFound, "",
+				"no trace for job %q (job unfinished, or server started without stats collection)", job.ID)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = sum.Stats.WriteTrace(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, job.View())
 }
 
@@ -181,8 +279,89 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// mirrorSchedStats copies the scheduler's counters into the server
+// registry under sched.* names, so /metrics and /statsz expose one
+// consistent view. The registry has no label support; jobs-by-state is
+// rendered as hand-written labeled gauge lines by handleMetrics.
+func (s *Server) mirrorSchedStats() sched.Stats {
+	st := s.sched.Stats()
+	s.reg.Counter("sched.submitted").Set(st.Submitted)
+	s.reg.Counter("sched.completed").Set(st.Completed)
+	s.reg.Counter("sched.failed").Set(st.Failed)
+	s.reg.Counter("sched.canceled").Set(st.Canceled)
+	s.reg.Counter("sched.rejected").Set(st.Rejected)
+	s.reg.Counter("sched.cache_hits").Set(st.CacheHits)
+	s.reg.Counter("sched.cache_misses").Set(st.CacheMisses)
+	s.reg.Counter("sched.cache_evictions").Set(st.CacheEvictions)
+	s.reg.SetGauge("sched.workers", int64(st.Workers))
+	s.reg.SetGauge("sched.queue_depth", int64(st.QueueLen))
+	s.reg.SetGauge("sched.queue_capacity", int64(st.QueueDepth))
+	s.reg.SetGauge("sched.in_flight", st.InFlight)
+	s.reg.SetGauge("sched.cache_entries", int64(st.CacheEntries))
+	s.reg.SetGauge("server.uptime_seconds", int64(time.Since(s.start).Seconds()))
+	return st
+}
+
+// buildInfo is the statsz build-identification block.
+type buildInfo struct {
+	GoVersion string `json:"go_version,omitempty"`
+	Path      string `json:"path,omitempty"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Modified  bool   `json:"vcs_modified,omitempty"`
+}
+
+func readBuildInfo() buildInfo {
+	var b buildInfo
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.GoVersion = bi.GoVersion
+	b.Path = bi.Main.Path
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.modified":
+			b.Modified = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// statszBody extends the scheduler counters (flattened, so existing
+// clients keep working) with uptime, build identification and the
+// server's obs registry snapshot — the same data /metrics exposes, in
+// JSON form.
+type statszBody struct {
+	sched.Stats
+	UptimeNS int64         `json:"uptime_ns"`
+	Build    buildInfo     `json:"build"`
+	Obs      *obs.RunStats `json:"obs,omitempty"`
+}
+
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.sched.Stats())
+	st := s.mirrorSchedStats()
+	writeJSON(w, http.StatusOK, statszBody{
+		Stats:    st,
+		UptimeNS: int64(time.Since(s.start)),
+		Build:    readBuildInfo(),
+		Obs:      s.reg.Snapshot(),
+	})
+}
+
+// jobStates is the fixed exposition order of the o2_sched_jobs gauge.
+var jobStates = []sched.State{sched.Queued, sched.Running, sched.Done, sched.Failed, sched.Canceled}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mirrorSchedStats()
+	w.Header().Set("Content-Type", obs.PromContentType)
+	s.reg.WritePrometheus(w)
+	counts := s.sched.StateCounts()
+	fmt.Fprintf(w, "# TYPE o2_sched_jobs gauge\n")
+	for _, state := range jobStates {
+		fmt.Fprintf(w, "o2_sched_jobs{state=%q} %d\n", state, counts[state])
+	}
 }
 
 // Shutdown gracefully drains the scheduler (admission already stopped by

@@ -347,3 +347,198 @@ func genSource(n int) string {
 	b.WriteString("}\n")
 	return b.String()
 }
+
+// TestMetricsExposition scrapes /metrics after real traffic and checks
+// the Prometheus text format: content type, # TYPE lines for the
+// scheduler mirror, the request-latency histogram, and the labeled
+// jobs-by-state gauge.
+func TestMetricsExposition(t *testing.T) {
+	ts, _ := newTestServer(t, sched.Options{Workers: 1, CollectStats: true})
+	postAnalyze(t, ts.URL, AnalyzeRequest{Source: racySrc, Wait: true})
+	postAnalyze(t, ts.URL, AnalyzeRequest{Source: racySrc, Wait: true}) // cache hit
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type %q is not the Prometheus text exposition", ct)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"# TYPE o2_sched_submitted counter",
+		"# TYPE o2_sched_cache_hits counter",
+		"# TYPE o2_sched_queue_depth gauge",
+		"# TYPE o2_server_request_seconds histogram",
+		`o2_server_request_seconds_bucket{le="+Inf"}`,
+		"o2_server_request_seconds_count",
+		"# TYPE o2_sched_jobs gauge",
+		`o2_sched_jobs{state="done"} 2`,
+		"o2_server_uptime_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+	// The cache hit mirrored from the scheduler must be non-zero.
+	if strings.Contains(body, "\no2_sched_cache_hits 0\n") {
+		t.Error("cache_hits not mirrored from scheduler stats")
+	}
+}
+
+// TestStatszExtended checks the uptime / build / obs additions while the
+// flat scheduler counters stay where existing clients expect them.
+func TestStatszExtended(t *testing.T) {
+	ts, _ := newTestServer(t, sched.Options{Workers: 1})
+	postAnalyze(t, ts.URL, AnalyzeRequest{Source: racySrc, Wait: true})
+
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var body map[string]any
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatalf("statsz JSON: %v\n%s", err, raw)
+	}
+	for _, key := range []string{"submitted", "completed", "uptime_ns", "build", "obs"} {
+		if _, ok := body[key]; !ok {
+			t.Errorf("statsz missing %q:\n%s", key, raw)
+		}
+	}
+	if up, _ := body["uptime_ns"].(float64); up <= 0 {
+		t.Errorf("uptime_ns = %v, want > 0", body["uptime_ns"])
+	}
+	if b, _ := body["build"].(map[string]any); b["go_version"] == "" {
+		t.Errorf("build info missing go_version: %v", body["build"])
+	}
+}
+
+// TestJobTrace fetches ?trace=1 for a finished job and validates the
+// Chrome trace_event shape end to end over HTTP.
+func TestJobTrace(t *testing.T) {
+	ts, _ := newTestServer(t, sched.Options{Workers: 1, CollectStats: true})
+	resp, raw := postAnalyze(t, ts.URL, AnalyzeRequest{Source: racySrc, Wait: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	var view sched.View
+	if err := json.Unmarshal(raw, &view); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := http.Get(ts.URL + "/jobs/" + view.ID + "?trace=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("trace: %s: %s", r.Status, raw)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v\n%s", err, raw)
+	}
+	var b, e int
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "B":
+			b++
+		case "E":
+			e++
+		}
+	}
+	if b == 0 || b != e {
+		t.Fatalf("trace has %d B and %d E events", b, e)
+	}
+}
+
+// TestJobTraceUnavailable: a server without stats collection has no span
+// data to trace, and says so rather than emitting an empty file.
+func TestJobTraceUnavailable(t *testing.T) {
+	ts, _ := newTestServer(t, sched.Options{Workers: 1})
+	_, raw := postAnalyze(t, ts.URL, AnalyzeRequest{Source: racySrc, Wait: true})
+	var view sched.View
+	if err := json.Unmarshal(raw, &view); err != nil {
+		t.Fatal(err)
+	}
+	r, err := http.Get(ts.URL + "/jobs/" + view.ID + "?trace=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("trace without stats: %s, want 404", r.Status)
+	}
+}
+
+// TestRequestIDPropagation: a caller-provided X-Request-ID is echoed on
+// the response and lands on the job view; absent one, the server mints
+// an ID.
+func TestRequestIDPropagation(t *testing.T) {
+	ts, _ := newTestServer(t, sched.Options{Workers: 1})
+
+	body, _ := json.Marshal(AnalyzeRequest{Source: racySrc, Wait: true})
+	req, err := http.NewRequest("POST", ts.URL+"/analyze", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", "test-req-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "test-req-42" {
+		t.Errorf("response X-Request-ID = %q, want the caller's", got)
+	}
+	var view sched.View
+	if err := json.Unmarshal(raw, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.RequestID != "test-req-42" {
+		t.Errorf("job view request_id = %q, want test-req-42", view.RequestID)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("server did not mint a request ID")
+	}
+}
+
+// TestWitnessInJobResult: job summaries carry the full machine-readable
+// witness per race.
+func TestWitnessInJobResult(t *testing.T) {
+	ts, _ := newTestServer(t, sched.Options{Workers: 1})
+	_, raw := postAnalyze(t, ts.URL, AnalyzeRequest{Source: racySrc, Wait: true})
+	var view sched.View
+	if err := json.Unmarshal(raw, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.RaceCnt != 1 || view.Summary == nil {
+		t.Fatalf("races=%d summary=%v", view.RaceCnt, view.Summary)
+	}
+	w := view.Summary.Races[0].Witness
+	if w == nil {
+		t.Fatal("race has no witness")
+	}
+	if w.Schema == 0 || w.Locks.Verdict == "" || w.Ordering.Verdict == "" {
+		t.Fatalf("witness incomplete: %+v", w)
+	}
+	if len(w.A.Origin.SpawnChain) == 0 {
+		t.Fatal("witness has no spawn chain")
+	}
+}
