@@ -21,9 +21,12 @@ bench_gate() {
 # recall must be 1.0 and precision at or above the checked-in baseline,
 # then the metamorphic suite must leave every canonical race-report set
 # invariant (all source transforms x the corpus, all IR transforms x
-# three workload presets). See `o2 eval -h`.
+# three workload presets), and the same recall-1.0 gate must hold for
+# the corpus scored through warm incremental summary replay. See
+# `o2 eval -h`.
 eval_gate() {
 	go run ./cmd/o2 eval -metamorphic
+	go run ./cmd/o2 eval -incremental
 }
 
 # End-to-end smoke of the batch-analysis service: build the CLI, start
@@ -130,7 +133,8 @@ esac
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/race/ ./internal/shb/ ./internal/lockset/ ./internal/obs/ ./internal/sched/ ./internal/server/
+go test -race ./internal/race/ ./internal/shb/ ./internal/lockset/ ./internal/obs/ ./internal/sched/ ./internal/server/ ./internal/summary/
+go test -race -run 'TestIncrementalConcurrentStore' ./internal/truth/
 cover
 smoke
 telemetry

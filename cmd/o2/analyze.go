@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"o2/internal/lang"
 	"o2/internal/obs"
 	"o2/internal/race"
+	"o2/internal/summary"
 )
 
 // runAnalyze is the classic single-program CLI (also reachable as
@@ -38,6 +40,7 @@ func runAnalyze(args []string) int {
 	deadlocks := fs.Bool("deadlock", false, "also run the lock-order deadlock analysis")
 	explain := fs.Bool("explain", false, "print a witness for each race (spawn sites, locksets, ordering)")
 	dumpIR := fs.Bool("dump-ir", false, "dump the lowered IR and exit")
+	incremental := fs.Bool("incremental", false, "analyze through per-unit summary reuse (identical report; reuse stats under -stats)")
 	oversyncF := fs.Bool("oversync", false, "also report lock regions guarding only origin-local data")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -97,19 +100,29 @@ func runAnalyze(args []string) int {
 	if err != nil {
 		return fail(exitUsage, err)
 	}
-	prog, err := lang.CompileFiles(files, cfg.Entries)
-	if err != nil {
-		return fail(exitParse, err)
-	}
-
-	if *dumpIR {
-		prog.Print(os.Stdout)
-		return exitOK
-	}
-
-	res, err := o2.AnalyzeProgram(prog, cfg)
-	if err != nil {
-		return fail(exitCode(err), err)
+	var res *o2.Result
+	if *incremental && !*dumpIR {
+		// One-shot incremental run against a fresh store: every unit is a
+		// cold miss, but the report (and the exit code) is identical to
+		// the full pipeline by construction, and the inc.* counters land
+		// in RunStats. Long-lived reuse lives in `o2 serve`/`o2 batch`.
+		res, err = o2.AnalyzeIncremental(context.Background(), files, cfg, summary.NewStore(0))
+		if err != nil {
+			return fail(exitCode(err), err)
+		}
+	} else {
+		prog, err := lang.CompileFiles(files, cfg.Entries)
+		if err != nil {
+			return fail(exitParse, err)
+		}
+		if *dumpIR {
+			prog.Print(os.Stdout)
+			return exitOK
+		}
+		res, err = o2.AnalyzeProgram(prog, cfg)
+		if err != nil {
+			return fail(exitCode(err), err)
+		}
 	}
 
 	if *statsJSON != "" {
@@ -151,7 +164,13 @@ func runAnalyze(args []string) int {
 		fmt.Printf("stats: %s\n", st)
 		fmt.Printf("times: pta=%v osa=%v shb=%v detect=%v total=%v\n",
 			res.PTATime, res.OSATime, res.SHBTime, res.DetectTime, res.TotalTime())
-		fmt.Printf("shb: %s, %d lock regions\n\n", res.Graph, res.Graph.Regions)
+		fmt.Printf("shb: %s, %d lock regions\n", res.Graph, res.Graph.Regions)
+		if res.Inc != nil {
+			fmt.Printf("incremental: units=%d reused=%d recomputed=%d dirty=%.2f fallback=%v\n",
+				res.Inc.UnitsTotal, res.Inc.UnitsReused, res.Inc.UnitsRecomputed,
+				res.Inc.DirtyRatio(), res.Inc.Fallback)
+		}
+		fmt.Println()
 	}
 
 	if *deadlocks {

@@ -25,6 +25,7 @@ func runBatch(args []string) int {
 	jobs := fs.Int("jobs", 0, "concurrent analysis jobs (0 = GOMAXPROCS)")
 	repeat := fs.Int("repeat", 1, "submit each program N times (exercises the result cache)")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job deadline (0 = none)")
+	incremental := fs.Bool("incremental", false, "reuse per-unit summaries across jobs (two-level cache)")
 	asJSON := fs.Bool("json", false, "emit the aggregate report as JSON")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -56,6 +57,7 @@ func runBatch(args []string) int {
 		// backpressure; serve-mode uses a bounded queue instead.
 		QueueDepth:     len(paths)**repeat + 1,
 		DefaultTimeout: *jobTimeout,
+		Incremental:    *incremental,
 	})
 
 	type item struct {

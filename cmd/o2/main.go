@@ -19,6 +19,17 @@
 //	4  budget exhausted (step budget, time budget or deadline)
 //	5  analysis canceled
 //	6  internal error
+//
+// The -incremental flag (on analyze, serve, batch and eval) routes
+// analyses through per-unit summary reuse. It never changes the exit
+// code contract: the race report is identical to a full analysis by
+// construction — change classes summaries cannot express fall back to
+// whole-program compilation, never to different results — so exit 0/1
+// mean exactly what they mean without the flag, compile errors still
+// exit 3 (incremental front-end failures are typed o2.ErrCompile), and
+// budget/cancel exhaustion still exit 4/5. The only observable
+// difference is speed and the inc.* reuse counters in -stats output,
+// RunStats and /metrics.
 package main
 
 import (
@@ -72,7 +83,7 @@ func exitCode(err error) int {
 	switch {
 	case err == nil:
 		return exitOK
-	case errors.Is(err, sched.ErrParse):
+	case errors.Is(err, sched.ErrParse), errors.Is(err, o2.ErrCompile):
 		return exitParse
 	case errors.Is(err, o2.ErrBudget):
 		return exitBudget

@@ -39,6 +39,10 @@ type GateReport struct {
 	// must not drop — rather than against the golden file, so it is
 	// stripped from the deterministic projection like Batch.
 	Eval *truth.EvalReport `json:"eval,omitempty"`
+	// Inc is the report-only warm-incremental section: cold/warm latency,
+	// dirty-unit ratio and speedup after a one-unit edit on three corpus
+	// programs. Latency-dependent, so never golden-gated.
+	Inc *IncGateStats `json:"incremental,omitempty"`
 }
 
 // GatePreset is one workload's gate entry.
@@ -85,6 +89,11 @@ func RunGate(o Opts) (*GateReport, error) {
 		return nil, fmt.Errorf("bench gate: eval: %w", err)
 	}
 	rep.Eval = ev
+	inc, err := RunIncGate()
+	if err != nil {
+		return nil, fmt.Errorf("bench gate: incremental: %w", err)
+	}
+	rep.Inc = inc
 	return rep, nil
 }
 
@@ -189,6 +198,12 @@ func Gate(w io.Writer, o Opts, goldenPath, statsPath string, update bool) error 
 		fmt.Fprintf(w, "bench gate: batch %d jobs @ %.1f jobs/s (cache %d/%d, warm hit %s) [report-only]\n",
 			rep.Batch.Jobs, rep.Batch.JobsPerSec, rep.Batch.CacheHits,
 			rep.Batch.CacheHits+rep.Batch.CacheMisses, time.Duration(rep.Batch.WarmHitNS))
+	}
+	if rep.Inc != nil {
+		for _, p := range rep.Inc.Presets {
+			fmt.Fprintf(w, "bench gate: incremental %-20s warm=%-10v dirty=%.2f (%d/%d units) speedup=%.1fx [report-only]\n",
+				p.Name, time.Duration(p.WarmNS), p.DirtyRatio, p.UnitsRecomputed, p.UnitsTotal, p.Speedup)
+		}
 	}
 	if rep.Eval != nil {
 		t := rep.Eval.Total

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"o2"
+	"o2/internal/summary"
+	"o2/internal/truth"
+)
+
+// The warm-incremental section of the bench gate: for three multi-unit
+// corpus programs, analyze cold into a fresh unit store, apply a
+// one-statement edit to main, and re-analyze warm. Reported are the
+// cold and warm latencies, the dirty-unit counts and the speedup — all
+// timing-dependent, so the section is report-only (BENCH_ci.json
+// carries it for trend tracking; the golden comparison never sees it).
+
+// IncGatePrograms are the corpus programs the incremental gate measures.
+// Workload presets build IR directly and never pass through the
+// front end, so the gate uses source-form corpus programs instead.
+var IncGatePrograms = []string{"thread_counter", "figure2_origins", "android_two_handlers"}
+
+// IncPreset is one program's warm-incremental measurement.
+type IncPreset struct {
+	Name   string `json:"name"`
+	ColdNS int64  `json:"cold_ns"`
+	WarmNS int64  `json:"warm_ns"`
+	// Unit accounting of the warm (edited) run.
+	UnitsTotal      int     `json:"units_total"`
+	UnitsReused     int     `json:"units_reused"`
+	UnitsRecomputed int     `json:"units_recomputed"`
+	DirtyRatio      float64 `json:"dirty_ratio"`
+	Speedup         float64 `json:"speedup"`
+	Fallback        bool    `json:"fallback,omitempty"`
+}
+
+// IncGateStats is the report-only incremental section of the gate.
+type IncGateStats struct {
+	Presets []IncPreset `json:"presets"`
+}
+
+// RunIncGate measures warm incremental re-analysis after a one-unit
+// edit on each gate program.
+func RunIncGate() (*IncGateStats, error) {
+	corpus, err := truth.Corpus()
+	if err != nil {
+		return nil, err
+	}
+	byName := map[string]*truth.Program{}
+	for i := range corpus {
+		byName[corpus[i].Name] = &corpus[i]
+	}
+	out := &IncGateStats{}
+	for _, name := range IncGatePrograms {
+		p := byName[name]
+		if p == nil {
+			return nil, fmt.Errorf("bench inc gate: corpus program %q missing", name)
+		}
+		// Seed from the canonical form so the edited text differs from
+		// the seeded text by exactly the inserted statement.
+		canonical, err := truth.FormattedSource(p, truth.Transforms()[0])
+		if err != nil {
+			return nil, fmt.Errorf("bench inc gate: %s: %w", name, err)
+		}
+		cfg := p.Config()
+		cfg.Workers = 1
+		store := summary.NewStore(0)
+		t0 := time.Now()
+		if _, err := o2.AnalyzeSourceIncremental(context.Background(), p.File, canonical, cfg, store); err != nil {
+			return nil, fmt.Errorf("bench inc gate: %s: cold: %w", name, err)
+		}
+		cold := time.Since(t0)
+
+		edited, err := editMain(canonical)
+		if err != nil {
+			return nil, fmt.Errorf("bench inc gate: %s: %w", name, err)
+		}
+		t1 := time.Now()
+		res, err := o2.AnalyzeSourceIncremental(context.Background(), p.File, edited, cfg, store)
+		if err != nil {
+			return nil, fmt.Errorf("bench inc gate: %s: warm: %w", name, err)
+		}
+		warm := time.Since(t1)
+
+		ip := IncPreset{
+			Name:   name,
+			ColdNS: int64(cold),
+			WarmNS: int64(warm),
+		}
+		if st := res.Inc; st != nil {
+			ip.UnitsTotal = st.UnitsTotal
+			ip.UnitsReused = st.UnitsReused
+			ip.UnitsRecomputed = st.UnitsRecomputed
+			ip.DirtyRatio = st.DirtyRatio()
+			ip.Fallback = st.Fallback
+		}
+		if warm > 0 {
+			ip.Speedup = float64(cold) / float64(warm)
+		}
+		out.Presets = append(out.Presets, ip)
+	}
+	return out, nil
+}
+
+// editMain inserts an inert statement at the top of main's body — the
+// canonical one-unit edit.
+func editMain(src string) (string, error) {
+	lines := strings.Split(src, "\n")
+	for i, ln := range lines {
+		if strings.HasPrefix(ln, "main {") {
+			edited := append([]string{}, lines[:i+1]...)
+			edited = append(edited, "\tzq_bench_edit = null;")
+			edited = append(edited, lines[i+1:]...)
+			return strings.Join(edited, "\n"), nil
+		}
+	}
+	return "", fmt.Errorf("no main body found")
+}

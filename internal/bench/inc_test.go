@@ -1,0 +1,28 @@
+package bench
+
+import "testing"
+
+func TestRunIncGate(t *testing.T) {
+	st, err := RunIncGate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Presets) != len(IncGatePrograms) {
+		t.Fatalf("got %d presets, want %d", len(st.Presets), len(IncGatePrograms))
+	}
+	for _, p := range st.Presets {
+		if p.Fallback {
+			t.Errorf("%s: fell back to whole-program compilation", p.Name)
+			continue
+		}
+		if p.UnitsReused == 0 || p.UnitsRecomputed >= p.UnitsTotal {
+			t.Errorf("%s: one-unit edit did not reuse units: %+v", p.Name, p)
+		}
+		if p.DirtyRatio <= 0 || p.DirtyRatio >= 1 {
+			t.Errorf("%s: dirty ratio %v outside (0,1)", p.Name, p.DirtyRatio)
+		}
+		if p.ColdNS <= 0 || p.WarmNS <= 0 {
+			t.Errorf("%s: missing timings: %+v", p.Name, p)
+		}
+	}
+}

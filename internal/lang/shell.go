@@ -1,0 +1,133 @@
+package lang
+
+import (
+	"fmt"
+
+	"o2/internal/ir"
+)
+
+// Shell is the declaration skeleton of a program: every class (with its
+// fields, statics, volatiles and super edge) and every method/function
+// shell is declared, but no body has been lowered yet. It is the
+// substrate of per-unit incremental compilation — dirty units lower
+// their bodies through LowerMethod/LowerFunc while clean units replay
+// cached instruction fragments into the same shells — and CompileFiles
+// is itself built on it, so the two paths share one lowering.
+type Shell struct {
+	prog    *ir.Program
+	entries ir.EntryConfig
+	statics map[string]bool
+	freeFns map[string]*ir.Func
+}
+
+// Declare runs the declaration pass over the parsed files: classes,
+// fields and method/function shells are created so that all references
+// resolve regardless of declaration order, and the inheritance graph is
+// checked for cycles. Bodies are not lowered.
+func Declare(asts []*File, entries ir.EntryConfig) (*Shell, error) {
+	sh := &Shell{
+		prog:    ir.NewProgram(),
+		entries: entries,
+		statics: map[string]bool{},
+		freeFns: map[string]*ir.Func{},
+	}
+	for _, f := range asts {
+		for _, cd := range f.Classes {
+			c := sh.prog.Class(cd.Name)
+			if cd.Super != "" {
+				c.Super = sh.prog.Class(cd.Super)
+			}
+			for _, fd := range cd.Fields {
+				if fd.Static {
+					sig := cd.Name + "." + fd.Name
+					sh.statics[sig] = true
+					sh.prog.Statics = append(sh.prog.Statics, sig)
+					if fd.Volatile {
+						sh.prog.VolatileStatics[sig] = true
+					}
+				} else {
+					c.Fields = append(c.Fields, fd.Name)
+					if fd.Volatile {
+						c.Volatiles[fd.Name] = true
+					}
+				}
+			}
+			for _, md := range cd.Methods {
+				if c.Methods[md.Name] != nil {
+					return nil, fmt.Errorf("%s: duplicate method %s.%s", f.Name, cd.Name, md.Name)
+				}
+				fn := sh.prog.NewFunc(c, md.Name, md.Params...)
+				fn.OriginEntry = md.Origin
+			}
+		}
+		for _, fd := range f.Funcs {
+			if sh.freeFns[fd.Name] != nil {
+				return nil, fmt.Errorf("%s: duplicate function %s", f.Name, fd.Name)
+			}
+			sh.freeFns[fd.Name] = sh.prog.NewFunc(nil, fd.Name, fd.Params...)
+		}
+	}
+	// The Super chains must be acyclic: field/volatile lookups and method
+	// resolution walk them to nil.
+	for _, f := range asts {
+		for _, cd := range f.Classes {
+			seen := map[string]bool{}
+			for c := sh.prog.Class(cd.Name); c != nil; c = c.Super {
+				if seen[c.Name] {
+					return nil, fmt.Errorf("%s:%d: inheritance cycle through class %s", f.Name, cd.Line, c.Name)
+				}
+				seen[c.Name] = true
+			}
+		}
+	}
+	return sh, nil
+}
+
+// Prog returns the program under construction. It is not finalized;
+// call Finalize after all bodies are lowered or replayed.
+func (sh *Shell) Prog() *ir.Program { return sh.prog }
+
+// FreeFunc returns the shell of a declared free function, or nil.
+func (sh *Shell) FreeFunc(name string) *ir.Func { return sh.freeFns[name] }
+
+// Method returns the shell of a declared method, or nil.
+func (sh *Shell) Method(class, name string) *ir.Func {
+	c := sh.prog.Classes[class]
+	if c == nil {
+		return nil
+	}
+	return c.Methods[name]
+}
+
+// FuncByName resolves a qualified function name ("f" or "C.m") to its
+// shell. Fragment replay links call targets through it.
+func (sh *Shell) FuncByName(qname string) *ir.Func {
+	for _, fn := range sh.prog.Funcs {
+		if fn.Name == qname {
+			return fn
+		}
+	}
+	return nil
+}
+
+// LowerMethod lowers one method body into its declared shell. Temp
+// variables are numbered per body, so lowering a body in isolation
+// produces exactly the instructions whole-program compilation would.
+func (sh *Shell) LowerMethod(file, class string, md *FuncDecl) error {
+	c := sh.prog.Classes[class]
+	if c == nil || c.Methods[md.Name] == nil {
+		return fmt.Errorf("%s: method %s.%s not declared", file, class, md.Name)
+	}
+	lw := &lowerer{prog: sh.prog, entries: sh.entries, statics: sh.statics, freeFns: sh.freeFns, file: file}
+	return lw.lowerBody(c.Methods[md.Name], md)
+}
+
+// LowerFunc lowers one free-function body into its declared shell.
+func (sh *Shell) LowerFunc(file string, fd *FuncDecl) error {
+	fn := sh.freeFns[fd.Name]
+	if fn == nil {
+		return fmt.Errorf("%s: function %s not declared", file, fd.Name)
+	}
+	lw := &lowerer{prog: sh.prog, entries: sh.entries, statics: sh.statics, freeFns: sh.freeFns, file: file}
+	return lw.lowerBody(fn, fd)
+}

@@ -1,0 +1,171 @@
+package sched
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// editOneBody returns src with one extra statement inside the first
+// run() body — a one-unit edit as the scheduler's clients would make it.
+func editOneBody(src string) string {
+	return strings.Replace(src, "run() {", "run() { zq = null;", 1)
+}
+
+// TestIncrementalTwoLevelCache pins the cache layering: an identical
+// resubmission is served by the whole-program cache without touching the
+// unit store, while an edited resubmission misses the front cache and
+// replays clean units out of the store.
+func TestIncrementalTwoLevelCache(t *testing.T) {
+	s := New(Options{Workers: 1, Incremental: true})
+	defer s.Shutdown(context.Background())
+
+	src := genSource(4)
+	j1, err := s.Submit(req(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j1)
+	if j1.Err() != nil {
+		t.Fatal(j1.Err())
+	}
+	sum := j1.Summary()
+	if sum.Inc == nil {
+		t.Fatal("incremental scheduler produced no IncStats")
+	}
+	if sum.Inc.Fallback {
+		t.Fatalf("cold run fell back: %s", sum.Inc.FallbackReason)
+	}
+	cold := s.Stats()
+	if cold.UnitMisses == 0 || cold.UnitEntries == 0 {
+		t.Fatalf("cold run did not populate the unit store: %+v", cold)
+	}
+
+	// Identical resubmission: whole-program hit, unit store untouched.
+	j2, err := s.Submit(req(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j2)
+	if !j2.Summary().Cached {
+		t.Error("identical resubmission should hit the result cache")
+	}
+	afterHit := s.Stats()
+	if afterHit.UnitHits != cold.UnitHits || afterHit.UnitMisses != cold.UnitMisses {
+		t.Errorf("whole-program hit touched the unit store: %+v -> %+v", cold, afterHit)
+	}
+
+	// Edited resubmission: front cache misses, clean units replay.
+	j3, err := s.Submit(req(editOneBody(src)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j3)
+	if j3.Err() != nil {
+		t.Fatal(j3.Err())
+	}
+	sum3 := j3.Summary()
+	if sum3.Cached {
+		t.Error("edited resubmission must not hit the result cache")
+	}
+	if sum3.Inc == nil || sum3.Inc.Fallback {
+		t.Fatalf("edited resubmission fell back: %+v", sum3.Inc)
+	}
+	if sum3.Inc.UnitsReused == 0 {
+		t.Errorf("edited resubmission reused no units: %+v", sum3.Inc)
+	}
+	if sum3.Inc.UnitsRecomputed >= sum3.Inc.UnitsTotal {
+		t.Errorf("edited resubmission recomputed everything: %+v", sum3.Inc)
+	}
+	warm := s.Stats()
+	if warm.UnitHits <= afterHit.UnitHits {
+		t.Errorf("unit store hits did not grow on warm re-analysis: %+v -> %+v", afterHit, warm)
+	}
+	// The edit is inert, so the replayed-summary report must find the
+	// same races the cold run did.
+	if len(sum3.Races) != len(sum.Races) {
+		t.Errorf("inert edit changed race count: %d -> %d", len(sum.Races), len(sum3.Races))
+	}
+}
+
+// TestIncrementalParseErrorClassified: compile failures on the
+// incremental path must classify as parse errors, same as the
+// whole-program path.
+func TestIncrementalParseErrorClassified(t *testing.T) {
+	s := New(Options{Workers: 1, Incremental: true})
+	defer s.Shutdown(context.Background())
+	j, err := s.Submit(req("class {"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if kind := j.ErrKind(); kind != KindParse {
+		t.Errorf("error kind = %q, want %q (err: %v)", kind, KindParse, j.Err())
+	}
+}
+
+// TestIncrementalConcurrentJobs hammers one incremental scheduler with
+// concurrent submissions of several distinct programs and their edits
+// (run under -race in CI): the shared unit store takes interleaved
+// traffic from all workers, and every result must match the race count
+// of its program's cold run.
+func TestIncrementalConcurrentJobs(t *testing.T) {
+	s := New(Options{Workers: 4, QueueDepth: 256, CacheEntries: -1, Incremental: true})
+	defer s.Shutdown(context.Background())
+
+	srcs := []string{genSource(2), genSource(3), genSource(4)}
+	want := make([]int, len(srcs))
+	for i, src := range srcs {
+		j, err := s.Submit(req(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, j)
+		if j.Err() != nil {
+			t.Fatal(j.Err())
+		}
+		want[i] = len(j.Summary().Races)
+	}
+
+	var wg sync.WaitGroup
+	for round := 0; round < 3; round++ {
+		for i, src := range srcs {
+			wg.Add(1)
+			go func(i int, src string) {
+				defer wg.Done()
+				j, err := s.Submit(req(src))
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				waitDone(t, j)
+				if j.Err() != nil {
+					t.Errorf("job: %v", j.Err())
+					return
+				}
+				if got := len(j.Summary().Races); got != want[i] {
+					t.Errorf("program %d: concurrent warm run found %d races, want %d", i, got, want[i])
+				}
+			}(i, src)
+		}
+	}
+	wg.Wait()
+	if st := s.Stats(); st.UnitHits == 0 {
+		t.Error("concurrent warm runs never hit the unit store")
+	}
+}
+
+// TestCacheKeySchemaPrefix guards the schema constant's presence in the
+// whole-program key: the key must be stable for identical requests and
+// distinct across sources (the schema itself can only vary across
+// binaries, so stability is what is testable here).
+func TestCacheKeySchemaPrefix(t *testing.T) {
+	a, b := req(racySrc), req(racySrc)
+	if cacheKey(a) != cacheKey(b) {
+		t.Error("identical requests must share a cache key")
+	}
+	if cacheKey(req(racySrc)) == cacheKey(req(cleanSrc)) {
+		t.Error("different sources must not share a cache key")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"o2/internal/lang"
 	"o2/internal/obs"
 	"o2/internal/race"
+	"o2/internal/summary"
 )
 
 // Sentinel errors of the scheduler.
@@ -59,7 +60,7 @@ func Classify(err error) ErrKind {
 	switch {
 	case err == nil:
 		return KindNone
-	case errors.Is(err, ErrParse):
+	case errors.Is(err, ErrParse), errors.Is(err, o2.ErrCompile):
 		return KindParse
 	case errors.Is(err, o2.ErrBudget):
 		return KindBudget
@@ -97,6 +98,15 @@ type Options struct {
 	// CollectStats gives every job its own obs.Registry and attaches the
 	// frozen RunStats report to the job summary.
 	CollectStats bool
+	// Incremental routes jobs through per-unit summary reuse: behind the
+	// whole-program result cache sits a shared unit-summary store, so a
+	// resubmission with one edited function replays every clean unit and
+	// lowers only the dirty ones. Reports are identical to the full
+	// pipeline by construction.
+	Incremental bool
+	// UnitCacheEntries bounds the per-unit summary store when Incremental
+	// is set (0 defaults to summary.DefaultStoreEntries).
+	UnitCacheEntries int
 	// Log receives structured job-lifecycle events (submit, cache hit,
 	// start, finish) with job/request IDs. Nil disables logging — every
 	// log site is a single nil check, mirroring the obs layer's design.
@@ -188,6 +198,9 @@ type Summary struct {
 	// Cached reports that this summary was served from the result cache;
 	// the timings are those of the original (cold) run.
 	Cached bool `json:"cached,omitempty"`
+	// Inc reports per-unit summary reuse when the scheduler runs
+	// incrementally (nil on the whole-program path).
+	Inc *o2.IncStats `json:"incremental,omitempty"`
 }
 
 func summarize(res *o2.Result) *Summary {
@@ -200,6 +213,7 @@ func summarize(res *o2.Result) *Summary {
 		DetectNS: int64(res.DetectTime),
 		TotalNS:  int64(res.TotalTime()),
 		Stats:    res.RunStats,
+		Inc:      res.Inc,
 	}
 	races := res.Races()
 	for i := range races {
@@ -353,6 +367,15 @@ type Stats struct {
 	CacheMisses    int64 `json:"cache_misses"`
 	CacheEvictions int64 `json:"cache_evictions"`
 	CacheEntries   int   `json:"cache_entries"`
+
+	// Unit* mirror the per-unit summary store (all zero unless the
+	// scheduler runs with Options.Incremental). A unit miss is exactly a
+	// dirty unit, so UnitMisses/(UnitHits+UnitMisses) is the fleet-wide
+	// dirty ratio.
+	UnitHits      int64 `json:"unit_hits,omitempty"`
+	UnitMisses    int64 `json:"unit_misses,omitempty"`
+	UnitEvictions int64 `json:"unit_evictions,omitempty"`
+	UnitEntries   int   `json:"unit_entries,omitempty"`
 }
 
 // Scheduler is the bounded-worker batch analysis service.
@@ -368,6 +391,7 @@ type Scheduler struct {
 	seq    int64
 
 	cache *lru
+	units *summary.Store // per-unit summaries behind the result cache; nil unless Options.Incremental
 	wg    sync.WaitGroup
 
 	submitted atomic.Int64
@@ -390,6 +414,9 @@ func New(opts Options) *Scheduler {
 	if opts.CacheEntries > 0 {
 		s.cache = newLRU(opts.CacheEntries)
 	}
+	if opts.Incremental {
+		s.units = summary.NewStore(opts.UnitCacheEntries)
+	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -397,12 +424,16 @@ func New(opts Options) *Scheduler {
 	return s
 }
 
-// cacheKey derives the result-cache key: the SHA-256 of the sorted
-// (filename, source) pairs combined with the config fingerprint. Two
-// requests collide only if both the full source hash and every
-// report-affecting config field agree.
+// cacheKey derives the result-cache key: the summary schema version,
+// then the SHA-256 of the sorted (filename, source) pairs combined with
+// the config fingerprint. Two requests collide only if both the full
+// source hash and every report-affecting config field agree. The schema
+// version sits in front of the whole-program key for the same reason it
+// sits inside every per-unit key: a binary with a different summary
+// format must never serve results cached by an older one.
 func cacheKey(req Request) string {
 	h := sha256.New()
+	fmt.Fprintf(h, "schema:%d:", summary.Schema)
 	names := make([]string, 0, len(req.Files))
 	for n := range req.Files {
 		names = append(names, n)
@@ -613,6 +644,11 @@ func (s *Scheduler) Stats() Stats {
 		hits, misses, evictions, entries := s.cache.stats()
 		st.CacheHits, st.CacheMisses, st.CacheEvictions, st.CacheEntries = hits, misses, evictions, entries
 	}
+	if s.units != nil {
+		ust := s.units.Stats()
+		st.UnitHits, st.UnitMisses, st.UnitEvictions, st.UnitEntries =
+			ust.Hits, ust.Misses, ust.Evictions, ust.Entries
+	}
 	return st
 }
 
@@ -714,14 +750,25 @@ func (s *Scheduler) runJob(j *Job, req Request) {
 		cfg.Obs = nil
 	}
 
-	prog, err := lang.CompileFiles(req.Files, entriesOf(cfg))
-	if err != nil {
-		s.failed.Add(1)
-		j.finish(Failed, nil, fmt.Errorf("%w: %s", ErrParse, err))
-		s.log("job failed", j, "kind", string(KindParse), "error", err)
-		return
+	var res *o2.Result
+	var err error
+	if s.units != nil {
+		// Incremental: the whole-program cache above already missed, so
+		// replay clean units out of the shared summary store and lower
+		// only the dirty ones. Compile errors surface as o2.ErrCompile,
+		// which Classify maps to the parse kind.
+		res, err = o2.AnalyzeIncremental(ctx, req.Files, cfg, s.units)
+	} else {
+		var prog *ir.Program
+		prog, err = lang.CompileFiles(req.Files, entriesOf(cfg))
+		if err != nil {
+			s.failed.Add(1)
+			j.finish(Failed, nil, fmt.Errorf("%w: %s", ErrParse, err))
+			s.log("job failed", j, "kind", string(KindParse), "error", err)
+			return
+		}
+		res, err = o2.Analyze(ctx, prog, cfg)
 	}
-	res, err := o2.Analyze(ctx, prog, cfg)
 	switch Classify(err) {
 	case KindNone:
 		sum := summarize(res)

@@ -1,0 +1,101 @@
+package summary
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Store is the bounded per-unit summary cache: a map + intrusive-list
+// LRU guarded by one mutex, safe for concurrent warm re-analyses. It
+// sits *behind* the scheduler's whole-program result cache — a
+// whole-program hit never touches it; a whole-program miss replays
+// every clean unit out of it and pays lowering only for dirty ones.
+type Store struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type storeEntry struct {
+	key string
+	sum *Summary
+}
+
+// DefaultStoreEntries bounds a store when the caller does not choose a
+// capacity. Summaries are a few hundred bytes each, so the default is
+// generous enough to hold many programs' worth of units.
+const DefaultStoreEntries = 4096
+
+// NewStore returns a store bounded to capacity entries (<=0 selects
+// DefaultStoreEntries).
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultStoreEntries
+	}
+	return &Store{cap: capacity, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// Get returns the summary cached under key and promotes the entry.
+// Every lookup counts: a miss here is exactly a dirty (or never-seen)
+// unit, which is what the dirty-ratio metric reports.
+func (s *Store) Get(key string) (*Summary, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	s.hits.Add(1)
+	return el.Value.(*storeEntry).sum, true
+}
+
+// Put inserts or refreshes an entry, evicting the least recently used
+// entries when over capacity.
+func (s *Store) Put(key string, sum *Summary) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*storeEntry).sum = sum
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.ll.PushFront(&storeEntry{key: key, sum: sum})
+	for s.ll.Len() > s.cap {
+		oldest := s.ll.Back()
+		if oldest == nil {
+			break
+		}
+		s.ll.Remove(oldest)
+		delete(s.items, oldest.Value.(*storeEntry).key)
+		s.evictions.Add(1)
+	}
+}
+
+// StoreStats is a point-in-time view of the store's counters.
+type StoreStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	entries := s.ll.Len()
+	s.mu.Unlock()
+	return StoreStats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Evictions: s.evictions.Load(),
+		Entries:   entries,
+	}
+}

@@ -1,0 +1,127 @@
+package summary
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestStoreHitMissEviction(t *testing.T) {
+	s := NewStore(3)
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("empty store returned a hit")
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		s.Put(k, &Summary{UnitID: k})
+	}
+	if got, ok := s.Get("a"); !ok || got.UnitID != "a" {
+		t.Fatalf("Get(a) = %v, %v", got, ok)
+	}
+	// "b" is now LRU (a was promoted by the Get); inserting "d" must
+	// evict it and only it.
+	s.Put("d", &Summary{UnitID: "d"})
+	if _, ok := s.Get("b"); ok {
+		t.Error("b should have been evicted as LRU")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := s.Get(k); !ok {
+			t.Errorf("%s should have survived eviction", k)
+		}
+	}
+	st := s.Stats()
+	if st.Entries != 3 {
+		t.Errorf("entries = %d, want 3", st.Entries)
+	}
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	// 1 cold miss + 1 evicted-b miss; 1 + 3 hits.
+	if st.Misses != 2 || st.Hits != 4 {
+		t.Errorf("hits/misses = %d/%d, want 4/2", st.Hits, st.Misses)
+	}
+}
+
+func TestStorePutRefreshes(t *testing.T) {
+	s := NewStore(2)
+	s.Put("a", &Summary{UnitID: "a"})
+	s.Put("a", &Summary{UnitID: "a2"})
+	if st := s.Stats(); st.Entries != 1 || st.Evictions != 0 {
+		t.Fatalf("refresh changed entry count: %+v", st)
+	}
+	if got, _ := s.Get("a"); got.UnitID != "a2" {
+		t.Errorf("refresh did not replace value: %q", got.UnitID)
+	}
+	// Refreshing promotes: a is MRU, so adding c evicts b.
+	s.Put("b", &Summary{UnitID: "b"})
+	s.Put("a", &Summary{UnitID: "a3"})
+	s.Put("c", &Summary{UnitID: "c"})
+	if _, ok := s.Get("b"); ok {
+		t.Error("b should have been evicted after a's refresh promoted it")
+	}
+}
+
+func TestStoreDefaultCapacity(t *testing.T) {
+	s := NewStore(0)
+	for i := 0; i < DefaultStoreEntries+10; i++ {
+		s.Put(fmt.Sprintf("k%d", i), &Summary{})
+	}
+	st := s.Stats()
+	if st.Entries != DefaultStoreEntries {
+		t.Errorf("entries = %d, want %d", st.Entries, DefaultStoreEntries)
+	}
+	if st.Evictions != 10 {
+		t.Errorf("evictions = %d, want 10", st.Evictions)
+	}
+}
+
+// TestKeySchemaAndDigest pins the cache-key contract: the key must
+// change with the summary schema, the config fingerprint and the unit's
+// closure digest — all three are invalidation axes.
+func TestKeySchemaAndDigest(t *testing.T) {
+	base := Key("cfg1", "digest1")
+	if base == "" || base == Key("cfg2", "digest1") {
+		t.Error("key must depend on the config fingerprint")
+	}
+	if base == Key("cfg1", "digest2") {
+		t.Error("key must depend on the closure digest")
+	}
+	if Key("cfg1", "digest1") != base {
+		t.Error("key must be deterministic")
+	}
+	// A dependency edit reaches the key through the closure digest: two
+	// units whose closures differ in one member digest get distinct keys.
+	if Key("cfg", "a=1|b=2") == Key("cfg", "a=1|b=3") {
+		t.Error("closure digest change must change the key")
+	}
+}
+
+// TestStoreConcurrent hammers one store from many goroutines under
+// -race: concurrent warm re-analyses share a store, so Get/Put/Stats
+// must be safe together.
+func TestStoreConcurrent(t *testing.T) {
+	s := NewStore(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (g*31+i)%100)
+				if _, ok := s.Get(k); !ok {
+					s.Put(k, &Summary{UnitID: k})
+				}
+				if i%50 == 0 {
+					s.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Entries > 64 {
+		t.Errorf("store exceeded capacity: %d entries", st.Entries)
+	}
+	if st.Hits+st.Misses != 8*500 {
+		t.Errorf("hits+misses = %d, want %d", st.Hits+st.Misses, 8*500)
+	}
+}

@@ -1,0 +1,115 @@
+// Package summary is the per-unit summary store behind incremental
+// analysis. A Summary captures everything the pipeline derives from one
+// unit in isolation: the lowered instruction fragment (replayable into
+// a fresh program) and the unit-local fact tables the global phases
+// consume — points-to deltas (allocations, copy/load/store constraint
+// counts), the access set (field/static/array reads and writes with
+// relative positions), and lockset/HB fragments (monitor operations,
+// spawn and join sites). Global resolution (points-to solving, origin
+// sharing, SHB construction, race detection) always reruns over the
+// stitched program, so replaying a summary is sound whenever its key
+// matches: the key covers the unit's content, its dependency closure,
+// the analysis config fingerprint and the summary schema version.
+package summary
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"o2/internal/ir"
+	"o2/internal/unit"
+)
+
+// Schema versions the summary format. It participates in every store
+// key and in the scheduler's whole-program cache key, so a build with a
+// different summary shape can never replay (or serve) stale results.
+const Schema = 1
+
+// Key derives the store key of a unit under one analysis config. The
+// closure digest already folds together the unit's own canonical
+// content, the contents of everything it depends on, and the unit
+// format version.
+func Key(cfgFingerprint, closureDigest string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "o2-summary-v%d|%s|%s", Schema, cfgFingerprint, closureDigest)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Access is one unit-local memory access: Kind is "read" or "write",
+// Loc the canonical location (field, "Class.field" or "*"), Rel the
+// line offset from the unit's declaration.
+type Access struct {
+	Kind string `json:"kind"`
+	Loc  string `json:"loc"`
+	Rel  int    `json:"rel"`
+}
+
+// Summary is the cacheable per-unit analysis product.
+type Summary struct {
+	UnitID string     `json:"unit_id"`
+	Kind   string     `json:"kind"`
+	Frag   *unit.Frag `json:"frag,omitempty"` // nil for class shells
+
+	// Fact tables (informational: the global phases consume them via
+	// the replayed IR; they are exposed for inspection and tests).
+	Accesses    []Access `json:"accesses,omitempty"`
+	Locks       int      `json:"locks,omitempty"`   // monitorenter count
+	Unlocks     int      `json:"unlocks,omitempty"` // monitorexit count
+	Allocs      int      `json:"allocs,omitempty"`
+	Calls       int      `json:"calls,omitempty"`
+	Spawns      int      `json:"spawns,omitempty"` // origin-creating sites
+	Constraints int      `json:"constraints,omitempty"`
+}
+
+// Derive builds the summary of a lowered body unit from its fragment
+// and IR. baseLine rebases access positions to relative offsets.
+func Derive(u *unit.Unit, fn *ir.Func, frag *unit.Frag) *Summary {
+	s := &Summary{UnitID: u.ID, Kind: u.Kind.String(), Frag: frag}
+	for _, in := range fn.Body {
+		rel := in.Pos().Line - u.BaseLine
+		switch in := in.(type) {
+		case *ir.Alloc:
+			s.Allocs++
+			s.Constraints++
+		case *ir.Copy:
+			s.Constraints++
+		case *ir.LoadField:
+			s.Accesses = append(s.Accesses, Access{Kind: "read", Loc: in.Field, Rel: rel})
+			s.Constraints++
+		case *ir.StoreField:
+			s.Accesses = append(s.Accesses, Access{Kind: "write", Loc: in.Field, Rel: rel})
+			s.Constraints++
+		case *ir.LoadIndex:
+			s.Accesses = append(s.Accesses, Access{Kind: "read", Loc: ir.ArrayField, Rel: rel})
+			s.Constraints++
+		case *ir.StoreIndex:
+			s.Accesses = append(s.Accesses, Access{Kind: "write", Loc: ir.ArrayField, Rel: rel})
+			s.Constraints++
+		case *ir.LoadStatic:
+			s.Accesses = append(s.Accesses, Access{Kind: "read", Loc: in.Class.Name + "." + in.Field, Rel: rel})
+			s.Constraints++
+		case *ir.StoreStatic:
+			s.Accesses = append(s.Accesses, Access{Kind: "write", Loc: in.Class.Name + "." + in.Field, Rel: rel})
+			s.Constraints++
+		case *ir.FuncAddr:
+			s.Constraints++
+		case *ir.MonitorEnter:
+			s.Locks++
+		case *ir.MonitorExit:
+			s.Unlocks++
+		case *ir.Call:
+			s.Calls++
+			s.Constraints++
+			if in.Builtin == "pthread_create" || in.Builtin == "event_register" {
+				s.Spawns++
+			}
+		}
+	}
+	return s
+}
+
+// DeriveClass builds the (fragment-free) summary of a class shell.
+func DeriveClass(u *unit.Unit) *Summary {
+	return &Summary{UnitID: u.ID, Kind: u.Kind.String()}
+}

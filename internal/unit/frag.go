@@ -1,0 +1,276 @@
+package unit
+
+import (
+	"fmt"
+
+	"o2/internal/ir"
+)
+
+// The fragment codec: a lowered function body serialized as portable
+// instruction records. Records reference variables, classes and
+// functions by *name* (never by pointer) and carry line numbers
+// *relative to the unit's declaration line*, so a fragment cached from
+// one program replays into a fresh shell of another program — with the
+// current file name and declaration line — and reproduces the exact
+// instructions, variable tables and source positions whole-program
+// lowering would have produced. Replay drives the same ir.B builder
+// the lowerer uses, so variable creation order (and thus Var IDs) is
+// preserved by construction.
+
+// Op enumerates fragment instruction kinds.
+type Op uint8
+
+const (
+	OpAlloc Op = iota + 1
+	OpCopy
+	OpLoadField
+	OpStoreField
+	OpLoadIndex
+	OpStoreIndex
+	OpLoadStatic
+	OpStoreStatic
+	OpCallVirt
+	OpCallStatic
+	OpSuper
+	OpCallIndirect
+	OpBuiltin
+	OpFuncAddr
+	OpMonEnter
+	OpMonExit
+	OpRet
+)
+
+// FragInstr is one serialized instruction. Field use by op:
+//
+//	OpAlloc        Dst = new Name(Args)            [InLoop]
+//	OpCopy         Dst = A
+//	OpLoadField    Dst = A.Name
+//	OpStoreField   A.Name = B
+//	OpLoadIndex    Dst = A[*]
+//	OpStoreIndex   A[*] = B
+//	OpLoadStatic   Dst = Name.B  (Name = class, B = field)
+//	OpStoreStatic  Name.B = A
+//	OpCallVirt     [Dst =] A.Name(Args)
+//	OpCallStatic   [Dst =] Name(Args)              (qualified func name)
+//	OpSuper        super→Name(Args)                (qualified init name)
+//	OpCallIndirect [Dst =] (*A)(Args)
+//	OpBuiltin      [Dst =] Name(Args)              [InLoop]
+//	OpFuncAddr     Dst = &Name
+//	OpMonEnter     monitorenter A
+//	OpMonExit      monitorexit A
+//	OpRet          return A ("" = void; folds the $ret copy)
+type FragInstr struct {
+	Op     Op       `json:"op"`
+	Dst    string   `json:"dst,omitempty"`
+	A      string   `json:"a,omitempty"`
+	B      string   `json:"b,omitempty"`
+	Name   string   `json:"name,omitempty"`
+	Args   []string `json:"args,omitempty"`
+	Rel    int      `json:"rel"` // line offset from the declaration line
+	InLoop bool     `json:"in_loop,omitempty"`
+}
+
+// Frag is a serialized function body.
+type Frag struct {
+	Instrs []FragInstr `json:"instrs"`
+}
+
+// EncodeBody serializes fn's lowered body with positions relative to
+// baseLine. An error means the body contains a shape the codec cannot
+// round-trip; callers simply skip caching that unit.
+func EncodeBody(fn *ir.Func, baseLine int) (*Frag, error) {
+	fr := &Frag{}
+	body := fn.Body
+	for i := 0; i < len(body); i++ {
+		rel := body[i].Pos().Line - baseLine
+		switch in := body[i].(type) {
+		case *ir.Alloc:
+			fr.add(FragInstr{Op: OpAlloc, Dst: in.Dst.Name, Name: in.Class.Name,
+				Args: varNames(in.Args), Rel: rel, InLoop: in.InLoop})
+		case *ir.Copy:
+			// b.Ret(v) emits Copy($ret, v) + Return(v) as a pair; fold it
+			// back into the single OpRet that replays through b.Ret.
+			if i+1 < len(body) {
+				if ret, ok := body[i+1].(*ir.Return); ok && ret.Val == in.Src && in.Dst.Name == "$ret" {
+					fr.add(FragInstr{Op: OpRet, A: in.Src.Name, Rel: rel})
+					i++
+					continue
+				}
+			}
+			fr.add(FragInstr{Op: OpCopy, Dst: in.Dst.Name, A: in.Src.Name, Rel: rel})
+		case *ir.LoadField:
+			fr.add(FragInstr{Op: OpLoadField, Dst: in.Dst.Name, A: in.Obj.Name, Name: in.Field, Rel: rel})
+		case *ir.StoreField:
+			fr.add(FragInstr{Op: OpStoreField, A: in.Obj.Name, Name: in.Field, B: in.Src.Name, Rel: rel})
+		case *ir.LoadIndex:
+			fr.add(FragInstr{Op: OpLoadIndex, Dst: in.Dst.Name, A: in.Arr.Name, Rel: rel})
+		case *ir.StoreIndex:
+			fr.add(FragInstr{Op: OpStoreIndex, A: in.Arr.Name, B: in.Src.Name, Rel: rel})
+		case *ir.LoadStatic:
+			fr.add(FragInstr{Op: OpLoadStatic, Dst: in.Dst.Name, Name: in.Class.Name, B: in.Field, Rel: rel})
+		case *ir.StoreStatic:
+			fr.add(FragInstr{Op: OpStoreStatic, Name: in.Class.Name, B: in.Field, A: in.Src.Name, Rel: rel})
+		case *ir.FuncAddr:
+			fr.add(FragInstr{Op: OpFuncAddr, Dst: in.Dst.Name, Name: in.Target.Name, Rel: rel})
+		case *ir.MonitorEnter:
+			fr.add(FragInstr{Op: OpMonEnter, A: in.Obj.Name, Rel: rel})
+		case *ir.MonitorExit:
+			fr.add(FragInstr{Op: OpMonExit, A: in.Obj.Name, Rel: rel})
+		case *ir.Return:
+			if in.Val != nil {
+				// A bare Return with a value (no preceding $ret copy)
+				// cannot come out of the builder; refuse to cache it.
+				return nil, fmt.Errorf("unit: unpaired valued return in %s", fn.Name)
+			}
+			fr.add(FragInstr{Op: OpRet, Rel: rel})
+		case *ir.Call:
+			fi := FragInstr{Args: varNames(in.Args), Rel: rel, InLoop: in.InLoop}
+			if in.Dst != nil {
+				fi.Dst = in.Dst.Name
+			}
+			switch {
+			case in.Builtin != "":
+				fi.Op, fi.Name = OpBuiltin, in.Builtin
+			case in.Method == "$super":
+				fi.Op, fi.Name = OpSuper, in.Static.Name
+			case in.Static != nil:
+				fi.Op, fi.Name = OpCallStatic, in.Static.Name
+			case in.Indirect != nil:
+				fi.Op, fi.A = OpCallIndirect, in.Indirect.Name
+			case in.Recv != nil:
+				fi.Op, fi.A, fi.Name = OpCallVirt, in.Recv.Name, in.Method
+			default:
+				return nil, fmt.Errorf("unit: unclassifiable call in %s", fn.Name)
+			}
+			fr.add(fi)
+		default:
+			return nil, fmt.Errorf("unit: unencodable instruction %T in %s", body[i], fn.Name)
+		}
+	}
+	return fr, nil
+}
+
+func (f *Frag) add(fi FragInstr) { f.Instrs = append(f.Instrs, fi) }
+
+// DecodeBody replays a fragment into the empty shell fn, rebasing
+// positions onto file/baseLine. Class references resolve through prog
+// (auto-declaring library classes exactly like the lowerer), function
+// references through lookup. On error the shell is left partially
+// built; the caller must ResetBody it and re-lower from source.
+func DecodeBody(prog *ir.Program, lookup func(string) *ir.Func, fn *ir.Func, file string, baseLine int, fr *Frag) error {
+	b := ir.NewB(fn)
+	for _, fi := range fr.Instrs {
+		b.At(ir.Pos{File: file, Line: baseLine + fi.Rel})
+		emit := func() error { return decodeInstr(prog, lookup, b, fi) }
+		var err error
+		if fi.InLoop {
+			b.InLoop(func() { err = emit() })
+		} else {
+			err = emit()
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeInstr(prog *ir.Program, lookup func(string) *ir.Func, b *ir.B, fi FragInstr) error {
+	fnRef := func(name string) (*ir.Func, error) {
+		if f := lookup(name); f != nil {
+			return f, nil
+		}
+		return nil, fmt.Errorf("unit: fragment references unknown function %s", name)
+	}
+	classRef := func(name string) (*ir.Class, error) {
+		if c := prog.Classes[name]; c != nil {
+			return c, nil
+		}
+		return nil, fmt.Errorf("unit: fragment references unknown class %s", name)
+	}
+	switch fi.Op {
+	case OpAlloc:
+		b.New(fi.Dst, prog.Class(fi.Name), fi.Args...)
+	case OpCopy:
+		b.Copy(fi.Dst, fi.A)
+	case OpLoadField:
+		b.Load(fi.Dst, fi.A, fi.Name)
+	case OpStoreField:
+		b.Store(fi.A, fi.Name, fi.B)
+	case OpLoadIndex:
+		b.LoadIdx(fi.Dst, fi.A)
+	case OpStoreIndex:
+		b.StoreIdx(fi.A, fi.B)
+	case OpLoadStatic:
+		c, err := classRef(fi.Name)
+		if err != nil {
+			return err
+		}
+		b.LoadStatic(fi.Dst, c, fi.B)
+	case OpStoreStatic:
+		c, err := classRef(fi.Name)
+		if err != nil {
+			return err
+		}
+		b.StoreStatic(c, fi.B, fi.A)
+	case OpCallVirt:
+		b.Call(fi.Dst, fi.A, fi.Name, fi.Args...)
+	case OpCallStatic:
+		f, err := fnRef(fi.Name)
+		if err != nil {
+			return err
+		}
+		b.CallStatic(fi.Dst, f, fi.Args...)
+	case OpSuper:
+		f, err := fnRef(fi.Name)
+		if err != nil {
+			return err
+		}
+		b.SuperCall(f, fi.Args...)
+	case OpCallIndirect:
+		b.CallIndirect(fi.Dst, fi.A, fi.Args...)
+	case OpFuncAddr:
+		f, err := fnRef(fi.Name)
+		if err != nil {
+			return err
+		}
+		b.AddrOf(fi.Dst, f)
+	case OpMonEnter:
+		b.Lock(fi.A)
+	case OpMonExit:
+		b.Unlock(fi.A)
+	case OpRet:
+		b.Ret(fi.A)
+	case OpBuiltin:
+		switch fi.Name {
+		case "pthread_create":
+			if len(fi.Args) != 2 || fi.Dst == "" {
+				return fmt.Errorf("unit: malformed pthread_create fragment")
+			}
+			b.PthreadCreate(fi.Dst, fi.Args[0], fi.Args[1])
+		case "pthread_join":
+			if len(fi.Args) != 1 {
+				return fmt.Errorf("unit: malformed pthread_join fragment")
+			}
+			b.PthreadJoin(fi.Args[0])
+		case "event_register":
+			if len(fi.Args) != 2 {
+				return fmt.Errorf("unit: malformed event_register fragment")
+			}
+			b.EventRegister(fi.Args[0], fi.Args[1])
+		default:
+			return fmt.Errorf("unit: unknown builtin %q in fragment", fi.Name)
+		}
+	default:
+		return fmt.Errorf("unit: unknown fragment op %d", fi.Op)
+	}
+	return nil
+}
+
+func varNames(vs []*ir.Var) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.Name
+	}
+	return out
+}

@@ -1,0 +1,462 @@
+// Package unit splits a parsed minilang program into incremental
+// analysis units — one per class shell, method body and free-function
+// body — and computes content digests over the canonical printed form
+// of each unit plus the digests of the units it depends on. A unit
+// whose closure digest is unchanged between two programs lowers to
+// byte-identical IR in both, so its cached summary (instruction
+// fragment plus fact tables) can be replayed instead of recomputed.
+//
+// Digests deliberately hash the *canonical printed text*, not raw
+// source bytes or absolute positions: reformatting, comment edits and
+// line shifts elsewhere in the file leave a unit's digest unchanged.
+// Instruction positions are stored relative to the declaration line and
+// rebased on replay, so cached fragments reproduce exact source
+// positions even after the declaration moves.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"o2/internal/ir"
+	"o2/internal/lang"
+)
+
+// FormatVersion is baked into every digest: bump it whenever the
+// canonical unit rendering, the dependency rules or the fragment
+// encoding change shape, so stale summaries can never be replayed
+// across format revisions.
+const FormatVersion = 1
+
+// Kind classifies a unit.
+type Kind uint8
+
+const (
+	// KindClass is a class shell: header, fields, method signatures.
+	KindClass Kind = iota + 1
+	// KindMethod is one method body.
+	KindMethod
+	// KindFunc is one free-function body (including main).
+	KindFunc
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindClass:
+		return "class"
+	case KindMethod:
+		return "method"
+	case KindFunc:
+		return "func"
+	}
+	return "?"
+}
+
+// Unit is one incremental analysis unit.
+type Unit struct {
+	// ID is "class:C", "method:C.m" or "func:f".
+	ID   string
+	Kind Kind
+	// File and BaseLine locate the declaration in the current program;
+	// they are *not* part of the digest (fragments store positions
+	// relative to BaseLine), so a unit survives moving between lines
+	// and files.
+	File     string
+	BaseLine int
+	// Class is the declaring class for method units and the class name
+	// itself for class units; empty for free functions.
+	Class string
+	// Name is the simple name (class name, method name, function name).
+	Name string
+	// ContentDigest hashes the unit's canonical text plus its intra-unit
+	// line offsets.
+	ContentDigest string
+	// Deps are the direct dependency unit IDs, sorted and deduplicated:
+	// the units whose content can change what this unit lowers to.
+	Deps []string
+	// Closure is the transitive dependency closure including the unit
+	// itself, sorted; ClosureDigest hashes the (ID, ContentDigest) pairs
+	// of every member and is the cache-key ingredient for the unit.
+	Closure       []string
+	ClosureDigest string
+
+	// Decl is the method/function declaration (nil for class units);
+	// ClassDecl the class declaration (nil for method/func units).
+	Decl      *lang.FuncDecl
+	ClassDecl *lang.ClassDecl
+}
+
+// Manifest is the unit decomposition of one program.
+type Manifest struct {
+	Units map[string]*Unit
+	// Order lists unit IDs in declaration order (per file: class shells
+	// and their methods, then free functions). Lowering and replay must
+	// follow it so that library-class auto-declaration evolves exactly
+	// as in whole-program compilation.
+	Order []string
+	// FullReason is non-empty when per-unit reuse is unsound for this
+	// program (a change class the summaries cannot express); the caller
+	// must fall back to whole-program compilation.
+	FullReason string
+}
+
+// ExtractASTs decomposes parsed files into units. An error means the
+// program's shape defeats unit identity (e.g. duplicate declarations);
+// callers fall back to whole-program compilation, which reproduces the
+// legacy behavior or error for such programs.
+func ExtractASTs(asts []*lang.File, entries ir.EntryConfig) (*Manifest, error) {
+	x := &extractor{
+		entries:   entries,
+		man:       &Manifest{Units: map[string]*Unit{}},
+		classes:   map[string]*lang.ClassDecl{},
+		freeFns:   map[string]*lang.FuncDecl{},
+		methodsBy: map[string][]string{},
+	}
+	if err := x.collect(asts); err != nil {
+		return nil, err
+	}
+	x.scanAmbient(asts)
+	x.digestContents()
+	x.resolveDeps()
+	x.closeOver()
+	return x.man, nil
+}
+
+type extractor struct {
+	entries   ir.EntryConfig
+	man       *Manifest
+	classes   map[string]*lang.ClassDecl
+	freeFns   map[string]*lang.FuncDecl
+	methodsBy map[string][]string // simple method name -> unit IDs
+	ambient   map[string]bool     // `new C` names with no class declaration
+}
+
+func (x *extractor) add(u *Unit) error {
+	if x.man.Units[u.ID] != nil {
+		return fmt.Errorf("unit: duplicate declaration %s", u.ID)
+	}
+	x.man.Units[u.ID] = u
+	x.man.Order = append(x.man.Order, u.ID)
+	return nil
+}
+
+func (x *extractor) collect(asts []*lang.File) error {
+	for _, f := range asts {
+		for _, cd := range f.Classes {
+			if err := x.add(&Unit{
+				ID: "class:" + cd.Name, Kind: KindClass, File: f.Name,
+				BaseLine: cd.Line, Class: cd.Name, Name: cd.Name, ClassDecl: cd,
+			}); err != nil {
+				return err
+			}
+			x.classes[cd.Name] = cd
+			for _, md := range cd.Methods {
+				id := "method:" + cd.Name + "." + md.Name
+				if err := x.add(&Unit{
+					ID: id, Kind: KindMethod, File: f.Name,
+					BaseLine: md.Line, Class: cd.Name, Name: md.Name, Decl: md,
+				}); err != nil {
+					return err
+				}
+				x.methodsBy[md.Name] = append(x.methodsBy[md.Name], id)
+			}
+		}
+		for _, fd := range f.Funcs {
+			if err := x.add(&Unit{
+				ID: "func:" + fd.Name, Kind: KindFunc, File: f.Name,
+				BaseLine: fd.Line, Name: fd.Name, Decl: fd,
+			}); err != nil {
+				return err
+			}
+			x.freeFns[fd.Name] = fd
+		}
+	}
+	return nil
+}
+
+// scanAmbient finds the resolution hazard that per-unit keys cannot
+// express: `new C` of an undeclared C auto-declares a library class
+// mid-lowering, and a *later* unit that uses the same name as a field
+// base, call receiver or static class then resolves differently
+// depending on lowering order across units. Programs that both allocate
+// an undeclared class and reference its name in a resolution-sensitive
+// position fall back to whole-program compilation.
+func (x *extractor) scanAmbient(asts []*lang.File) {
+	x.ambient = map[string]bool{}
+	eachBody(asts, func(fd *lang.FuncDecl) {
+		walkStmts(fd.Body, func(s lang.Stmt) {
+			if a, ok := s.(*lang.AssignStmt); ok {
+				if n, ok := a.Rhs.(*lang.NewExpr); ok && x.classes[n.Class] == nil {
+					x.ambient[n.Class] = true
+				}
+			}
+		})
+	})
+	if len(x.ambient) == 0 {
+		return
+	}
+	hazard := ""
+	check := func(name, what string) {
+		if hazard == "" && x.ambient[name] {
+			hazard = fmt.Sprintf("ambient class %s used as %s", name, what)
+		}
+	}
+	eachBody(asts, func(fd *lang.FuncDecl) {
+		walkStmts(fd.Body, func(s lang.Stmt) {
+			switch st := s.(type) {
+			case *lang.AssignStmt:
+				if lv, ok := st.Lhs.(lang.FieldRef); ok {
+					check(lv.Base, "field base")
+				}
+				if lv, ok := st.Lhs.(lang.StaticRef); ok {
+					check(lv.Class, "static class")
+				}
+				switch r := st.Rhs.(type) {
+				case lang.FieldRef:
+					check(r.Base, "field base")
+				case lang.StaticRef:
+					check(r.Class, "static class")
+				case *lang.CallExpr:
+					check(r.Recv, "call receiver")
+				}
+			case *lang.CallStmt:
+				check(st.Call.Recv, "call receiver")
+			}
+		})
+	})
+	x.man.FullReason = hazard
+}
+
+func (x *extractor) digestContents() {
+	for _, id := range x.man.Order {
+		u := x.man.Units[id]
+		var text string
+		var lines map[int]int
+		switch u.Kind {
+		case KindClass:
+			text, lines = lang.FormatClassShell(u.ClassDecl)
+		case KindMethod:
+			text, lines = lang.FormatMethodDecl(u.Decl)
+		case KindFunc:
+			text, lines = lang.FormatFuncDecl(u.Decl)
+		}
+		h := sha256.New()
+		fmt.Fprintf(h, "o2-unit-v%d|%s|%s|", FormatVersion, u.Kind, u.ID)
+		h.Write([]byte(text))
+		// Intra-unit line offsets are part of a body unit's content: two
+		// bodies with identical text but different statement spacing
+		// replay to different source positions. Class shells produce no
+		// instructions, so their offsets (and line shifts inside them)
+		// are irrelevant.
+		if u.Kind != KindClass {
+			printed := make([]int, 0, len(lines))
+			for ln := range lines {
+				printed = append(printed, ln)
+			}
+			sort.Ints(printed)
+			for _, ln := range printed {
+				fmt.Fprintf(h, "%d:%d;", ln, lines[ln]-u.BaseLine)
+			}
+		}
+		u.ContentDigest = hex.EncodeToString(h.Sum(nil))
+	}
+}
+
+// resolveDeps mirrors the lowering's name resolution: a unit depends on
+// exactly the units whose content feeds a resolution decision or a
+// statically-linked target inside it. Builtin and configured lock/unlock
+// names are excluded — they are covered by the config fingerprint in
+// the cache key.
+func (x *extractor) resolveDeps() {
+	for _, id := range x.man.Order {
+		u := x.man.Units[id]
+		seen := map[string]bool{}
+		add := func(dep string) {
+			if dep != "" && dep != u.ID && !seen[dep] && x.man.Units[dep] != nil {
+				seen[dep] = true
+				u.Deps = append(u.Deps, dep)
+			}
+		}
+		switch u.Kind {
+		case KindClass:
+			if u.ClassDecl.Super != "" {
+				add("class:" + u.ClassDecl.Super)
+			}
+			continue
+		case KindMethod:
+			add("class:" + u.Class)
+		}
+		x.bodyDeps(u, add)
+		sort.Strings(u.Deps)
+	}
+}
+
+func (x *extractor) bodyDeps(u *Unit, add func(string)) {
+	classDep := func(name string) {
+		if x.classes[name] != nil {
+			add("class:" + name)
+		}
+	}
+	callDeps := func(c *lang.CallExpr) {
+		if c.Method == "$super" {
+			// Statically linked to the nearest super constructor.
+			add(x.superInit(u.Class))
+			return
+		}
+		if c.Recv == "" {
+			switch c.Method {
+			case "pthread_create", "pthread_join", "event_register":
+				return // builtins shadow declarations
+			}
+			if (x.entries.IsLockFunc(c.Method) || x.entries.IsUnlockFunc(c.Method)) && len(c.Args) == 1 {
+				return // lowers to a monitor op; covered by config fingerprint
+			}
+			if x.freeFns[c.Method] != nil {
+				add("func:" + c.Method)
+			}
+			return // indirect call through a variable: resolved globally
+		}
+		// Virtual dispatch: any same-named method body is a potential
+		// target; start methods additionally dispatch to thread entries.
+		classDep(c.Recv) // a class-named receiver is a lowering error; keep it keyed
+		for _, m := range x.methodsBy[c.Method] {
+			add(m)
+		}
+		if x.entries.IsStart(c.Method) {
+			for _, entry := range x.entries.ThreadEntries {
+				for _, m := range x.methodsBy[entry] {
+					add(m)
+				}
+			}
+		}
+	}
+	walkStmts(u.Decl.Body, func(s lang.Stmt) {
+		switch st := s.(type) {
+		case *lang.AssignStmt:
+			switch r := st.Rhs.(type) {
+			case lang.FieldRef:
+				classDep(r.Base)
+			case lang.StaticRef:
+				classDep(r.Class)
+			case *lang.NewExpr:
+				classDep(r.Class)
+				add(x.classInit(r.Class))
+			case *lang.CallExpr:
+				callDeps(r)
+			case lang.FuncAddrExpr:
+				if x.freeFns[r.Name] != nil {
+					add("func:" + r.Name)
+				}
+			}
+			switch l := st.Lhs.(type) {
+			case lang.FieldRef:
+				classDep(l.Base)
+			case lang.StaticRef:
+				classDep(l.Class)
+			}
+		case *lang.CallStmt:
+			callDeps(st.Call)
+		}
+	})
+}
+
+// classInit resolves the constructor a `new C` allocation binds: the
+// nearest "init" walking C's declared super chain. Empty if none.
+func (x *extractor) classInit(class string) string {
+	for cd := x.classes[class]; cd != nil; cd = x.classes[cd.Super] {
+		for _, md := range cd.Methods {
+			if md.Name == "init" {
+				return "method:" + cd.Name + ".init"
+			}
+		}
+		if cd.Super == "" {
+			return ""
+		}
+	}
+	return ""
+}
+
+// superInit resolves the target of super(...) inside class's methods.
+func (x *extractor) superInit(class string) string {
+	cd := x.classes[class]
+	if cd == nil {
+		return ""
+	}
+	return x.classInit(cd.Super)
+}
+
+// closeOver computes each unit's transitive dependency closure and its
+// digest. A unit is reusable iff every (ID, content) pair in its
+// closure is unchanged — so an edit anywhere in the closure cascades
+// into a different key for every dependent unit.
+func (x *extractor) closeOver() {
+	for _, id := range x.man.Order {
+		u := x.man.Units[id]
+		seen := map[string]bool{id: true}
+		queue := append([]string(nil), u.Deps...)
+		for len(queue) > 0 {
+			d := queue[0]
+			queue = queue[1:]
+			if seen[d] {
+				continue
+			}
+			seen[d] = true
+			queue = append(queue, x.man.Units[d].Deps...)
+		}
+		u.Closure = make([]string, 0, len(seen))
+		for d := range seen {
+			u.Closure = append(u.Closure, d)
+		}
+		sort.Strings(u.Closure)
+		h := sha256.New()
+		fmt.Fprintf(h, "o2-closure-v%d|", FormatVersion)
+		for _, d := range u.Closure {
+			fmt.Fprintf(h, "%s=%s|", d, x.man.Units[d].ContentDigest)
+		}
+		u.ClosureDigest = hex.EncodeToString(h.Sum(nil))
+	}
+}
+
+// ---- AST walking ----
+
+func eachBody(asts []*lang.File, fn func(*lang.FuncDecl)) {
+	for _, f := range asts {
+		for _, cd := range f.Classes {
+			for _, md := range cd.Methods {
+				fn(md)
+			}
+		}
+		for _, fd := range f.Funcs {
+			fn(fd)
+		}
+	}
+}
+
+// walkStmts visits every statement in body, recursing into blocks.
+func walkStmts(body []lang.Stmt, fn func(lang.Stmt)) {
+	for _, s := range body {
+		fn(s)
+		switch st := s.(type) {
+		case *lang.SyncStmt:
+			walkStmts(st.Body, fn)
+		case *lang.IfStmt:
+			walkStmts(st.Then, fn)
+			walkStmts(st.Else, fn)
+		case *lang.WhileStmt:
+			walkStmts(st.Body, fn)
+		}
+	}
+}
+
+// Digest is a convenience helper hashing arbitrary strings into the
+// same hex format the unit digests use.
+func Digest(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

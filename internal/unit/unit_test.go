@@ -1,0 +1,393 @@
+package unit
+
+import (
+	"strings"
+	"testing"
+
+	"o2/internal/ir"
+	"o2/internal/lang"
+)
+
+func parseOne(t *testing.T, src string) []*lang.File {
+	t.Helper()
+	f, err := lang.Parse("test.mini", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return []*lang.File{f}
+}
+
+func extract(t *testing.T, src string) *Manifest {
+	t.Helper()
+	man, err := ExtractASTs(parseOne(t, src), ir.DefaultEntryConfig())
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	return man
+}
+
+const depSrc = `class T {
+	field x;
+	run() {
+		this.x = g();
+	}
+}
+func g(p) {
+	return p;
+}
+func h(p) {
+	p.f = null;
+}
+main {
+	t = new T();
+	t.start();
+	h(t);
+}
+`
+
+func TestUnitDecomposition(t *testing.T) {
+	man := extract(t, depSrc)
+	want := []string{"class:T", "method:T.run", "func:g", "func:h", "func:main"}
+	if got := strings.Join(man.Order, " "); got != strings.Join(want, " ") {
+		t.Fatalf("unit order = %q, want %q", got, strings.Join(want, " "))
+	}
+	if man.FullReason != "" {
+		t.Fatalf("unexpected fallback: %s", man.FullReason)
+	}
+	// Direct deps mirror name resolution: run() depends on its class
+	// shell and on the free function it calls; main on the class it
+	// allocates, the start dispatch targets and the functions it calls.
+	if got := strings.Join(man.Units["method:T.run"].Deps, " "); got != "class:T func:g" {
+		t.Errorf("T.run deps = %q", got)
+	}
+	mainDeps := strings.Join(man.Units["func:main"].Deps, " ")
+	for _, want := range []string{"class:T", "method:T.run", "func:h"} {
+		if !strings.Contains(mainDeps, want) {
+			t.Errorf("main deps %q missing %s", mainDeps, want)
+		}
+	}
+	if strings.Contains(mainDeps, "func:g") {
+		t.Errorf("main deps %q should not include transitive func:g", mainDeps)
+	}
+	// ...but the closure digest covers the transitive chain.
+	if cl := strings.Join(man.Units["func:main"].Closure, " "); !strings.Contains(cl, "func:g") {
+		t.Errorf("main closure %q missing transitive func:g", cl)
+	}
+}
+
+// TestDigestStableAcrossMoves pins position independence: shifting whole
+// declarations down the file (blank lines between decls) and reordering
+// them must not change any content or closure digest, because digests
+// hash canonical text with intra-unit offsets only.
+func TestDigestStableAcrossMoves(t *testing.T) {
+	base := extract(t, depSrc)
+	shifted := extract(t, "\n\n"+strings.ReplaceAll(depSrc, "}\nfunc", "}\n\n\n\nfunc"))
+	reordered := extract(t, `func h(p) {
+	p.f = null;
+}
+func g(p) {
+	return p;
+}
+main {
+	t = new T();
+	t.start();
+	h(t);
+}
+class T {
+	field x;
+	run() {
+		this.x = g();
+	}
+}
+`)
+	for _, tc := range []struct {
+		name string
+		man  *Manifest
+	}{{"shifted", shifted}, {"reordered", reordered}} {
+		if len(tc.man.Units) != len(base.Units) {
+			t.Fatalf("%s: unit count %d != %d", tc.name, len(tc.man.Units), len(base.Units))
+		}
+		for id, u := range base.Units {
+			v := tc.man.Units[id]
+			if v == nil {
+				t.Fatalf("%s: unit %s missing", tc.name, id)
+			}
+			if v.ContentDigest != u.ContentDigest {
+				t.Errorf("%s: %s content digest changed", tc.name, id)
+			}
+			if v.ClosureDigest != u.ClosureDigest {
+				t.Errorf("%s: %s closure digest changed", tc.name, id)
+			}
+		}
+	}
+}
+
+// TestDigestSensitivity pins the other direction: an intra-body line
+// shift changes that unit's digest (positions are content), and a body
+// edit cascades through closure digests of its dependents — and only
+// its dependents.
+func TestDigestSensitivity(t *testing.T) {
+	base := extract(t, depSrc)
+
+	// Blank line inside g's body: same canonical text, different
+	// relative offsets. Content digest must change.
+	spaced := extract(t, strings.Replace(depSrc, "func g(p) {\n\treturn p;", "func g(p) {\n\n\treturn p;", 1))
+	if spaced.Units["func:g"].ContentDigest == base.Units["func:g"].ContentDigest {
+		t.Error("intra-body line shift did not change func:g content digest")
+	}
+
+	// Edit g's body: g, its transitive dependents (T.run via the call,
+	// main via T.run) get new closure digests; h is untouched.
+	edited := extract(t, strings.Replace(depSrc, "return p;", "p.f = null;\n\treturn p;", 1))
+	for _, id := range []string{"func:g", "method:T.run", "func:main"} {
+		if edited.Units[id].ClosureDigest == base.Units[id].ClosureDigest {
+			t.Errorf("editing func:g did not cascade into %s closure digest", id)
+		}
+	}
+	for _, id := range []string{"func:h", "class:T"} {
+		if edited.Units[id].ClosureDigest != base.Units[id].ClosureDigest {
+			t.Errorf("editing func:g dirtied unrelated %s", id)
+		}
+	}
+}
+
+// TestClassShellOrderInsensitive: method resolution is by name, so
+// reordering methods inside a class must keep the shell digest — and
+// with it every dependent closure — unchanged.
+func TestClassShellOrderInsensitive(t *testing.T) {
+	a := extract(t, `class C {
+	field x;
+	foo() {
+		this.x = null;
+	}
+	bar() {
+		this.x = this;
+	}
+}
+main {
+	c = new C();
+}
+`)
+	b := extract(t, `class C {
+	field x;
+	bar() {
+		this.x = this;
+	}
+	foo() {
+		this.x = null;
+	}
+}
+main {
+	c = new C();
+}
+`)
+	if a.Units["class:C"].ContentDigest != b.Units["class:C"].ContentDigest {
+		t.Error("method reordering changed the class shell digest")
+	}
+	if a.Units["func:main"].ClosureDigest != b.Units["func:main"].ClosureDigest {
+		t.Error("method reordering dirtied main's closure")
+	}
+}
+
+// TestAmbientHazard: allocating an undeclared (library) class is fine on
+// its own, but also using its name in a resolution-sensitive position is
+// the change class summaries cannot express — the manifest must demand
+// whole-program fallback.
+func TestAmbientHazard(t *testing.T) {
+	ok := extract(t, "main {\n\tx = new Lib();\n}\n")
+	if ok.FullReason != "" {
+		t.Errorf("plain ambient allocation should not fall back: %s", ok.FullReason)
+	}
+	bad := extract(t, "main {\n\tx = new Lib();\n\tLib.f = null;\n}\n")
+	if bad.FullReason == "" {
+		t.Error("ambient class used as static base must force whole-program fallback")
+	}
+	if !strings.Contains(bad.FullReason, "Lib") {
+		t.Errorf("fallback reason should name the class: %q", bad.FullReason)
+	}
+}
+
+func TestDuplicateUnitError(t *testing.T) {
+	_, err := ExtractASTs(parseOne(t, "func f(p) {\n}\nfunc f(p) {\n}\n"), ir.DefaultEntryConfig())
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate declaration should error, got %v", err)
+	}
+}
+
+const fragSrc = `class Obj {
+	field next;
+}
+class Node extends Obj {
+	static field pool;
+	field v;
+	init(v) {
+		this.v = v;
+	}
+}
+class W {
+	field n;
+	init(n) {
+		this.n = n;
+	}
+	run() {
+		sync (this) {
+			x = this.n;
+			x.v = this;
+		}
+		while (0) {
+			y = new Node(x);
+			Node.pool = y;
+		}
+		r = helper(x);
+		f = &helper;
+		g = f(r);
+		return g;
+	}
+}
+func helper(p) {
+	if (0) {
+		return p;
+	}
+	return null;
+}
+main {
+	n = new Node(null);
+	w = new W(n);
+	w.start();
+	pthread_join(w);
+}
+`
+
+// TestFragRoundTrip is the codec's ground truth: every body lowered in
+// isolation must encode to a fragment that decodes into a fresh shell
+// as byte-identical IR — same instructions, same variable tables, same
+// source positions — as the directly-lowered program.
+func TestFragRoundTrip(t *testing.T) {
+	entries := ir.DefaultEntryConfig()
+	asts := parseOne(t, fragSrc)
+	man, err := ExtractASTs(asts, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.FullReason != "" {
+		t.Fatalf("unexpected fallback: %s", man.FullReason)
+	}
+
+	// Reference: lower everything directly.
+	direct, err := lang.Declare(asts, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowerAll(t, direct, man)
+
+	// Replayed: lower each body in a scratch shell, encode, decode into
+	// the target shell. Declaration order matters (library classes), so
+	// walk man.Order like the incremental driver does.
+	replayed, err := lang.Declare(asts, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range man.Order {
+		u := man.Units[id]
+		if u.Kind == KindClass {
+			continue
+		}
+		scratch, err := lang.Declare(asts, entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lowerUnit(t, scratch, u)
+		fr, err := EncodeBody(unitFunc(t, scratch, u), u.BaseLine)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", id, err)
+		}
+		fn := unitFunc(t, replayed, u)
+		if err := DecodeBody(replayed.Prog(), replayed.FuncByName, fn, u.File, u.BaseLine, fr); err != nil {
+			t.Fatalf("%s: decode: %v", id, err)
+		}
+	}
+
+	want := direct.Prog().String()
+	got := replayed.Prog().String()
+	if want != got {
+		t.Errorf("replayed program differs from directly-lowered:\n--- direct ---\n%s\n--- replayed ---\n%s", want, got)
+	}
+}
+
+// TestFragRebase: decoding the same fragment at a different BaseLine
+// must shift every instruction position by exactly the delta.
+func TestFragRebase(t *testing.T) {
+	entries := ir.DefaultEntryConfig()
+	asts := parseOne(t, "func f(p) {\n\tp.x = null;\n\tq = p.x;\n}\nmain {\n}\n")
+	sh, err := lang.Declare(asts, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := asts[0].Funcs[0]
+	if err := sh.LowerFunc("test.mini", fd); err != nil {
+		t.Fatal(err)
+	}
+	fn := sh.FreeFunc("f")
+	fr, err := EncodeBody(fn, fd.Line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh2, err := lang.Declare(asts, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn2 := sh2.FreeFunc("f")
+	const delta = 40
+	if err := DecodeBody(sh2.Prog(), sh2.FuncByName, fn2, "moved.mini", fd.Line+delta, fr); err != nil {
+		t.Fatal(err)
+	}
+	if len(fn2.Body) != len(fn.Body) {
+		t.Fatalf("body length %d != %d", len(fn2.Body), len(fn.Body))
+	}
+	for i := range fn.Body {
+		p1, p2 := fn.Body[i].Pos(), fn2.Body[i].Pos()
+		if p2.Line != p1.Line+delta {
+			t.Errorf("instr %d: line %d, want %d", i, p2.Line, p1.Line+delta)
+		}
+		if p2.File != "moved.mini" {
+			t.Errorf("instr %d: file %q not rebased", i, p2.File)
+		}
+	}
+}
+
+func lowerAll(t *testing.T, sh *lang.Shell, man *Manifest) {
+	t.Helper()
+	for _, id := range man.Order {
+		u := man.Units[id]
+		if u.Kind != KindClass {
+			lowerUnit(t, sh, u)
+		}
+	}
+}
+
+func lowerUnit(t *testing.T, sh *lang.Shell, u *Unit) {
+	t.Helper()
+	var err error
+	if u.Kind == KindMethod {
+		err = sh.LowerMethod(u.File, u.Class, u.Decl)
+	} else {
+		err = sh.LowerFunc(u.File, u.Decl)
+	}
+	if err != nil {
+		t.Fatalf("%s: lower: %v", u.ID, err)
+	}
+}
+
+func unitFunc(t *testing.T, sh *lang.Shell, u *Unit) *ir.Func {
+	t.Helper()
+	var fn *ir.Func
+	if u.Kind == KindMethod {
+		fn = sh.Method(u.Class, u.Name)
+	} else {
+		fn = sh.FreeFunc(u.Name)
+	}
+	if fn == nil {
+		t.Fatalf("%s: shell function missing", u.ID)
+	}
+	return fn
+}

@@ -141,6 +141,11 @@ type Result struct {
 	// was set): per-phase wall/CPU spans, PTA/OSA/SHB size counters,
 	// cache hit rates and worker utilization.
 	RunStats *obs.RunStats
+
+	// Inc reports per-unit summary reuse (nil unless the run went
+	// through AnalyzeIncremental): units total/reused/recomputed, replay
+	// errors, and whether the run fell back to whole-program compilation.
+	Inc *IncStats
 }
 
 // entriesUnset reports whether the config carries no entry-point
