@@ -248,6 +248,35 @@ func BenchmarkAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkDetectAllocs measures the detection stage's allocation
+// profile on the zookeeper preset (the distributed-system gate workload)
+// at one and four workers:
+//
+//	go test -bench=DetectAllocs -benchmem
+//
+// is the command behind EXPERIMENTS.md's allocation table. The detect
+// hot path is arena-backed (flat access groups, per-worker race-pair
+// arenas, interned bitset locksets), so allocs/op stays near-constant in
+// the workload size and the worker count.
+func BenchmarkDetectAllocs(b *testing.B) {
+	entries := ir.DefaultEntryConfig()
+	p, _ := workload.ByName("zookeeper")
+	prog := workload.Build(p, entries)
+	pr := bench.RunPTA(prog, bench.POPA, entries, 0)
+	sh := osa.Analyze(pr.A)
+	g := shb.Build(pr.A, shb.Config{})
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opts := race.O2Options()
+			opts.Workers = w
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				race.Detect(pr.A, sh, g, opts)
+			}
+		})
+	}
+}
+
 // BenchmarkFigure2 measures the paper's running example end to end.
 func BenchmarkFigure2(b *testing.B) {
 	for i := 0; i < b.N; i++ {

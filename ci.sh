@@ -5,16 +5,26 @@
 # floors, and the bench gate (deterministic pipeline stats vs the
 # checked-in golden; see internal/bench/gate.go).
 #
-#   ./ci.sh             run everything
-#   ./ci.sh bench-gate  run only the bench gate (emits BENCH_ci.json)
-#   ./ci.sh cover       run only the coverage floors
-#   ./ci.sh eval        run only the precision gate + metamorphic smoke
+#   ./ci.sh                 run everything
+#   ./ci.sh bench-gate      run only the bench gate (emits BENCH_ci.json)
+#   ./ci.sh bench-variance  run only the timing-noise gate (emits VARIANCE_ci.json)
+#   ./ci.sh cover           run only the coverage floors
+#   ./ci.sh eval            run only the precision gate + metamorphic smoke
 set -eux
 
 bench_gate() {
 	go run ./cmd/o2bench -table gate \
 		-stats-json BENCH_ci.json \
 		-golden internal/bench/testdata/bench_gate_golden.json
+}
+
+# Timing-noise gate: rerun the gate presets and fail when any >=1ms
+# phase's wall time varies by more than 15% (stddev/mean) — noisy
+# timings mean the recorded perf numbers cannot be trended. Runs as its
+# own CI job so bench-affecting noise is attributed separately from
+# correctness failures.
+bench_variance() {
+	go run ./cmd/o2bench -table variance -stats-json VARIANCE_ci.json
 }
 
 # Precision gate over the ground-truth oracle corpus (internal/truth):
@@ -107,6 +117,10 @@ bench-gate)
 	bench_gate
 	exit 0
 	;;
+bench-variance)
+	bench_variance
+	exit 0
+	;;
 cover)
 	cover
 	exit 0
@@ -125,7 +139,7 @@ eval)
 	;;
 all) ;;
 *)
-	echo "usage: ./ci.sh [bench-gate|cover|smoke|telemetry|eval]" >&2
+	echo "usage: ./ci.sh [bench-gate|bench-variance|cover|smoke|telemetry|eval]" >&2
 	exit 2
 	;;
 esac
@@ -133,10 +147,11 @@ esac
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/race/ ./internal/shb/ ./internal/lockset/ ./internal/obs/ ./internal/sched/ ./internal/server/ ./internal/summary/
+go test -race ./internal/race/ ./internal/shb/ ./internal/lockset/ ./internal/ring/ ./internal/obs/ ./internal/sched/ ./internal/server/ ./internal/summary/
 go test -race -run 'TestIncrementalConcurrentStore' ./internal/truth/
 cover
 smoke
 telemetry
 eval_gate
 bench_gate
+bench_variance

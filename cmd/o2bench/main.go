@@ -8,6 +8,7 @@
 //	o2bench -table ablation            # §4.1 optimization ablation
 //	o2bench -table linux               # §5.4 Linux kernel statistics
 //	o2bench -table gate                # CI bench gate (3 fixed presets vs golden stats)
+//	o2bench -table variance            # CI timing-noise gate (repeat presets, fail on cv > 15%)
 //	o2bench -quick                     # representative subset of presets
 //	o2bench -steps 1000000 -pairs 5000000  # budgets (the paper's ">4h")
 //	o2bench -stats-json out.json       # write the observability report
@@ -17,7 +18,9 @@
 //
 // The gate compares the deterministic fields of the run report (pairs
 // checked, size counters, cache hit rates, races) against the checked-in
-// golden in internal/bench/testdata; -update-golden regenerates it.
+// golden in internal/bench/testdata, and enforces the per-phase heap
+// allocation budgets the golden carries; -update-golden (alias
+// -update-gate) regenerates both.
 package main
 
 import (
@@ -34,7 +37,7 @@ import (
 func main() { os.Exit(run()) }
 
 func run() int {
-	table := flag.String("table", "all", "table to regenerate: 3,5,6,7,8,9,10,ablation,extensions,android,linux,gate,all")
+	table := flag.String("table", "all", "table to regenerate: 3,5,6,7,8,9,10,ablation,extensions,android,linux,gate,variance,all")
 	steps := flag.Int64("steps", 0, "pointer-analysis step budget (0 = default)")
 	pairs := flag.Int64("pairs", 0, "race-detection pair budget (0 = default)")
 	quick := flag.Bool("quick", false, "run a representative subset of presets")
@@ -45,8 +48,10 @@ func run() int {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	golden := flag.String("golden", "internal/bench/testdata/bench_gate_golden.json", "gate: golden stats file")
-	updateGolden := flag.Bool("update-golden", false, "gate: rewrite the golden stats file instead of comparing")
+	updateGolden := flag.Bool("update-golden", false, "gate: rewrite the golden stats file (races, counters, alloc budgets) instead of comparing")
+	updateGate := flag.Bool("update-gate", false, "alias for -update-golden")
 	flag.Parse()
+	*updateGolden = *updateGolden || *updateGate
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -83,6 +88,13 @@ func run() int {
 		// The gate manages one registry per preset itself; -stats-json
 		// names its artifact (BENCH_ci.json in CI).
 		if err := bench.Gate(w, o, *golden, *statsJSON, *updateGolden); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+	if *table == "variance" {
+		// -stats-json names the variance artifact (VARIANCE_ci.json in CI).
+		if err := bench.Variance(w, o, *statsJSON); err != nil {
 			return fail(err)
 		}
 		return 0

@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
 	"strings"
 	"time"
 
@@ -20,7 +23,9 @@ import (
 // and compares the deterministic projection — pairs checked, per-phase
 // size counters, cache hit rates, races — against a checked-in golden
 // file. Wall/CPU times are carried in the emitted artifact (BENCH_ci.json)
-// for trend tracking but are never gated.
+// for trend tracking but are never gated. Heap allocations sit in between:
+// too jittery for byte comparison, too important to leave ungated, so the
+// golden carries explicit per-phase ceilings (see AllocBudgets).
 
 // GatePresetNames are the fixed gate workloads, chosen to cover the three
 // benchmark families while keeping the gate fast.
@@ -43,6 +48,91 @@ type GateReport struct {
 	// dirty-unit ratio and speedup after a one-unit edit on three corpus
 	// programs. Latency-dependent, so never golden-gated.
 	Inc *IncGateStats `json:"incremental,omitempty"`
+	// AllocBudgets are the hard per-preset per-phase heap-allocation
+	// ceilings, keyed "preset/phase" (phases: pta, detect). Unlike the
+	// byte-compared counters, allocation counts jitter slightly (GC
+	// assists, timer goroutines), so -update-golden records measured×1.10
+	// plus a small noise floor (see budgetFromMeasured) and every gate run
+	// fails if a phase allocates more than its ceiling
+	// — i.e. regresses by more than 10% over the recorded baseline. Times
+	// are never gated; allocations are.
+	AllocBudgets map[string]AllocBudget `json:"alloc_budgets,omitempty"`
+}
+
+// AllocBudget is one phase's allocation ceiling (objects and bytes).
+type AllocBudget struct {
+	Allocs int64 `json:"allocs"`
+	Bytes  int64 `json:"bytes"`
+}
+
+// allocBudgetPhases are the phases with hard allocation budgets: the two
+// hot paths the detector optimizes for. OSA/SHB gauges are still emitted
+// in the artifact for trend tracking but not gated.
+var allocBudgetPhases = []string{"pta", "detect"}
+
+// measuredAllocs extracts the per-preset per-phase heap-allocation gauges
+// from the report, keyed like AllocBudgets.
+func (r *GateReport) measuredAllocs() map[string]AllocBudget {
+	out := map[string]AllocBudget{}
+	for _, p := range r.Presets {
+		if p.Stats == nil {
+			continue
+		}
+		for _, ph := range allocBudgetPhases {
+			out[p.Name+"/"+ph] = AllocBudget{
+				Allocs: p.Stats.Gauges[ph+".heap_allocs"],
+				Bytes:  p.Stats.Gauges[ph+".heap_bytes"],
+			}
+		}
+	}
+	return out
+}
+
+// budgetFromMeasured converts measured allocation counts into ceilings:
+// 10% relative headroom plus a small absolute noise floor. The floor
+// matters for phases the optimization drove to near-zero (avrora's
+// detect measures single-digit allocs): the heap counters are
+// process-global, so a stray timer or GC-assist allocation from another
+// goroutine must not fail CI on a phase whose 10% headroom rounds to
+// nothing.
+func budgetFromMeasured(m map[string]AllocBudget) map[string]AllocBudget {
+	const (
+		allocSlack = 32
+		byteSlack  = 8192
+	)
+	out := make(map[string]AllocBudget, len(m))
+	for k, v := range m {
+		out[k] = AllocBudget{
+			Allocs: v.Allocs + v.Allocs/10 + allocSlack,
+			Bytes:  v.Bytes + v.Bytes/10 + byteSlack,
+		}
+	}
+	return out
+}
+
+// checkAllocBudgets fails if any measured phase exceeds its recorded
+// ceiling. Budgets absent from the golden (older golden files) gate
+// nothing, so the check is backward-compatible.
+func checkAllocBudgets(measured, budgets map[string]AllocBudget) error {
+	var over []string
+	for k, b := range budgets {
+		m, ok := measured[k]
+		if !ok {
+			continue
+		}
+		if m.Allocs > b.Allocs {
+			over = append(over, fmt.Sprintf("%s: %d allocs > budget %d", k, m.Allocs, b.Allocs))
+		}
+		if m.Bytes > b.Bytes {
+			over = append(over, fmt.Sprintf("%s: %d heap bytes > budget %d", k, m.Bytes, b.Bytes))
+		}
+	}
+	if len(over) == 0 {
+		return nil
+	}
+	sort.Strings(over)
+	return fmt.Errorf("bench gate: allocation budget exceeded (>10%% regression; re-baseline with -update-golden if intended):\n  %s",
+		strings.Join(over, "\n  "))
 }
 
 // GatePreset is one workload's gate entry.
@@ -67,7 +157,16 @@ func RunGate(o Opts) (*GateReport, error) {
 		run := o
 		run.Workers = 1
 		run.Obs = obs.New()
+		// Park the collector for the measured pipeline: the heap-alloc
+		// gauges otherwise jitter ±25% with GC pacer timing (a collection
+		// landing mid-phase perturbs growth reallocation counts), far too
+		// noisy for the 10% budget gate. With GC off they repeat to ±0.5%.
+		// Each preset's pipeline peaks at a few MB, so running it
+		// uncollected is safe.
+		runtime.GC()
+		oldGC := debug.SetGCPercent(-1)
 		pl := RunPipeline(p, POPA, run)
+		debug.SetGCPercent(oldGC)
 		gp := GatePreset{
 			Name:     name,
 			Policy:   POPA.Name(),
@@ -218,14 +317,16 @@ func Gate(w io.Writer, o Opts, goldenPath, statsPath string, update bool) error 
 		}
 	}
 	if update {
-		data, err := rep.Deterministic().MarshalIndent()
+		det := rep.Deterministic()
+		det.AllocBudgets = budgetFromMeasured(rep.measuredAllocs())
+		data, err := det.MarshalIndent()
 		if err != nil {
 			return err
 		}
 		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "bench gate: updated golden %s\n", goldenPath)
+		fmt.Fprintf(w, "bench gate: updated golden %s (%d alloc budgets)\n", goldenPath, len(det.AllocBudgets))
 		return nil
 	}
 	golden, err := os.ReadFile(goldenPath)
@@ -235,6 +336,13 @@ func Gate(w io.Writer, o Opts, goldenPath, statsPath string, update bool) error 
 	if err := rep.CompareGolden(golden); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "bench gate: ok (matches %s)\n", goldenPath)
+	var gr GateReport
+	if err := json.Unmarshal(golden, &gr); err != nil {
+		return fmt.Errorf("bench gate: bad golden file: %w", err)
+	}
+	if err := checkAllocBudgets(rep.measuredAllocs(), gr.AllocBudgets); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "bench gate: ok (matches %s, %d alloc budgets honored)\n", goldenPath, len(gr.AllocBudgets))
 	return nil
 }

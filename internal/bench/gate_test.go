@@ -93,6 +93,47 @@ func TestGateDeterministicAcrossRuns(t *testing.T) {
 	}
 }
 
+// TestAllocBudgets pins the allocation-budget arithmetic: ceilings carry
+// 10% headroom plus the noise floor, a measurement within its ceiling
+// passes, one beyond it fails naming the phase, and goldens without
+// budgets gate nothing.
+func TestAllocBudgets(t *testing.T) {
+	measured := map[string]AllocBudget{
+		"zookeeper/pta":    {Allocs: 1000, Bytes: 500_000},
+		"zookeeper/detect": {Allocs: 5, Bytes: 16_000},
+	}
+	budgets := budgetFromMeasured(measured)
+	if b := budgets["zookeeper/pta"]; b.Allocs != 1000+100+32 || b.Bytes != 500_000+50_000+8192 {
+		t.Fatalf("budget headroom wrong: %+v", b)
+	}
+	// The noise floor keeps near-zero phases gateable: a stray background
+	// allocation on a 5-alloc phase must not trip the ceiling.
+	if b := budgets["zookeeper/detect"]; b.Allocs < 5+32 {
+		t.Fatalf("near-zero phase lacks noise floor: %+v", b)
+	}
+	if err := checkAllocBudgets(measured, budgets); err != nil {
+		t.Fatalf("measurement exceeded its own budget: %v", err)
+	}
+	over := map[string]AllocBudget{
+		"zookeeper/pta": {Allocs: budgets["zookeeper/pta"].Allocs + 1, Bytes: 0},
+	}
+	err := checkAllocBudgets(over, budgets)
+	if err == nil {
+		t.Fatal("regression beyond budget accepted")
+	}
+	if !strings.Contains(err.Error(), "zookeeper/pta") {
+		t.Fatalf("budget error does not name the regressed phase: %v", err)
+	}
+	if err := checkAllocBudgets(measured, nil); err != nil {
+		t.Fatalf("golden without budgets must gate nothing: %v", err)
+	}
+	// A phase present in the golden but not measured (e.g. renamed) is
+	// skipped rather than failed — CompareGolden catches schema drift.
+	if err := checkAllocBudgets(nil, budgets); err != nil {
+		t.Fatalf("unmeasured budget key must not fail: %v", err)
+	}
+}
+
 func TestGateUnknownPreset(t *testing.T) {
 	old := GatePresetNames
 	GatePresetNames = []string{"no-such-preset"}

@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"time"
+
+	"o2/internal/obs"
+	"o2/internal/workload"
+)
+
+// The variance harness answers the question the byte-compared gate
+// cannot: are the timings CI records stable enough to trend? It reruns
+// every gate preset's full pipeline several times, discards warmup
+// iterations (cold caches, first-GC effects), and reports per-phase
+// wall-time dispersion as mean, stddev and the coefficient of variation
+// (stddev/mean). CI fails when any gated phase's CV exceeds MaxCV —
+// noisy timings mean the perf numbers in EXPERIMENTS.md and the artifact
+// trend lines cannot be trusted, which is itself a CI-environment
+// regression worth surfacing.
+
+// Variance harness defaults: 10 measured runs after 2 warmup discards,
+// gate at CV > 15%. Phases faster than varianceFloorNS are reported but
+// not gated — scheduler jitter dominates sub-millisecond phases and says
+// nothing about the benchmark environment.
+const (
+	VarianceRuns   = 10
+	VarianceWarmup = 2
+	VarianceMaxCV  = 0.15
+
+	varianceFloorNS = 1e6 // 1ms
+)
+
+// PhaseVariance is one phase's timing dispersion across the measured runs.
+type PhaseVariance struct {
+	Phase    string  `json:"phase"`
+	MeanNS   float64 `json:"mean_ns"`
+	StddevNS float64 `json:"stddev_ns"`
+	// CV is the coefficient of variation, stddev/mean.
+	CV float64 `json:"cv"`
+	// Gated reports whether this phase participates in the CV check
+	// (mean wall time at or above the 1ms floor).
+	Gated bool `json:"gated"`
+	// SamplesNS are the raw measured wall times, for offline inspection
+	// of outliers in the uploaded artifact.
+	SamplesNS []int64 `json:"samples_ns"`
+}
+
+// VariancePreset is one workload's variance entry.
+type VariancePreset struct {
+	Name   string          `json:"name"`
+	Races  int             `json:"races"`
+	Phases []PhaseVariance `json:"phases"`
+}
+
+// VarianceReport is the bench-variance artifact (VARIANCE_ci.json).
+type VarianceReport struct {
+	Schema  int              `json:"schema"`
+	Runs    int              `json:"runs"`
+	Warmup  int              `json:"warmup"`
+	MaxCV   float64          `json:"max_cv"`
+	Presets []VariancePreset `json:"presets"`
+}
+
+// variancePhases are the pipeline stages timed per run, in execution
+// order.
+var variancePhases = []string{"pta", "osa", "shb", "detect"}
+
+// RunVariance executes each gate preset warmup+runs times and collects
+// per-phase wall times. Worker count is pinned to 1 and the collector is
+// parked during each measured pipeline (same protocol as the alloc
+// budgets) so the dispersion measures the environment, not GC pacing.
+// Every repeat must report the identical race count — a mismatch means
+// the detector itself is nondeterministic and fails immediately.
+func RunVariance(o Opts, runs, warmup int) (*VarianceReport, error) {
+	if runs < 2 {
+		return nil, fmt.Errorf("bench variance: need at least 2 measured runs, got %d", runs)
+	}
+	rep := &VarianceReport{Schema: obs.SchemaVersion, Runs: runs, Warmup: warmup, MaxCV: VarianceMaxCV}
+	for _, name := range GatePresetNames {
+		p, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("bench variance: unknown preset %q", name)
+		}
+		samples := make(map[string][]int64, len(variancePhases))
+		races := -1
+		for i := 0; i < warmup+runs; i++ {
+			run := o
+			run.Workers = 1
+			runtime.GC()
+			oldGC := debug.SetGCPercent(-1)
+			pl := RunPipeline(p, POPA, run)
+			debug.SetGCPercent(oldGC)
+			if pl.TimedOut {
+				return nil, fmt.Errorf("bench variance: preset %q timed out", name)
+			}
+			got := 0
+			if pl.Detect.Report != nil {
+				got = len(pl.Detect.Report.Races)
+			}
+			if races == -1 {
+				races = got
+			} else if got != races {
+				return nil, fmt.Errorf("bench variance: preset %q nondeterministic: run %d found %d races, earlier runs %d",
+					name, i, got, races)
+			}
+			if i < warmup {
+				continue
+			}
+			for ph, d := range map[string]time.Duration{
+				"pta":    pl.PTA.Time,
+				"osa":    pl.Detect.OSATime,
+				"shb":    pl.Detect.SHBTime,
+				"detect": pl.Detect.Time,
+			} {
+				samples[ph] = append(samples[ph], int64(d))
+			}
+		}
+		vp := VariancePreset{Name: name, Races: races}
+		for _, ph := range variancePhases {
+			vp.Phases = append(vp.Phases, phaseVariance(ph, samples[ph]))
+		}
+		rep.Presets = append(rep.Presets, vp)
+	}
+	return rep, nil
+}
+
+func phaseVariance(name string, ns []int64) PhaseVariance {
+	// Trim the single fastest and slowest sample (when enough remain)
+	// before computing the dispersion: one scheduler hiccup in ten runs
+	// is an outlier, not environment noise, and must not flake the gate.
+	// Systemic noise spreads across samples and survives the trim. The
+	// raw untrimmed samples stay in the artifact.
+	trimmed := append([]int64(nil), ns...)
+	if len(trimmed) >= 4 {
+		sort.Slice(trimmed, func(i, j int) bool { return trimmed[i] < trimmed[j] })
+		trimmed = trimmed[1 : len(trimmed)-1]
+	}
+	var sum float64
+	for _, v := range trimmed {
+		sum += float64(v)
+	}
+	mean := sum / float64(len(trimmed))
+	var sq float64
+	for _, v := range trimmed {
+		d := float64(v) - mean
+		sq += d * d
+	}
+	// Sample stddev (n-1): the runs are a sample of the environment's
+	// timing distribution, not the whole population.
+	std := math.Sqrt(sq / float64(len(trimmed)-1))
+	cv := 0.0
+	if mean > 0 {
+		cv = std / mean
+	}
+	return PhaseVariance{
+		Phase:     name,
+		MeanNS:    mean,
+		StddevNS:  std,
+		CV:        cv,
+		Gated:     mean >= varianceFloorNS,
+		SamplesNS: ns,
+	}
+}
+
+// Check fails if any gated phase's coefficient of variation exceeds the
+// report's MaxCV.
+func (r *VarianceReport) Check() error {
+	var over []string
+	for _, p := range r.Presets {
+		for _, ph := range p.Phases {
+			if ph.Gated && ph.CV > r.MaxCV {
+				over = append(over, fmt.Sprintf("%s/%s: cv=%.1f%% (mean %v, stddev %v)",
+					p.Name, ph.Phase, 100*ph.CV,
+					time.Duration(int64(ph.MeanNS)), time.Duration(int64(ph.StddevNS))))
+			}
+		}
+	}
+	if len(over) == 0 {
+		return nil
+	}
+	out := ""
+	for _, l := range over {
+		out += "\n  " + l
+	}
+	return fmt.Errorf("bench variance: timing noise above %.0f%% — benchmark numbers from this environment are untrustworthy:%s",
+		100*r.MaxCV, out)
+}
+
+// MarshalIndent renders the report as stable, diffable JSON.
+func (r *VarianceReport) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Variance runs the variance harness, writes the artifact to statsPath
+// if non-empty, prints the per-phase table, and fails on excessive CV.
+func Variance(w io.Writer, o Opts, statsPath string) error {
+	rep, err := RunVariance(o, VarianceRuns, VarianceWarmup)
+	if err != nil {
+		return err
+	}
+	if statsPath != "" {
+		data, err := rep.MarshalIndent()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(statsPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "bench variance: wrote %s\n", statsPath)
+	}
+	for _, p := range rep.Presets {
+		for _, ph := range p.Phases {
+			gate := "gated"
+			if !ph.Gated {
+				gate = "report-only (<1ms)"
+			}
+			fmt.Fprintf(w, "bench variance: %-12s %-7s mean=%-12v stddev=%-12v cv=%5.1f%% [%s]\n",
+				p.Name, ph.Phase, time.Duration(int64(ph.MeanNS)), time.Duration(int64(ph.StddevNS)),
+				100*ph.CV, gate)
+		}
+	}
+	if err := rep.Check(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "bench variance: ok (%d presets x %d runs, all gated phases cv <= %.0f%%)\n",
+		len(rep.Presets), rep.Runs, 100*rep.MaxCV)
+	return nil
+}

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPhaseVarianceMath(t *testing.T) {
+	// Samples 2ms, 4ms, 6ms: mean 4ms, sample stddev 2ms, cv 0.5.
+	pv := phaseVariance("pta", []int64{2e6, 4e6, 6e6})
+	if pv.MeanNS != 4e6 {
+		t.Fatalf("mean = %v, want 4e6", pv.MeanNS)
+	}
+	if math.Abs(pv.StddevNS-2e6) > 1 {
+		t.Fatalf("stddev = %v, want 2e6", pv.StddevNS)
+	}
+	if math.Abs(pv.CV-0.5) > 1e-9 {
+		t.Fatalf("cv = %v, want 0.5", pv.CV)
+	}
+	if !pv.Gated {
+		t.Fatal("4ms phase must be gated")
+	}
+	// Sub-millisecond phases are report-only: scheduler jitter dominates.
+	if phaseVariance("osa", []int64{100, 200, 300}).Gated {
+		t.Fatal("sub-1ms phase must not be gated")
+	}
+	// One scheduler hiccup among stable samples is trimmed away: nine
+	// ~2ms runs plus a single 10ms outlier must stay well under 15% CV,
+	// while the raw samples are preserved for the artifact.
+	spiky := phaseVariance("pta", []int64{2e6, 2.1e6, 1.9e6, 2e6, 2.05e6, 1.95e6, 2e6, 2.1e6, 1.9e6, 10e6})
+	if spiky.CV > 0.15 {
+		t.Fatalf("single outlier not trimmed: cv = %v", spiky.CV)
+	}
+	if len(spiky.SamplesNS) != 10 {
+		t.Fatalf("raw samples not preserved: %d", len(spiky.SamplesNS))
+	}
+}
+
+func TestVarianceCheck(t *testing.T) {
+	rep := &VarianceReport{
+		MaxCV: 0.15,
+		Presets: []VariancePreset{{
+			Name: "zookeeper",
+			Phases: []PhaseVariance{
+				{Phase: "pta", MeanNS: 5e6, StddevNS: 5e5, CV: 0.10, Gated: true},
+				{Phase: "detect", MeanNS: 9e6, StddevNS: 2.7e6, CV: 0.30, Gated: true},
+				// Over-threshold but under the gating floor: must not fail.
+				{Phase: "shb", MeanNS: 2e5, StddevNS: 1e5, CV: 0.50, Gated: false},
+			},
+		}},
+	}
+	err := rep.Check()
+	if err == nil {
+		t.Fatal("cv 30% on a gated phase accepted")
+	}
+	if !strings.Contains(err.Error(), "zookeeper/detect") {
+		t.Fatalf("check error does not name the noisy phase: %v", err)
+	}
+	if strings.Contains(err.Error(), "zookeeper/shb") {
+		t.Fatalf("check failed a report-only phase: %v", err)
+	}
+	rep.Presets[0].Phases[1].CV = 0.12
+	if err := rep.Check(); err != nil {
+		t.Fatalf("all gated phases under threshold, yet: %v", err)
+	}
+}
+
+func TestRunVarianceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every gate preset's pipeline repeatedly")
+	}
+	if _, err := RunVariance(Opts{}, 1, 0); err == nil {
+		t.Fatal("a single run has no dispersion; must be rejected")
+	}
+	rep, err := RunVariance(Opts{}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Presets) != len(GatePresetNames) {
+		t.Fatalf("presets = %d, want %d", len(rep.Presets), len(GatePresetNames))
+	}
+	for _, p := range rep.Presets {
+		if p.Races == 0 {
+			t.Fatalf("preset %s found no races (pipeline broken?)", p.Name)
+		}
+		if len(p.Phases) != len(variancePhases) {
+			t.Fatalf("preset %s phases = %d, want %d", p.Name, len(p.Phases), len(variancePhases))
+		}
+		for _, ph := range p.Phases {
+			if len(ph.SamplesNS) != 2 {
+				t.Fatalf("%s/%s samples = %d, want 2", p.Name, ph.Phase, len(ph.SamplesNS))
+			}
+			if ph.MeanNS <= 0 {
+				t.Fatalf("%s/%s non-positive mean %v", p.Name, ph.Phase, ph.MeanNS)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := Variance(&buf, Opts{}, ""); err != nil {
+		// A noisy CI machine can legitimately fail the cv gate here; only
+		// hard errors (timeouts, nondeterminism) are test failures.
+		if !strings.Contains(err.Error(), "timing noise") {
+			t.Fatal(err)
+		}
+		t.Logf("variance gate tripped on this machine (tolerated in tests): %v", err)
+	}
+	if !strings.Contains(buf.String(), "bench variance:") {
+		t.Fatal("variance printed no table")
+	}
+}

@@ -1,6 +1,7 @@
 package lang_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -160,6 +161,76 @@ main {
 	"func f( { }",
 }
 
+// manyLocksSeed builds a program with 72 distinct lock allocation sites:
+// canonical lock IDs then run past 64, pushing locksets into the bitset
+// spill representation (lockset's hi words beyond the inline lo word).
+// The final nested sync pairs the last lock with the first, so one
+// lockset spans both the inline word and a spill word. A second thread
+// writes the box unguarded to keep the detection stages non-trivial.
+func manyLocksSeed() string {
+	var sb strings.Builder
+	sb.WriteString(`
+class Box { field v; }
+class Writer {
+  field b;
+  Writer(b) { this.b = b; }
+  run() { x = this.b; x.v = this; }
+}
+main {
+  box = new Box();
+  w = new Writer(box);
+  w.start();
+`)
+	for i := 0; i < 72; i++ {
+		fmt.Fprintf(&sb, "  l%d = new Lock();\n  sync (l%d) { box.v = l%d; }\n", i, i, i)
+	}
+	sb.WriteString("  sync (l71) { sync (l0) { box.v = null; } }\n}\n")
+	return sb.String()
+}
+
+// TestManyLocksSeedSpills pins the premise of the >64-lock fuzz seed:
+// the compiled program's locksets really contain canonical lock IDs past
+// the inline bitset word (>= 64), so replaying the corpus exercises the
+// lockset spill path, and at least one lockset holds two locks spanning
+// the inline and spill words (the nested sync).
+func TestManyLocksSeedSpills(t *testing.T) {
+	entries := ir.DefaultEntryConfig()
+	prog, err := lang.Compile("many_locks.mini", manyLocksSeed(), entries)
+	if err != nil {
+		t.Fatalf("seed does not compile: %v", err)
+	}
+	a := pta.New(prog, pta.Config{Policy: pta.Policy{Kind: pta.KOrigin, K: 1}, Entries: entries})
+	if err := a.Solve(); err != nil {
+		t.Fatalf("seed does not solve: %v", err)
+	}
+	g := shb.Build(a, shb.Config{})
+	maxLock := uint32(0)
+	spanning := false
+	for _, n := range g.Nodes {
+		set := g.Locksets.Set(n.Locks)
+		lo, hi := false, false
+		for _, l := range set {
+			if l > maxLock {
+				maxLock = l
+			}
+			if l < 64 {
+				lo = true
+			} else {
+				hi = true
+			}
+		}
+		if lo && hi {
+			spanning = true
+		}
+	}
+	if maxLock < 64 {
+		t.Fatalf("max canonical lock ID = %d, want >= 64 (spill path untouched)", maxLock)
+	}
+	if !spanning {
+		t.Fatal("no lockset spans the inline and spill words")
+	}
+}
+
 // FuzzCompile fuzzes the whole minilang frontend (lexer, parser,
 // lowering, finalization). Invariants: Compile never panics; a rejected
 // input's error names the source position (file, usually file:line); an
@@ -169,6 +240,7 @@ func FuzzCompile(f *testing.F) {
 	for _, s := range fuzzSeeds {
 		f.Add(s)
 	}
+	f.Add(manyLocksSeed())
 	f.Add(cases.Figure2)
 	f.Add(cases.Figure3)
 	for _, c := range cases.Table10 {

@@ -1,13 +1,24 @@
 // Package lockset implements the paper's compact lockset representation
 // (§4.1, "Check Lockset"): every distinct combination of mutexes is
-// assigned a canonical integer ID, access nodes carry only the ID, and
-// intersection results between IDs are cached.
+// assigned a canonical integer ID and access nodes carry only the ID.
+//
+// Intersection queries are the race detector's per-pair hot path, so the
+// representation is built for them: each canonical set is a bitset over
+// *dense* lock indices (lock objects are interned into 0,1,2,… in first-
+// seen order), and Intersects is a handful of word ANDs — no map lookups,
+// no locks, no allocation. Programs with at most 64 distinct locks (all of
+// them, in practice) fit in the one inline word; larger programs spill
+// into extra words transparently. The previous implementation cached
+// map-backed intersection results behind an RWMutex; the bitset AND is
+// cheaper than the cache lookup was, so the cache (and its hit/miss
+// counters) is gone.
 package lockset
 
 import (
 	"encoding/binary"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"o2/internal/obs"
 )
@@ -23,118 +34,174 @@ const Empty ID = 0
 // it, so no event–event pair is reported while thread–event pairs remain.
 const GlobalEventLock uint32 = 0
 
-// Table interns locksets and caches intersection queries. Canon is called
-// while the SHB graph is built (single goroutine); Intersects is called
-// from the race-detection workers and is safe for concurrent use: the
-// read-mostly intersection cache is guarded by an RWMutex and the query
-// stats live in atomic obs counters. (They used to be exported plain
-// int64 fields, which invited torn reads: any caller polling them while
-// detection workers ran raced with the writers. Stats returns atomic
-// snapshots instead; TestStatsConcurrentReads pins this under -race.)
+// bitset is one canonical set over dense lock indices: lo holds indices
+// 0–63 inline, hi spills indices 64+ (hi[i] covers 64*(i+1)…64*(i+2)-1).
+// hi is nil for every program with ≤64 distinct locks.
+type bitset struct {
+	lo uint64
+	hi []uint64
+}
+
+func (b *bitset) set(idx uint32) {
+	if idx < 64 {
+		b.lo |= 1 << idx
+		return
+	}
+	w := int(idx-64) >> 6
+	for w >= len(b.hi) {
+		b.hi = append(b.hi, 0)
+	}
+	b.hi[w] |= 1 << ((idx - 64) & 63)
+}
+
+func (b *bitset) intersects(c *bitset) bool {
+	if b.lo&c.lo != 0 {
+		return true
+	}
+	n := len(b.hi)
+	if len(c.hi) < n {
+		n = len(c.hi)
+	}
+	for i := 0; i < n; i++ {
+		if b.hi[i]&c.hi[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// view is an immutable snapshot of the interned sets, republished after
+// every intern. Readers (Intersects, Set, Len) load it atomically, so the
+// query path takes no lock even while Canon is still interning: appends
+// under the table mutex only ever write past the published length, and the
+// atomic pointer store/load orders those writes before any read.
+type view struct {
+	sets [][]uint32 // ID → sorted lock objects
+	bits []bitset   // ID → bitset over dense lock indices
+}
+
+// Table interns locksets into canonical IDs. Canon is called while the SHB
+// graph is built and is guarded by a mutex; Intersects/Set/Len are called
+// from the race-detection workers and are lock-free (they read the
+// atomically published view). Stats are atomic obs counters, so polling
+// them concurrently is safe (TestStatsConcurrentReads pins this under
+// -race).
 type Table struct {
-	mu    sync.RWMutex
-	sets  [][]uint32
-	index map[string]ID
-	inter map[uint64]bool
-	// stats: standalone counters by default, rebound into the pipeline's
-	// registry by Bind. Always non-nil, so the counting cost on the
-	// concurrent query path is one atomic add — same as the seed code.
+	mu      sync.Mutex
+	index   map[string]ID
+	dense   map[uint32]uint32 // lock object → dense bit index
+	locks   []uint32          // dense bit index → lock object
+	scratch []uint32          // Canon's sort/dedupe buffer, reused across calls
+	view    atomic.Pointer[view]
+
+	// canonCalls: standalone counter by default, rebound into the
+	// pipeline's registry by Bind.
 	canonCalls *obs.Counter
-	interHits  *obs.Counter
-	interMiss  *obs.Counter
 }
 
 // NewTable returns an empty table containing only the empty lockset.
 func NewTable() *Table {
 	t := &Table{
-		index:      map[string]ID{},
-		inter:      map[uint64]bool{},
+		index:      map[string]ID{"": Empty},
+		dense:      map[uint32]uint32{},
 		canonCalls: obs.NewCounter(),
-		interHits:  obs.NewCounter(),
-		interMiss:  obs.NewCounter(),
 	}
-	t.sets = append(t.sets, nil)
-	t.index[""] = Empty
+	t.view.Store(&view{sets: [][]uint32{nil}, bits: []bitset{{}}})
 	return t
 }
 
 // Bind redirects the table's stats into a registry under the
-// lockset.canon_calls / lockset.inter_hits / lockset.inter_misses names.
-// Must be called before the table is used concurrently; a nil registry
-// leaves the standalone counters in place.
+// lockset.canon_calls name. A nil registry leaves the standalone counter
+// in place.
 func (t *Table) Bind(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
 	t.canonCalls = reg.Counter("lockset.canon_calls")
-	t.interHits = reg.Counter("lockset.inter_hits")
-	t.interMiss = reg.Counter("lockset.inter_misses")
 }
 
-// Stats is an atomic snapshot of the table's query counters.
+// Stats is an atomic snapshot of the table's counters.
 type Stats struct {
 	CanonCalls int64
-	InterHits  int64
-	InterMiss  int64
+	// Locks is the number of distinct lock objects interned (the bitset
+	// width); Sets the number of distinct locksets including empty.
+	Locks int
+	Sets  int
 }
 
-// Stats returns the current query counters. Safe to call concurrently
-// with Intersects (the reads are atomic).
+// Stats returns the current counters. Safe to call concurrently with
+// Intersects.
 func (t *Table) Stats() Stats {
+	t.mu.Lock()
+	locks := len(t.locks)
+	t.mu.Unlock()
 	return Stats{
 		CanonCalls: t.canonCalls.Load(),
-		InterHits:  t.interHits.Load(),
-		InterMiss:  t.interMiss.Load(),
+		Locks:      locks,
+		Sets:       t.Len(),
 	}
 }
 
 // Canon returns the canonical ID for the given lock objects (duplicates
-// allowed; order irrelevant).
+// allowed; order irrelevant). Safe for concurrent use, though the builder
+// calls it from one goroutine; dense bit indices are assigned in
+// first-seen order, so a deterministic build yields deterministic IDs.
 func (t *Table) Canon(objs []uint32) ID {
 	t.canonCalls.Inc()
 	if len(objs) == 0 {
 		return Empty
 	}
-	s := append([]uint32(nil), objs...)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := append(t.scratch[:0], objs...)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	// dedupe
+	// dedupe in place
 	out := s[:1]
 	for _, x := range s[1:] {
 		if x != out[len(out)-1] {
 			out = append(out, x)
 		}
 	}
+	t.scratch = s[:0]
 	key := setKey(out)
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	if id, ok := t.index[key]; ok {
 		return id
 	}
-	id := ID(len(t.sets))
-	t.sets = append(t.sets, out)
+	var bs bitset
+	for _, obj := range out {
+		idx, ok := t.dense[obj]
+		if !ok {
+			idx = uint32(len(t.locks))
+			t.dense[obj] = idx
+			t.locks = append(t.locks, obj)
+		}
+		bs.set(idx)
+	}
+	old := t.view.Load()
+	id := ID(len(old.sets))
 	t.index[key] = id
+	next := &view{
+		sets: append(old.sets, append([]uint32(nil), out...)),
+		bits: append(old.bits, bs),
+	}
+	t.view.Store(next)
 	return id
 }
 
 // Set returns the sorted elements of a canonical lockset. The returned
-// slice must not be modified.
+// slice must not be modified. Lock-free.
 func (t *Table) Set(id ID) []uint32 {
-	t.mu.RLock()
-	s := t.sets[id]
-	t.mu.RUnlock()
-	return s
+	return t.view.Load().sets[id]
 }
 
 // Len returns the number of distinct locksets interned (including empty).
 func (t *Table) Len() int {
-	t.mu.RLock()
-	n := len(t.sets)
-	t.mu.RUnlock()
-	return n
+	return len(t.view.Load().sets)
 }
 
-// Intersects reports whether two locksets share a lock, caching results.
-// Safe for concurrent use.
+// Intersects reports whether two locksets share a lock: word-wise AND over
+// the canonical bitsets. Lock-free, allocation-free, safe for any number
+// of concurrent callers.
 func (t *Table) Intersects(a, b ID) bool {
 	if a == Empty || b == Empty {
 		return false
@@ -142,27 +209,8 @@ func (t *Table) Intersects(a, b ID) bool {
 	if a == b {
 		return true
 	}
-	if a > b {
-		a, b = b, a
-	}
-	key := uint64(a)<<32 | uint64(uint32(b))
-	t.mu.RLock()
-	r, ok := t.inter[key]
-	var sa, sb []uint32
-	if !ok {
-		sa, sb = t.sets[a], t.sets[b]
-	}
-	t.mu.RUnlock()
-	if ok {
-		t.interHits.Inc()
-		return r
-	}
-	t.interMiss.Inc()
-	r = IntersectSorted(sa, sb)
-	t.mu.Lock()
-	t.inter[key] = r
-	t.mu.Unlock()
-	return r
+	v := t.view.Load()
+	return v.bits[a].intersects(&v.bits[b])
 }
 
 // IntersectSorted reports whether two sorted slices share an element. It is

@@ -44,19 +44,55 @@ func TestIntersects(t *testing.T) {
 	}
 }
 
-func TestIntersectsCache(t *testing.T) {
+// TestIntersectsSpill exercises the bitset spill path: more than 64
+// distinct lock objects forces dense indices past the inline word, so
+// intersection must compare the hi words too.
+func TestIntersectsSpill(t *testing.T) {
 	tb := NewTable()
-	a := tb.Canon([]uint32{1})
-	b := tb.Canon([]uint32{1, 2})
-	tb.Intersects(a, b)
-	misses := tb.Stats().InterMiss
-	tb.Intersects(a, b)
-	tb.Intersects(b, a) // symmetric query hits the same entry
-	if tb.Stats().InterMiss != misses {
-		t.Errorf("repeated queries should hit the cache")
+	// 100 distinct locks interned one set at a time: each singleton lands
+	// on its own dense bit, the last 36 of them in spill words.
+	singles := make([]ID, 100)
+	for i := range singles {
+		singles[i] = tb.Canon([]uint32{uint32(1000 + i)})
 	}
-	if tb.Stats().InterHits < 2 {
-		t.Errorf("cache hits not recorded: %d", tb.Stats().InterHits)
+	if st := tb.Stats(); st.Locks != 100 {
+		t.Fatalf("distinct locks = %d, want 100", st.Locks)
+	}
+	for i, a := range singles {
+		for j, b := range singles {
+			if got, want := tb.Intersects(a, b), i == j; got != want {
+				t.Fatalf("singleton %d ∩ %d = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+	// A set straddling the word boundary intersects sets on either side.
+	wide := tb.Canon([]uint32{1000 + 63, 1000 + 64})
+	if !tb.Intersects(wide, singles[63]) || !tb.Intersects(singles[64], wide) {
+		t.Fatal("straddling set must intersect both halves")
+	}
+	if tb.Intersects(wide, singles[62]) || tb.Intersects(wide, singles[65]) {
+		t.Fatal("straddling set must not intersect its neighbors")
+	}
+	// Sets sharing only a spill-word element.
+	hiA := tb.Canon([]uint32{1000 + 70, 1000 + 90})
+	hiB := tb.Canon([]uint32{1000 + 80, 1000 + 90})
+	hiC := tb.Canon([]uint32{1000 + 71, 1000 + 81})
+	if !tb.Intersects(hiA, hiB) {
+		t.Fatal("{70,90} ∩ {80,90} shares 90 in the spill words")
+	}
+	if tb.Intersects(hiA, hiC) || tb.Intersects(hiB, hiC) {
+		t.Fatal("disjoint spill sets must not intersect")
+	}
+}
+
+// TestCanonReusesIDs pins that re-interning identical contents (in any
+// order, with duplicates) returns the same ID and allocates no new set.
+func TestCanonReusesIDs(t *testing.T) {
+	tb := NewTable()
+	a := tb.Canon([]uint32{9, 5, 7})
+	n := tb.Len()
+	if tb.Canon([]uint32{7, 9, 5, 5, 7}) != a || tb.Len() != n {
+		t.Fatal("identical contents must reuse the interned ID")
 	}
 }
 
@@ -78,17 +114,19 @@ func TestIntersectSorted(t *testing.T) {
 }
 
 // Property: canonical IDs are bijective with the set contents, and the
-// cached Intersects agrees with the primitive on every pair.
+// bitset Intersects agrees with the sorted-slice primitive on every pair.
+// Elements span well past 64 distinct locks, so the property also covers
+// the spill words.
 func TestQuickCanonicalAgreesWithPrimitive(t *testing.T) {
 	tb := NewTable()
 	f := func(xs, ys []uint8) bool {
 		xv := make([]uint32, len(xs))
 		for i, x := range xs {
-			xv[i] = uint32(x % 32)
+			xv[i] = uint32(x % 200)
 		}
 		yv := make([]uint32, len(ys))
 		for i, y := range ys {
-			yv[i] = uint32(y % 32)
+			yv[i] = uint32(y % 200)
 		}
 		a, b := tb.Canon(xv), tb.Canon(yv)
 		want := IntersectSorted(tb.Set(a), tb.Set(b))

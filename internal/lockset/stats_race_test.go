@@ -7,12 +7,12 @@ import (
 	"o2/internal/obs"
 )
 
-// TestStatsConcurrentReads hammers the intersection cache from many
-// goroutines while another goroutine continuously polls Stats — the
-// pattern the bench harness and obs snapshots use while detection
-// workers run. With the stats as exported plain int64 fields (the old
-// layout) the polling reads were torn/racy and `go test -race` flagged
-// them; the atomic obs counters make the snapshot safe.
+// TestStatsConcurrentReads hammers Intersects from many goroutines —
+// including one still interning new sets through Canon — while another
+// goroutine continuously polls Stats, the pattern the bench harness and
+// obs snapshots use while detection workers run. The lock-free query path
+// reads the atomically published view, so `go test -race` must stay
+// silent even with Canon appending concurrently.
 func TestStatsConcurrentReads(t *testing.T) {
 	tb := NewTable()
 	ids := make([]ID, 0, 16)
@@ -31,8 +31,8 @@ func TestStatsConcurrentReads(t *testing.T) {
 				return
 			default:
 				s := tb.Stats()
-				if s.InterHits < 0 || s.InterMiss < 0 {
-					t.Error("negative counter snapshot")
+				if s.CanonCalls < 16 || s.Sets < 16 {
+					t.Error("lost counter snapshot")
 					return
 				}
 			}
@@ -40,6 +40,13 @@ func TestStatsConcurrentReads(t *testing.T) {
 	}()
 
 	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // keep interning while queries run
+		defer wg.Done()
+		for i := 100; i < 300; i++ {
+			tb.Canon([]uint32{uint32(i), uint32(i + 1)})
+		}
+	}()
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -48,6 +55,7 @@ func TestStatsConcurrentReads(t *testing.T) {
 				a := ids[(i+w)%len(ids)]
 				b := ids[(i*7+w*3)%len(ids)]
 				tb.Intersects(a, b)
+				tb.Set(a)
 			}
 		}(w)
 	}
@@ -56,13 +64,13 @@ func TestStatsConcurrentReads(t *testing.T) {
 	pollWG.Wait()
 
 	s := tb.Stats()
-	if s.InterHits+s.InterMiss == 0 {
-		t.Fatal("no intersection queries recorded")
+	if s.CanonCalls != 16+200 {
+		t.Fatalf("canon calls = %d, want 216", s.CanonCalls)
 	}
 }
 
 // TestBindRegistry checks that a bound table reports through the
-// registry under the stable counter names.
+// registry under the stable counter name.
 func TestBindRegistry(t *testing.T) {
 	reg := obs.New()
 	tb := NewTable()
@@ -75,20 +83,13 @@ func TestBindRegistry(t *testing.T) {
 	if rs.Counters["lockset.canon_calls"] != 2 {
 		t.Fatalf("canon_calls = %d, want 2", rs.Counters["lockset.canon_calls"])
 	}
-	if rs.Counters["lockset.inter_misses"] != 1 || rs.Counters["lockset.inter_hits"] != 1 {
-		t.Fatalf("inter hit/miss = %d/%d, want 1/1",
-			rs.Counters["lockset.inter_hits"], rs.Counters["lockset.inter_misses"])
-	}
-	if got := tb.Stats(); got.InterHits != 1 || got.InterMiss != 1 || got.CanonCalls != 2 {
+	if got := tb.Stats(); got.CanonCalls != 2 || got.Sets != 3 || got.Locks != 3 {
 		t.Fatalf("Stats() disagrees with registry: %+v", got)
 	}
-	if rs.Rates["lockset.inter_hit_rate"] != 0.5 {
-		t.Fatalf("hit rate = %v, want 0.5", rs.Rates["lockset.inter_hit_rate"])
-	}
-	// Binding nil keeps the current counters.
+	// Binding nil keeps the current counter.
 	tb.Bind(nil)
-	tb.Intersects(a, b)
-	if tb.Stats().InterHits != 2 {
+	tb.Canon([]uint32{1})
+	if tb.Stats().CanonCalls != 3 {
 		t.Fatal("nil Bind dropped counters")
 	}
 }

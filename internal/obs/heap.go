@@ -1,0 +1,44 @@
+package obs
+
+import "runtime/metrics"
+
+// HeapCounters is a snapshot of the runtime's cumulative heap-allocation
+// totals. Both values are monotonically increasing over the life of the
+// process, so the difference of two snapshots is the number of objects and
+// bytes allocated between them — the same quantities testing.B reports as
+// allocs/op and B/op, but readable around an arbitrary code region.
+type HeapCounters struct {
+	Objects uint64
+	Bytes   uint64
+}
+
+// ReadHeapCounters samples the cumulative heap allocation totals via
+// runtime/metrics, which reads the already-maintained counters without a
+// stop-the-world (unlike runtime.ReadMemStats). Cheap enough to call at
+// phase boundaries inside a benchmark.
+func ReadHeapCounters() HeapCounters {
+	samples := [2]metrics.Sample{
+		{Name: "/gc/heap/allocs:objects"},
+		{Name: "/gc/heap/allocs:bytes"},
+	}
+	metrics.Read(samples[:])
+	return HeapCounters{
+		Objects: samples[0].Value.Uint64(),
+		Bytes:   samples[1].Value.Uint64(),
+	}
+}
+
+// HeapGauges publishes the allocation delta since the given baseline as
+// two gauges, "<phase>.heap_allocs" and "<phase>.heap_bytes". The
+// "_allocs"/"_bytes" suffixes mark them as non-deterministic (GC assists
+// and timer goroutines allocate too), so RunStats.Deterministic strips
+// them alongside the "_ns" times; CI gates them through explicit budgets
+// instead of byte comparison. No-op on a nil registry.
+func (r *Registry) HeapGauges(phase string, base HeapCounters) {
+	if !r.Enabled() {
+		return
+	}
+	now := ReadHeapCounters()
+	r.SetGauge(phase+".heap_allocs", int64(now.Objects-base.Objects))
+	r.SetGauge(phase+".heap_bytes", int64(now.Bytes-base.Bytes))
+}

@@ -184,6 +184,7 @@ func TestDeterministicStripsTimes(t *testing.T) {
 	r.SetGauge("race.worker_busy_ns", 12000)
 	r.SetGauge("race.workers", 8)
 	r.SetGauge("shb.nodes", 7)
+	r.HeapGauges("detect", HeapCounters{})
 	r.Counter("lockset.inter_hits").Add(1)
 	r.Counter("lockset.inter_misses").Add(1)
 	det := r.Snapshot().Deterministic()
@@ -195,6 +196,12 @@ func TestDeterministicStripsTimes(t *testing.T) {
 	}
 	if _, ok := det.Gauges["race.workers"]; ok {
 		t.Fatal("deterministic view keeps machine-dependent worker count")
+	}
+	if _, ok := det.Gauges["detect.heap_allocs"]; ok {
+		t.Fatal("deterministic view keeps heap-alloc gauge (budget-gated, not byte-compared)")
+	}
+	if _, ok := det.Gauges["detect.heap_bytes"]; ok {
+		t.Fatal("deterministic view keeps heap-bytes gauge")
 	}
 	if det.Gauges["shb.nodes"] != 7 || det.Counters["race.pairs_checked"] != 10 {
 		t.Fatalf("deterministic view dropped data: %+v", det)

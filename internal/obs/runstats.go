@@ -161,9 +161,10 @@ func deriveRates(counters, gauges map[string]int64) map[string]float64 {
 	return rates
 }
 
-// Deterministic returns a copy of the report with every time-derived
+// Deterministic returns a copy of the report with every run-dependent
 // value stripped: span wall/CPU times zeroed, counters and gauges whose
-// name ends in "_ns" dropped, time-derived rates dropped, and span
+// name ends in "_ns", "_allocs" or "_bytes" dropped, time-derived rates
+// dropped, and span
 // children sorted by name (concurrent worker shards finish in arbitrary
 // order). Two runs of the same workload at Workers=1 produce identical
 // Deterministic reports, which is what the golden schema test and CI's
@@ -208,7 +209,10 @@ func detPhase(p PhaseStats) PhaseStats {
 func dropTimes(m map[string]int64) map[string]int64 {
 	var out map[string]int64
 	for k, v := range m {
-		if strings.HasSuffix(k, "_ns") {
+		// "_allocs"/"_bytes" are the heap-allocation gauges (see
+		// Registry.HeapGauges): background allocation makes them jitter
+		// like times, so they are budget-gated rather than byte-compared.
+		if strings.HasSuffix(k, "_ns") || strings.HasSuffix(k, "_allocs") || strings.HasSuffix(k, "_bytes") {
 			continue
 		}
 		if out == nil {

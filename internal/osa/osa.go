@@ -109,10 +109,9 @@ func AnalyzeCtx(ctx context.Context, a *pta.Analysis, reg *obs.Registry) (*Resul
 		Writers:   map[Key]*pta.Bits{},
 		sharedSet: map[Key]bool{},
 	}
-	v := &visitor{a: a, r: r, seen: map[visitKey]bool{}}
-	if ctx.Done() != nil {
-		v.ctx = ctx
-	}
+	latch, stopWatch := pta.WatchCancel(ctx)
+	defer stopWatch()
+	v := &visitor{a: a, r: r, seen: map[visitKey]bool{}, ctx: ctx, latch: latch}
 	v.visit(a.MainNode(), pta.MainOrigin)
 	if v.err != nil {
 		return r, v.err
@@ -137,26 +136,23 @@ func AnalyzeCtx(ctx context.Context, a *pta.Analysis, reg *obs.Registry) (*Resul
 }
 
 type visitor struct {
-	a    *pta.Analysis
-	r    *Result
-	seen map[visitKey]bool
-	ctx  context.Context // nil when cancellation is not observable
-	tick int
-	err  error
+	a     *pta.Analysis
+	r     *Result
+	seen  map[visitKey]bool
+	ctx   context.Context
+	latch *pta.Latch // trips when ctx ends; nil when not cancellable
+	tick  int
+	err   error
 }
 
 func (v *visitor) visit(fn pta.FnCtxID, origin pta.OriginID) {
 	if v.err != nil {
 		return
 	}
-	if v.ctx != nil {
-		v.tick++
-		if v.tick&255 == 0 {
-			if err := v.ctx.Err(); err != nil {
-				v.err = pta.CtxErr(err)
-				return
-			}
-		}
+	v.tick++
+	if v.tick&255 == 0 && v.latch.Tripped() {
+		v.err = pta.CtxErr(v.ctx.Err())
+		return
 	}
 	k := visitKey{fn, origin}
 	if v.seen[k] {

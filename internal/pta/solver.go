@@ -118,7 +118,10 @@ type Analysis struct {
 	constraints int64 // load/store/call/edge constraints registered
 	numEdges    int
 	ctx         context.Context
+	latch       *Latch // trips when ctx ends; nil when ctx is not cancellable
 	err         error
+
+	replayScratch Bits // replayObjs' reusable points-to snapshot
 }
 
 // New creates an analysis for the (finalized) program.
@@ -167,6 +170,9 @@ func (a *Analysis) SolveCtx(ctx context.Context) error {
 		defer cancel()
 	}
 	a.ctx = ctx
+	latch, stopWatch := WatchCancel(ctx)
+	a.latch = latch
+	defer stopWatch()
 	if err := ctx.Err(); err != nil {
 		a.err = CtxErr(err)
 		return a.err
@@ -223,11 +229,12 @@ func (a *Analysis) budget() bool {
 		a.err = ErrBudget
 		return false
 	}
-	if a.steps%4096 == 0 && a.ctx != nil {
-		if err := a.ctx.Err(); err != nil {
-			a.err = CtxErr(err)
-			return false
-		}
+	// Cancellation is one atomic load (a nil compare when the context is
+	// not cancellable) instead of the former every-4096-steps ctx.Err()
+	// poll, so it is checked on every step: latency to abort is one step.
+	if a.latch.Tripped() {
+		a.err = CtxErr(a.ctx.Err())
+		return false
 	}
 	return true
 }
@@ -337,6 +344,17 @@ func (a *Analysis) processNode(n NodeID) {
 			}
 			a.resolveCall(cc, ObjID(o))
 		})
+	}
+	// Recycle d's word storage into the (now empty, unless a callback
+	// above re-populated it) delta slot, so the next delta for this node
+	// grows into existing capacity instead of reallocating from nil —
+	// deltas churn once per worklist pop, the solver's hottest allocation
+	// site.
+	if len(a.delta[n].w) == 0 {
+		for i := range d.w {
+			d.w[i] = 0
+		}
+		a.delta[n] = d
 	}
 }
 
@@ -505,19 +523,26 @@ func (a *Analysis) genConstraints(id FnCtxID) {
 
 // replayObjs invokes fn for objects already in pts(base) when a constraint
 // is registered late (the node may have been populated by earlier callers).
+// The snapshot lands in a reused scratch buffer: fn may grow a.pts
+// (ensureNode) or mutate pts(base) itself, but never re-enters replayObjs
+// (its callbacks only enqueue work), so one scratch per Analysis is safe.
 func (a *Analysis) replayObjs(base NodeID, fn func(ObjID)) {
 	if a.pts[base].IsEmpty() {
 		return
 	}
-	cp := a.pts[base].Copy()
-	cp.ForEach(func(o uint32) { fn(ObjID(o)) })
+	a.replayScratch.w = append(a.replayScratch.w[:0], a.pts[base].w...)
+	a.replayScratch.ForEach(func(o uint32) { fn(ObjID(o)) })
 }
 
 func (a *Analysis) genAlloc(caller FnCtxID, fn *ir.Func, ctx CtxID, al *ir.Alloc, idx int) {
 	isOrigin := a.isOriginClass(al.Class)
 	replicate := al.InLoop || (al.Class.IsEvent && !al.Class.IsThread && a.Cfg.ReplicateEvents)
 
-	var hctxs []CtxID
+	// At most two heap contexts (origin + twin): a fixed-size buffer keeps
+	// the slice on the stack — genAlloc runs once per reachable allocation
+	// per context and was a top allocation site.
+	var hctxBuf [2]CtxID
+	hctxs := hctxBuf[:0]
 	if isOrigin {
 		h := a.originCtx(ctx, al.Site)
 		hctxs = append(hctxs, h)
@@ -721,7 +746,8 @@ func (a *Analysis) spawnPthread(cc callC, entry *ir.Func, kind OriginKind, calle
 	pseudoSite := a.Prog.NumAllocSites + in.Site
 	replicate := in.InLoop || (kind == KindEvent && a.Cfg.ReplicateEvents)
 
-	var hctxs []CtxID
+	var hctxBuf [2]CtxID
+	hctxs := hctxBuf[:0]
 	if a.Cfg.Policy.Kind == KOrigin {
 		h := a.originCtx(callerCtx, pseudoSite)
 		hctxs = append(hctxs, h)

@@ -1,0 +1,91 @@
+package race_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"o2/internal/ir"
+	"o2/internal/osa"
+	"o2/internal/pta"
+	"o2/internal/race"
+	"o2/internal/shb"
+	"o2/internal/workload"
+)
+
+func solveScaled(t *testing.T, name string, factor int) (*pta.Analysis, *osa.Result, *shb.Graph) {
+	t.Helper()
+	p, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("preset %s missing", name)
+	}
+	entries := ir.DefaultEntryConfig()
+	prog := workload.Build(workload.Scale(p, factor), entries)
+	a := pta.New(prog, pta.Config{Policy: opa(), Entries: entries})
+	if err := a.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	sh := osa.Analyze(a)
+	g := shb.Build(a, shb.Config{})
+	return a, sh, g
+}
+
+// TestCancelLatchAgreesWithPairBudget pins the contract between the two
+// stop mechanisms sharing the detect hot loop: the atomic cancel latch
+// (bridged from the context, polled every cancelStride pairs) and the
+// pair-budget trip (polled on every reservation).
+//
+//   - Cancellation must stop detection within the stride — well under the
+//     100ms PR-3 guarantee — and must NOT mark the report TimedOut, which
+//     is reserved for budget exhaustion.
+//   - A tripped pair budget must mark TimedOut and must NOT surface as a
+//     cancellation error.
+func TestCancelLatchAgreesWithPairBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second workload")
+	}
+	// linux-x4: sequential detect runs for seconds, so a 50ms cancel lands
+	// firmly inside the pairwise loop.
+	a, sh, g := solveScaled(t, "linux", 4)
+
+	for _, workers := range []int{1, 4} {
+		opts := race.O2Options()
+		opts.Workers = workers
+
+		ctx, cancel := context.WithCancel(context.Background())
+		var canceledAt time.Time
+		go func() {
+			time.Sleep(50 * time.Millisecond)
+			canceledAt = time.Now()
+			cancel()
+		}()
+		rep, err := race.DetectCtx(ctx, a, sh, g, opts)
+		end := time.Now()
+		if !errors.Is(err, pta.ErrCanceled) {
+			t.Fatalf("workers=%d: want ErrCanceled, got %v", workers, err)
+		}
+		if rep.TimedOut {
+			t.Errorf("workers=%d: cancellation must not trip the pair budget (TimedOut)", workers)
+		}
+		if lat := end.Sub(canceledAt); lat > 100*time.Millisecond {
+			t.Errorf("workers=%d: cancellation latency %v exceeds 100ms (stride too long?)", workers, lat)
+		} else {
+			t.Logf("workers=%d: cancellation latency %v", workers, lat)
+		}
+
+		// Budget trip without cancellation: TimedOut, no error, and the
+		// reservation counter respects the limit exactly.
+		opts.PairBudget = 1000
+		rep, err = race.DetectCtx(context.Background(), a, sh, g, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: budget trip must not error, got %v", workers, err)
+		}
+		if !rep.TimedOut {
+			t.Errorf("workers=%d: exhausted pair budget must set TimedOut", workers)
+		}
+		if rep.PairsChecked > opts.PairBudget {
+			t.Errorf("workers=%d: PairsChecked %d exceeds budget %d", workers, rep.PairsChecked, opts.PairBudget)
+		}
+	}
+}

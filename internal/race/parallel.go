@@ -2,37 +2,38 @@ package race
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"o2/internal/obs"
-	"o2/internal/osa"
 	"o2/internal/pta"
+	"o2/internal/ring"
 	"o2/internal/shb"
 )
 
 // pairBudget is the shared atomic candidate-pair budget. Every worker
 // reserves one unit per pair via take before checking it, so the total
 // number of pairs examined never exceeds limit regardless of the worker
-// count. A limit of 0 means unlimited. The budget doubles as the
-// cancellation latch: DetectCtx's context watcher sets canceled, and the
-// per-pair reservation that every worker already performs observes it —
-// no extra synchronization appears in the hot loop.
+// count. A limit of 0 means unlimited. Cancellation rides alongside as a
+// pta.Latch bridged from the detect context: checkGroup polls it on a
+// stride (cancelStride iterations) and the group-claim loop polls it via
+// stopped, so the two mechanisms always agree — a tripped latch stops the
+// pair loop within one stride and stops group claiming at the next claim,
+// without marking the budget as tripped (TimedOut stays false on pure
+// cancellation; see TestCancelLatchAgreesWithPairBudget).
 type pairBudget struct {
-	limit    int64
-	used     atomic.Int64
-	tripped  atomic.Bool
-	canceled atomic.Bool
+	limit   int64
+	used    atomic.Int64
+	tripped atomic.Bool
+	latch   *pta.Latch // trips when the detect context ends; nil when not cancellable
 }
 
-// take reserves one pair. It returns false once the budget is exhausted
-// or detection is canceled, marking the budget as tripped on exhaustion;
-// a failed reservation is rolled back so used never exceeds limit.
+// take reserves one pair. It returns false once the budget is exhausted,
+// marking it as tripped; a failed reservation is rolled back so used never
+// exceeds limit. With no limit it is a single branch.
 func (b *pairBudget) take() bool {
-	if b.canceled.Load() {
-		return false
-	}
 	if b.limit <= 0 {
 		return true
 	}
@@ -47,31 +48,39 @@ func (b *pairBudget) take() bool {
 	return true
 }
 
-// cancel latches context cancellation into the budget; every subsequent
-// take fails and workers stop claiming groups.
-func (b *pairBudget) cancel() { b.canceled.Store(true) }
+// canceled reports whether the detect context ended: one atomic load (a
+// nil compare when the context was never cancellable).
+func (b *pairBudget) canceled() bool { return b.latch.Tripped() }
 
 func (b *pairBudget) isTripped() bool { return b.tripped.Load() }
 
 // stopped reports whether detection should claim no further groups,
 // either because the pair budget tripped or the context ended.
-func (b *pairBudget) stopped() bool { return b.tripped.Load() || b.canceled.Load() }
+func (b *pairBudget) stopped() bool { return b.tripped.Load() || b.latch.Tripped() }
 
 // detectParallel shards the sorted candidate groups across workers.
-// Workers claim group indices from a shared atomic cursor and write each
-// result into its own slot, so the only cross-worker state in the hot loop
-// is the budget counter and the internally synchronized HB/lockset caches.
-// The merge then replays the results in sorted key order, which makes the
-// cross-group race dedup see candidates in exactly the sequential
-// encounter order — the parallel report is byte-identical to Workers == 1
-// whenever the budget does not trip, and a consistent lower bound when it
-// does (finished groups keep all their races).
+// Workers claim group indices from a shared atomic cursor, write each
+// result into its own slot and push the finished index onto a bounded
+// lock-free ring — the completion feed. The caller consumes the ring and
+// merges the contiguous done-prefix in sorted key order as results arrive,
+// so the deterministic merge streams alongside detection instead of
+// waiting behind a wg.Wait barrier, with no per-item allocation (a channel
+// feed would take a lock and may park a goroutine per send). Because
+// merging replays results in index order, the cross-group race dedup sees
+// candidates in exactly the sequential encounter order — the parallel
+// report is byte-identical to Workers == 1 whenever the budget does not
+// trip, and a consistent lower bound when it does (finished groups keep
+// all their races).
 // It returns the summed busy time of all workers (0 when observability is
 // disabled), which Detect turns into the worker-utilization gauge: a
 // worker is busy from pool entry until it runs out of groups, so the
 // ratio busy/(workers × wall) exposes shard imbalance.
-func detectParallel(a *pta.Analysis, g *shb.Graph, opt Options, rep *Report, groups map[osa.Key][]acc, keys []osa.Key, bud *pairBudget, workers int, sp *obs.Span) int64 {
+func detectParallel(a *pta.Analysis, g *shb.Graph, opt Options, rep *Report, grp *grouped, bud *pairBudget, workers int, sp *obs.Span) int64 {
+	keys := grp.keys
 	results := make([]groupResult, len(keys))
+	// Capacity covers every group index, so Push below can never find the
+	// ring full: each index is pushed at most once.
+	feed := ring.New[int32](len(keys))
 	var next atomic.Int64
 	var busyNS atomic.Int64
 	var wg sync.WaitGroup
@@ -88,6 +97,11 @@ func detectParallel(a *pta.Analysis, g *shb.Graph, opt Options, rep *Report, gro
 					ws.End()
 				}()
 			}
+			// Per-worker racePair arena: checkGroup results hold views
+			// into it. Never reset — a published view may still be unread
+			// by the merger; later appends only write past every
+			// published view's capacity (see checkGroup).
+			var buf []racePair
 			for {
 				if bud.stopped() {
 					return
@@ -96,14 +110,44 @@ func detectParallel(a *pta.Analysis, g *shb.Graph, opt Options, rep *Report, gro
 				if i >= len(keys) {
 					return
 				}
-				results[i] = checkGroup(a, g, keys[i], groups[keys[i]], opt, bud)
+				results[i], buf = checkGroup(a, g, keys[i], grp.group(i), opt, bud, buf)
+				feed.Push(int32(i))
 			}
 		}(w)
 	}
-	wg.Wait()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	// Streaming merge: pop completed indices, extend the merged prefix.
+	completed := make([]bool, len(keys))
 	seen := map[raceSig]bool{}
-	for i := range results {
-		mergeGroup(rep, &results[i], seen)
+	nextMerge := 0
+	drained := false
+	for nextMerge < len(keys) {
+		if i, ok := feed.Pop(); ok {
+			completed[i] = true
+			for nextMerge < len(keys) && completed[nextMerge] {
+				mergeGroup(rep, g, keys[nextMerge], &results[nextMerge], seen)
+				nextMerge++
+			}
+			continue
+		}
+		if drained {
+			// Workers exited early (budget trip or cancellation) without
+			// pushing their remaining claims: merge the rest in order —
+			// unchecked groups hold zero results, so this is exactly the
+			// sequential stop-at-trip semantics.
+			for ; nextMerge < len(keys); nextMerge++ {
+				mergeGroup(rep, g, keys[nextMerge], &results[nextMerge], seen)
+			}
+			break
+		}
+		select {
+		case <-done:
+			drained = true // one more drain pass, then finish
+		default:
+			runtime.Gosched()
+		}
 	}
 	return busyNS.Load()
 }

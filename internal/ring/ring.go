@@ -1,0 +1,97 @@
+// Package ring implements a bounded lock-free multi-producer queue
+// (Vyukov's array-based design: every slot carries a sequence number that
+// encodes both its state and the round it belongs to). The race detector's
+// worker pool uses it as the completion feed: workers push finished group
+// indices, the caller pops them and merges the contiguous prefix in order,
+// so the deterministic merge streams alongside detection instead of
+// waiting behind a barrier — with no per-item allocation and no mutex
+// (a channel feed costs a lock acquisition plus a potential goroutine
+// park per item; a ring push is one CAS).
+//
+// Producers: any number, lock-free (a CAS claims a slot). Consumer: ONE
+// goroutine at a time; Pop performs plain loads/stores on the head cursor.
+// Publication is ordered by the slot's atomic sequence number, so a popped
+// value — and anything the producer wrote before pushing it — is safely
+// visible to the consumer (pinned under -race by TestRingMPSCStress).
+package ring
+
+import "sync/atomic"
+
+// slot holds one element. seq encodes the slot's state relative to the
+// cursors: seq == pos (slot free for the producer whose tail position is
+// pos), seq == pos+1 (value published, ready for the consumer at head
+// position pos), seq == pos+capacity (consumed, free for the next round).
+type slot[T any] struct {
+	seq atomic.Uint64
+	val T
+}
+
+// Queue is a bounded MPSC queue. The zero value is not usable; call New.
+type Queue[T any] struct {
+	mask  uint64
+	slots []slot[T]
+	head  atomic.Uint64 // next position to pop (single consumer)
+	tail  atomic.Uint64 // next position to push (CAS-claimed by producers)
+}
+
+// New returns a queue holding at least capacity elements (rounded up to a
+// power of two, minimum 2, so index masking is one AND).
+func New[T any](capacity int) *Queue[T] {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	q := &Queue[T]{mask: uint64(n - 1), slots: make([]slot[T], n)}
+	for i := range q.slots {
+		q.slots[i].seq.Store(uint64(i))
+	}
+	return q
+}
+
+// Cap returns the queue's capacity.
+func (q *Queue[T]) Cap() int { return len(q.slots) }
+
+// Push publishes v. It returns false when the queue is full — it never
+// blocks and never allocates. Safe for any number of concurrent producers.
+func (q *Queue[T]) Push(v T) bool {
+	for {
+		pos := q.tail.Load()
+		s := &q.slots[pos&q.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos:
+			// Slot free this round: claim it. On CAS failure another
+			// producer claimed it first — reload and retry.
+			if q.tail.CompareAndSwap(pos, pos+1) {
+				s.val = v
+				s.seq.Store(pos + 1) // publish: orders the val write above
+				return true
+			}
+		case seq < pos:
+			// Slot still holds an element from capacity positions ago that
+			// the consumer has not drained: the queue is full.
+			return false
+		default:
+			// seq > pos: a concurrent producer advanced tail past our
+			// stale read; reload.
+		}
+	}
+}
+
+// Pop removes the oldest element. It returns false when the queue is
+// empty. Must be called from a single consumer goroutine.
+func (q *Queue[T]) Pop() (T, bool) {
+	var zero T
+	pos := q.head.Load()
+	s := &q.slots[pos&q.mask]
+	if s.seq.Load() != pos+1 {
+		// The slot at head is not published yet: empty (producers that
+		// claimed it are still writing, or no producer reached it).
+		return zero, false
+	}
+	v := s.val
+	s.val = zero // release references held by the slot
+	s.seq.Store(pos + q.mask + 1)
+	q.head.Store(pos + 1)
+	return v, true
+}

@@ -1,0 +1,165 @@
+package ring
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestRingBasics(t *testing.T) {
+	q := New[int](3)
+	if q.Cap() != 4 {
+		t.Fatalf("capacity rounds up to a power of two: got %d", q.Cap())
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("empty queue must not pop")
+	}
+	for i := 0; i < 4; i++ {
+		if !q.Push(i) {
+			t.Fatalf("push %d into empty queue failed", i)
+		}
+	}
+	if q.Push(99) {
+		t.Fatal("push into full queue must fail")
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: got %d, %v (FIFO violated)", i, v, ok)
+		}
+	}
+	// Wraparound: interleave pushes and pops past the capacity boundary.
+	for i := 0; i < 20; i++ {
+		if !q.Push(i) {
+			t.Fatalf("wrap push %d failed", i)
+		}
+		if v, ok := q.Pop(); !ok || v != i {
+			t.Fatalf("wrap pop %d: got %d, %v", i, v, ok)
+		}
+	}
+}
+
+// TestRingMPSCStress hammers the queue with many producers and one
+// consumer under -race: every pushed item must be received exactly once
+// (no lost or duplicated work items) and each producer's items must
+// arrive in that producer's push order (per-producer FIFO).
+func TestRingMPSCStress(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 10000
+		capacity  = 64 // far smaller than the item count: exercises full-queue retries and wraparound
+	)
+	q := New[uint64](capacity)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < perProd; i++ {
+				v := p<<32 | i
+				for !q.Push(v) {
+					runtime.Gosched()
+				}
+			}
+		}(uint64(p))
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	seen := make(map[uint64]bool, producers*perProd)
+	lastPerProd := make([]int64, producers)
+	for i := range lastPerProd {
+		lastPerProd[i] = -1
+	}
+	received := 0
+	drained := false
+	for received < producers*perProd {
+		v, ok := q.Pop()
+		if !ok {
+			// Once producers are done, every pushed item is poppable; an
+			// empty queue after that means items were lost.
+			if drained {
+				t.Fatalf("producers done, queue drained, but only %d/%d items received (lost items)",
+					received, producers*perProd)
+			}
+			select {
+			case <-done:
+				drained = true
+			default:
+				runtime.Gosched()
+			}
+			continue
+		}
+		if seen[v] {
+			t.Fatalf("item %x received twice", v)
+		}
+		seen[v] = true
+		p, i := v>>32, int64(v&0xffffffff)
+		if i <= lastPerProd[p] {
+			t.Fatalf("producer %d: item %d arrived after %d (per-producer FIFO violated)", p, i, lastPerProd[p])
+		}
+		lastPerProd[p] = i
+		received++
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("queue must be empty after all items received")
+	}
+}
+
+// TestRingStreamingMerge models the race detector's completion feed:
+// workers finish group indices in arbitrary order and push them; the
+// consumer merges the contiguous done-prefix as indices arrive. The merged
+// sequence must be exactly 0..n-1 regardless of completion order — the
+// property that makes the parallel detector's report byte-identical to the
+// sequential one.
+func TestRingStreamingMerge(t *testing.T) {
+	const n = 5000
+	rng := rand.New(rand.NewSource(1))
+	order := rng.Perm(n)
+	q := New[int32](n)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 4 {
+				if !q.Push(int32(order[i])) {
+					t.Errorf("push failed with capacity >= item count")
+					return
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	completed := make([]bool, n)
+	merged := make([]int, 0, n)
+	next := 0
+	drained := false
+	for next < n {
+		if idx, ok := q.Pop(); ok {
+			completed[idx] = true
+			for next < n && completed[next] {
+				merged = append(merged, next)
+				next++
+			}
+			continue
+		}
+		if drained {
+			t.Fatalf("feed drained with merge stuck at %d/%d", next, n)
+		}
+		select {
+		case <-done:
+			drained = true
+		default:
+			runtime.Gosched()
+		}
+	}
+	for i, v := range merged {
+		if v != i {
+			t.Fatalf("merged[%d] = %d: streaming merge broke deterministic order", i, v)
+		}
+	}
+}

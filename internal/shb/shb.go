@@ -131,18 +131,15 @@ func BuildCtx(ctx context.Context, a *pta.Analysis, cfg Config) (*Graph, error) 
 	g.Locksets.Bind(cfg.Obs)
 	g.reachHits = cfg.Obs.Counter("shb.reach_hits")
 	g.reachMisses = cfg.Obs.Counter("shb.reach_misses")
-	b := &builder{a: a, g: g, cfg: cfg, segIdx: map[segKey]SegID{}}
-	if ctx.Done() != nil {
-		b.ctx = ctx
-	}
+	b := &builder{a: a, g: g, cfg: cfg, segIdx: map[segKey]SegID{}, ctx: ctx}
+	b.latch, b.stopWatch = pta.WatchCancel(ctx)
+	defer b.stopWatch()
 	main := a.MainNode()
 	b.segment(main, pta.MainOrigin)
 	for len(b.queue) > 0 {
-		if b.ctx != nil {
-			if err := b.ctx.Err(); err != nil {
-				b.ctxErr = pta.CtxErr(err)
-				break
-			}
+		if b.latch.Tripped() {
+			b.ctxErr = pta.CtxErr(b.ctx.Err())
+			break
 		}
 		s := b.queue[0]
 		b.queue = b.queue[1:]
@@ -240,20 +237,22 @@ type pendingJoin struct {
 }
 
 type builder struct {
-	a      *pta.Analysis
-	g      *Graph
-	cfg    Config
-	segIdx map[segKey]SegID
-	queue  []*Segment
-	joins  []pendingJoin
-	ctx    context.Context // nil when cancellation is not observable
-	ctxErr error
-	tick   int
+	a         *pta.Analysis
+	g         *Graph
+	cfg       Config
+	segIdx    map[segKey]SegID
+	queue     []*Segment
+	joins     []pendingJoin
+	ctx       context.Context
+	latch     *pta.Latch // trips when ctx ends; nil when not cancellable
+	stopWatch func()
+	ctxErr    error
 
 	// per-segment walk state
-	cur       *Segment
-	lockStack []lockFrame
-	onStack   map[pta.FnCtxID]bool
+	cur         *Segment
+	lockStack   []lockFrame
+	lockScratch []uint32 // currentLockset's reused flatten buffer
+	onStack     map[pta.FnCtxID]bool
 	// walked caps trace expansion: a contexted function is replayed again
 	// only if the segment's synchronization state (spawns, joins, locks)
 	// changed since its last replay. A call mesh would otherwise expand
@@ -338,10 +337,14 @@ func (b *builder) currentLockset() (lockset.ID, int32) {
 	if len(b.lockStack) == 0 {
 		return lockset.Empty, 0
 	}
-	var objs []uint32
+	// Flatten into the reused scratch buffer; Canon copies what it needs,
+	// so handing it the same backing array every node is safe. This runs
+	// once per emitted node and allocated a fresh slice before.
+	objs := b.lockScratch[:0]
 	for _, f := range b.lockStack {
 		objs = append(objs, f.objs...)
 	}
+	b.lockScratch = objs[:0]
 	return b.g.Locksets.Canon(objs), b.lockStack[len(b.lockStack)-1].region
 }
 
@@ -360,14 +363,10 @@ func (b *builder) full() bool {
 	}
 	// Piggyback the cancellation poll on the per-instruction size check:
 	// an ended context truncates the walk exactly like a full trace, and
-	// BuildCtx turns the recorded error into its return value.
-	if !b.truncated && b.ctx != nil && b.ctxErr == nil {
-		b.tick++
-		if b.tick&2047 == 0 {
-			if err := b.ctx.Err(); err != nil {
-				b.ctxErr = pta.CtxErr(err)
-			}
-		}
+	// BuildCtx turns the recorded error into its return value. The latch
+	// makes the poll one atomic load, so it runs every instruction.
+	if !b.truncated && b.ctxErr == nil && b.latch.Tripped() {
+		b.ctxErr = pta.CtxErr(b.ctx.Err())
 	}
 	return b.truncated || b.ctxErr != nil
 }
