@@ -69,6 +69,28 @@ smoke() {
 
 	kill -TERM "$pid"
 	wait "$pid" || { echo "smoke: serve did not drain cleanly" >&2; cat "$dir/serve.log" >&2; exit 1; }
+
+	# Corpus streaming end to end: zip the smoke programs, pipe the
+	# archive through `o2 batch -stream`, and require input-ordered
+	# NDJSON — one well-formed record per program with the right exit
+	# class — and the worst-per-program exit code (1: races found).
+	(cd testdata && python3 -c "
+import zipfile
+z = zipfile.ZipFile('$dir/corpus.zip', 'w')
+z.write('smoke_clean.mini')
+z.write('smoke_racy.mini')
+z.close()
+")
+	rc=0
+	"$dir/o2" batch -stream "$dir/corpus.zip" >"$dir/stream.ndjson" 2>"$dir/stream.log" || rc=$?
+	[ "$rc" -eq 1 ] || { echo "smoke: batch -stream exit=$rc, want 1" >&2; exit 1; }
+	[ "$(wc -l <"$dir/stream.ndjson")" -eq 2 ] || { echo "smoke: want 2 NDJSON records" >&2; cat "$dir/stream.ndjson" >&2; exit 1; }
+	while IFS= read -r line; do
+		printf '%s\n' "$line" | python3 -m json.tool >/dev/null || { echo "smoke: bad NDJSON record" >&2; exit 1; }
+	done <"$dir/stream.ndjson"
+	head -1 "$dir/stream.ndjson" | grep -q '"exit_class":"ok"' || { echo "smoke: first record should be the clean program" >&2; exit 1; }
+	tail -1 "$dir/stream.ndjson" | grep -q '"exit_class":"races"' || { echo "smoke: second record should carry races" >&2; exit 1; }
+
 	trap - EXIT
 	rm -rf "$dir"
 	echo "smoke: ok"
@@ -147,8 +169,9 @@ esac
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/race/ ./internal/shb/ ./internal/lockset/ ./internal/ring/ ./internal/obs/ ./internal/sched/ ./internal/server/ ./internal/summary/
+go test -race ./internal/race/ ./internal/shb/ ./internal/lockset/ ./internal/ring/ ./internal/obs/ ./internal/sched/ ./internal/server/ ./internal/summary/ ./internal/corpus/
 go test -race -run 'TestIncrementalConcurrentStore' ./internal/truth/
+go test -race -run 'TestAnalyzeCorpus' .
 cover
 smoke
 telemetry

@@ -101,7 +101,8 @@ func runAnalyze(args []string) int {
 		return fail(exitUsage, err)
 	}
 	var res *o2.Result
-	if *incremental && !*dumpIR {
+	switch {
+	case *incremental && !*dumpIR:
 		// One-shot incremental run against a fresh store: every unit is a
 		// cold miss, but the report (and the exit code) is identical to
 		// the full pipeline by construction, and the inc.* counters land
@@ -110,16 +111,21 @@ func runAnalyze(args []string) int {
 		if err != nil {
 			return fail(exitCode(err), err)
 		}
-	} else {
+	case *dumpIR:
+		// The one frontend that needs the compiled program itself rather
+		// than an analysis of it.
 		prog, err := lang.CompileFiles(files, cfg.Entries)
 		if err != nil {
 			return fail(exitParse, err)
 		}
-		if *dumpIR {
-			prog.Print(os.Stdout)
-			return exitOK
+		prog.Print(os.Stdout)
+		return exitOK
+	default:
+		srcs := make([]o2.Source, 0, len(fs.Args()))
+		for _, name := range fs.Args() {
+			srcs = append(srcs, o2.Source{Name: name, Bytes: []byte(files[name])})
 		}
-		res, err = o2.AnalyzeProgram(prog, cfg)
+		res, err = o2.AnalyzeSources(context.Background(), srcs, cfg)
 		if err != nil {
 			return fail(exitCode(err), err)
 		}

@@ -6,42 +6,52 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
-	"sort"
 	"strings"
 	"time"
 
 	"o2"
+	"o2/internal/corpus"
 	"o2/internal/sched"
+	"o2/internal/summary"
 )
 
-// runBatch fans a set of minilang programs (each file is one program)
-// across the job scheduler and prints an aggregate table. The exit code
-// is the worst per-program outcome.
+// runBatch analyzes a corpus of minilang programs (each file is one
+// program). Inputs are discovered by shape — directories, zip archives,
+// NDJSON manifests or plain .mini files — and streamed: the corpus is
+// never materialized in memory.
+//
+// Two modes share that frontend:
+//
+//   - the default (eager) mode streams submissions into the job
+//     scheduler through a bounded admission queue (-queue) and prints an
+//     aggregate table once every job finished;
+//   - -stream pipes the corpus through the streaming pipeline
+//     (o2.AnalyzeCorpus) and emits one NDJSON record per program on
+//     stdout, in input order, as results arrive.
+//
+// Either way the exit code is the worst per-program outcome: a corpus
+// with one parse failure and ten clean programs exits 3, records/rows
+// for the other ten are still produced (partial-failure contract).
 func runBatch(args []string) int {
 	fs := flag.NewFlagSet("batch", flag.ContinueOnError)
 	ctxKind := fs.String("context", "origin", "context policy: origin, 0ctx, kcfa, kobj")
 	k := fs.Int("k", 1, "context depth")
 	jobs := fs.Int("jobs", 0, "concurrent analysis jobs (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "admission queue depth; submission blocks when full (0 = 64)")
+	window := fs.Int("window", 0, "-stream reorder window in programs (0 = 2x jobs)")
 	repeat := fs.Int("repeat", 1, "submit each program N times (exercises the result cache)")
-	jobTimeout := fs.Duration("job-timeout", 0, "per-job deadline (0 = none)")
-	incremental := fs.Bool("incremental", false, "reuse per-unit summaries across jobs (two-level cache)")
-	asJSON := fs.Bool("json", false, "emit the aggregate report as JSON")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-program deadline (0 = none)")
+	incremental := fs.Bool("incremental", false, "reuse per-unit summaries across programs (two-level cache)")
+	stream := fs.Bool("stream", false, "emit one NDJSON record per program, in input order")
+	runStats := fs.Bool("run-stats", false, "with -stream: attach the full RunStats report to every record")
+	asJSON := fs.Bool("json", false, "emit the aggregate report as JSON (eager mode)")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
 	if fs.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: o2 batch [flags] dir|file.mini ...")
+		fmt.Fprintln(os.Stderr, "usage: o2 batch [flags] dir|corpus.zip|manifest.ndjson|file.mini ...")
 		fs.PrintDefaults()
 		return exitUsage
-	}
-
-	paths, err := collectPrograms(fs.Args())
-	if err != nil {
-		return fail(exitUsage, err)
-	}
-	if len(paths) == 0 {
-		return fail(exitUsage, fmt.Errorf("no .mini files found under %s", strings.Join(fs.Args(), " ")))
 	}
 
 	cfg := o2.DefaultConfig()
@@ -51,13 +61,66 @@ func runBatch(args []string) int {
 	}
 	cfg.Policy = pol
 
+	// openCorpus builds a fresh input stream over all arguments; -repeat
+	// chains N passes so repeated programs re-enter the pipeline (and hit
+	// the result cache) without holding anything in memory.
+	openCorpus := func() (corpus.Iterator, error) {
+		var parts []corpus.Iterator
+		for rep := 0; rep < *repeat; rep++ {
+			for _, arg := range fs.Args() {
+				it, err := corpus.Open(arg)
+				if err != nil {
+					for _, p := range parts {
+						p.Close()
+					}
+					return nil, err
+				}
+				parts = append(parts, it)
+			}
+		}
+		return corpus.Chain(parts...), nil
+	}
+
+	it, err := openCorpus()
+	if err != nil {
+		return fail(exitUsage, err)
+	}
+	defer it.Close()
+
+	if *stream {
+		return runBatchStream(it, cfg, batchStreamOpts{
+			jobs:        *jobs,
+			window:      *window,
+			timeout:     *jobTimeout,
+			incremental: *incremental,
+			runStats:    *runStats,
+		})
+	}
+	return runBatchEager(it, cfg, batchEagerOpts{
+		jobs:        *jobs,
+		queue:       *queue,
+		timeout:     *jobTimeout,
+		incremental: *incremental,
+		asJSON:      *asJSON,
+	})
+}
+
+type batchEagerOpts struct {
+	jobs, queue int
+	timeout     time.Duration
+	incremental bool
+	asJSON      bool
+}
+
+// runBatchEager streams discovery into the scheduler: SubmitWait blocks
+// on the bounded admission queue, so a corpus of any length is throttled
+// to the workers' pace instead of sized into the queue up front.
+func runBatchEager(it corpus.Iterator, cfg o2.Config, opts batchEagerOpts) int {
 	s := sched.New(sched.Options{
-		Workers: *jobs,
-		// Size the queue to the whole batch so submission never sees
-		// backpressure; serve-mode uses a bounded queue instead.
-		QueueDepth:     len(paths)**repeat + 1,
-		DefaultTimeout: *jobTimeout,
-		Incremental:    *incremental,
+		Workers:        opts.jobs,
+		QueueDepth:     opts.queue,
+		DefaultTimeout: opts.timeout,
+		Incremental:    opts.incremental,
 	})
 
 	type item struct {
@@ -66,22 +129,29 @@ func runBatch(args []string) int {
 	}
 	var items []item
 	start := time.Now()
-	for rep := 0; rep < *repeat; rep++ {
-		for _, p := range paths {
-			src, err := os.ReadFile(p)
-			if err != nil {
-				return fail(exitUsage, err)
-			}
-			j, err := s.Submit(sched.Request{
-				Files:  map[string]string{p: string(src)},
-				Config: cfg,
-				Label:  p,
-			})
-			if err != nil {
-				return fail(exitInternal, err)
-			}
-			items = append(items, item{p, j})
+	for {
+		src, ok, err := it.Next()
+		if err != nil {
+			s.Shutdown(context.Background())
+			return fail(exitUsage, err)
 		}
+		if !ok {
+			break
+		}
+		j, err := s.SubmitWait(context.Background(), sched.Request{
+			Sources: []o2.Source{src},
+			Config:  cfg,
+			Label:   src.Name,
+		})
+		if err != nil {
+			s.Shutdown(context.Background())
+			return fail(exitInternal, err)
+		}
+		items = append(items, item{src.Name, j})
+	}
+	if len(items) == 0 {
+		s.Shutdown(context.Background())
+		return fail(exitUsage, fmt.Errorf("no %s programs found", corpus.Ext))
 	}
 	if err := s.Shutdown(context.Background()); err != nil {
 		return fail(exitInternal, err)
@@ -107,7 +177,7 @@ func runBatch(args []string) int {
 	}
 
 	st := s.Stats()
-	if *asJSON {
+	if opts.asJSON {
 		out := struct {
 			Jobs    []sched.View `json:"jobs"`
 			WallNS  int64        `json:"wall_ns"`
@@ -139,34 +209,71 @@ func runBatch(args []string) int {
 	return worst
 }
 
-// collectPrograms expands directories into their .mini files (sorted);
-// explicit file arguments are taken as-is.
-func collectPrograms(args []string) ([]string, error) {
-	var paths []string
-	for _, arg := range args {
-		info, err := os.Stat(arg)
-		if err != nil {
-			return nil, err
-		}
-		if !info.IsDir() {
-			paths = append(paths, arg)
-			continue
-		}
-		err = filepath.WalkDir(arg, func(p string, d os.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if !d.IsDir() && strings.HasSuffix(p, ".mini") {
-				paths = append(paths, p)
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
+type batchStreamOpts struct {
+	jobs, window int
+	timeout      time.Duration
+	incremental  bool
+	runStats     bool
+}
+
+// runBatchStream pipes the corpus through the streaming pipeline and
+// emits one NDJSON record per program on stdout, strictly in input
+// order, as results complete. Per-program failures become error records
+// (exit_class parse/budget/...) and the stream continues; only iterator
+// or stream-level failures abort it. A short human summary goes to
+// stderr so stdout stays pure NDJSON.
+func runBatchStream(it corpus.Iterator, cfg o2.Config, opts batchStreamOpts) int {
+	ccfg := o2.CorpusConfig{
+		Config:         cfg,
+		Workers:        opts.jobs,
+		Window:         opts.window,
+		ProgramTimeout: opts.timeout,
+		CollectStats:   opts.runStats,
 	}
-	sort.Strings(paths)
-	return paths, nil
+	if opts.incremental {
+		ccfg.Store = summary.NewStore(0)
+	}
+
+	worst := exitOK
+	w := corpus.NewWriter(os.Stdout)
+	stats, err := o2.AnalyzeCorpus(context.Background(), it, ccfg, func(cr o2.CorpusResult) error {
+		rec := corpus.NewRecord(cr)
+		if !opts.runStats {
+			rec.RunStats = nil
+		}
+		if code := classExit(rec.ExitClass); code > worst {
+			worst = code
+		}
+		return w.Write(rec)
+	})
+	if err != nil {
+		return fail(exitCode(err), err)
+	}
+	if stats.Programs == 0 {
+		return fail(exitUsage, fmt.Errorf("no %s programs found", corpus.Ext))
+	}
+	fmt.Fprintf(os.Stderr, "o2 batch: %d programs, %d failed, %d races in %s (%.1f programs/s)\n",
+		stats.Programs, stats.Failed, stats.Races, stats.Wall.Round(time.Millisecond),
+		float64(stats.Programs)/stats.Wall.Seconds())
+	return worst
+}
+
+// classExit maps a streamed record's exit class onto the exit code —
+// the per-program half of the partial-failure contract.
+func classExit(class string) int {
+	switch class {
+	case corpus.ClassOK:
+		return exitOK
+	case corpus.ClassRaces:
+		return exitRaces
+	case corpus.ClassParse:
+		return exitParse
+	case corpus.ClassBudget:
+		return exitBudget
+	case corpus.ClassCanceled:
+		return exitCanceled
+	}
+	return exitInternal
 }
 
 func trunc(s string, n int) string {

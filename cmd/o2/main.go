@@ -4,7 +4,7 @@
 //
 //	o2 [flags] file.mini [more.mini ...]    analyze files (legacy default)
 //	o2 serve  [flags]                       run the batch-analysis HTTP service
-//	o2 batch  [flags] dir|file ...          analyze many programs via the scheduler
+//	o2 batch  [flags] dir|zip|ndjson|file   analyze a corpus (add -stream for NDJSON records)
 //	o2 submit [flags] file.mini ...         submit to a running o2 serve
 //	o2 eval   [flags]                       score against the oracle corpus
 //
@@ -19,6 +19,12 @@
 //	4  budget exhausted (step budget, time budget or deadline)
 //	5  analysis canceled
 //	6  internal error
+//
+// Multi-program runs (`o2 batch`) exit with the worst per-program
+// outcome under the same table: a corpus with one unparsable program
+// and ten clean ones exits 3, but all ten are still analyzed and
+// reported — per-program failure lands in that program's table row or
+// NDJSON record (exit_class), never aborts the batch.
 //
 // The -incremental flag (on analyze, serve, batch and eval) routes
 // analyses through per-unit summary reuse. It never changes the exit

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"o2"
+	"o2/internal/truth"
+)
+
+// CorpusGateStats is the bench artifact's report-only corpus-throughput
+// section: the truth corpus pushed once through the eager sequential
+// path and once through the streaming pipeline (o2.AnalyzeCorpus), with
+// programs/sec for each. Like BatchStats it is timing, so Deterministic()
+// strips it and nothing here is golden-gated — but the run does hard-fail
+// if the two paths disagree on any program's race count, which is the
+// cheap always-on version of the stream-equals-eager equivalence the
+// root tests check key by key.
+type CorpusGateStats struct {
+	Programs     int     `json:"programs"`
+	Workers      int     `json:"workers"`
+	EagerNS      int64   `json:"eager_ns"`
+	StreamNS     int64   `json:"stream_ns"`
+	EagerPerSec  float64 `json:"eager_per_sec"`
+	StreamPerSec float64 `json:"stream_per_sec"`
+	Races        int     `json:"races"`
+	Failed       int     `json:"failed"`
+}
+
+// RunCorpusGate measures streamed vs eager throughput over the truth
+// corpus (workers = 0 means GOMAXPROCS for the streamed pass; the eager
+// pass is sequential by definition).
+func RunCorpusGate(workers int) (*CorpusGateStats, error) {
+	programs, err := truth.Corpus()
+	if err != nil {
+		return nil, err
+	}
+	cfg := o2.DefaultConfig()
+	cfg.Workers = 1
+
+	srcs := make([]o2.Source, len(programs))
+	eagerRaces := make([]int, len(programs))
+	eagerStart := time.Now()
+	for i, p := range programs {
+		srcs[i] = p.AsSource()
+		res, err := o2.AnalyzeSources(context.Background(), []o2.Source{srcs[i]}, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("corpus gate: eager %s: %w", p.Name, err)
+		}
+		eagerRaces[i] = len(res.Races())
+	}
+	eager := time.Since(eagerStart)
+
+	ccfg := o2.CorpusConfig{Config: cfg, Workers: workers}
+	streamStart := time.Now()
+	stats, err := o2.AnalyzeCorpus(context.Background(), o2.SliceSources(srcs), ccfg, func(cr o2.CorpusResult) error {
+		if cr.Err != nil {
+			return fmt.Errorf("corpus gate: streamed %s: %w", cr.Name, cr.Err)
+		}
+		if got := len(cr.Result.Races()); got != eagerRaces[cr.Index] {
+			return fmt.Errorf("corpus gate: %s: streamed %d races, eager %d — stream diverged from eager path",
+				cr.Name, got, eagerRaces[cr.Index])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	stream := time.Since(streamStart)
+
+	out := &CorpusGateStats{
+		Programs:     stats.Programs,
+		Workers:      ccfg.Workers,
+		EagerNS:      int64(eager),
+		StreamNS:     int64(stream),
+		EagerPerSec:  float64(stats.Programs) / eager.Seconds(),
+		StreamPerSec: float64(stats.Programs) / stream.Seconds(),
+		Races:        stats.Races,
+		Failed:       stats.Failed,
+	}
+	if out.Workers == 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
+	}
+	return out, nil
+}

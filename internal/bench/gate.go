@@ -48,6 +48,11 @@ type GateReport struct {
 	// dirty-unit ratio and speedup after a one-unit edit on three corpus
 	// programs. Latency-dependent, so never golden-gated.
 	Inc *IncGateStats `json:"incremental,omitempty"`
+	// Corpus is the report-only streamed-vs-eager throughput section over
+	// the truth corpus (see CorpusGateStats). All timing, never gated —
+	// but computing it hard-fails if the streaming pipeline's race counts
+	// diverge from the eager path's.
+	Corpus *CorpusGateStats `json:"corpus,omitempty"`
 	// AllocBudgets are the hard per-preset per-phase heap-allocation
 	// ceilings, keyed "preset/phase" (phases: pta, detect). Unlike the
 	// byte-compared counters, allocation counts jitter slightly (GC
@@ -193,6 +198,11 @@ func RunGate(o Opts) (*GateReport, error) {
 		return nil, fmt.Errorf("bench gate: incremental: %w", err)
 	}
 	rep.Inc = inc
+	corpus, err := RunCorpusGate(0)
+	if err != nil {
+		return nil, fmt.Errorf("bench gate: corpus: %w", err)
+	}
+	rep.Corpus = corpus
 	return rep, nil
 }
 
@@ -303,6 +313,11 @@ func Gate(w io.Writer, o Opts, goldenPath, statsPath string, update bool) error 
 			fmt.Fprintf(w, "bench gate: incremental %-20s warm=%-10v dirty=%.2f (%d/%d units) speedup=%.1fx [report-only]\n",
 				p.Name, time.Duration(p.WarmNS), p.DirtyRatio, p.UnitsRecomputed, p.UnitsTotal, p.Speedup)
 		}
+	}
+	if rep.Corpus != nil {
+		fmt.Fprintf(w, "bench gate: corpus %d programs eager %.1f/s stream %.1f/s (workers=%d, races=%d) [report-only]\n",
+			rep.Corpus.Programs, rep.Corpus.EagerPerSec, rep.Corpus.StreamPerSec,
+			rep.Corpus.Workers, rep.Corpus.Races)
 	}
 	if rep.Eval != nil {
 		t := rep.Eval.Total

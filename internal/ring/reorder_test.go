@@ -1,0 +1,185 @@
+package ring
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestReorderOrdered pins the core contract: results come out in Open
+// order no matter how workers shuffle completion.
+func TestReorderOrdered(t *testing.T) {
+	const n = 500
+	r := NewReorder[int](8)
+	tasks := make(chan struct {
+		idx  int
+		cell Cell[int]
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(42)))
+			for tk := range tasks {
+				if rnd.Intn(4) == 0 {
+					time.Sleep(time.Duration(rnd.Intn(100)) * time.Microsecond)
+				}
+				tk.cell.Complete(tk.idx)
+			}
+		}()
+	}
+	go func() {
+		defer r.Close()
+		defer close(tasks)
+		for i := 0; i < n; i++ {
+			c, err := r.Open(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tasks <- struct {
+				idx  int
+				cell Cell[int]
+			}{i, c}
+		}
+	}()
+	for want := 0; ; want++ {
+		v, ok, err := r.Next(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			if want != n {
+				t.Fatalf("drained after %d items, want %d", want, n)
+			}
+			break
+		}
+		if v != want {
+			t.Fatalf("out of order: got %d, want %d", v, want)
+		}
+	}
+	wg.Wait()
+}
+
+// TestReorderBackpressure pins the window bound: with no consumer, the
+// dispatcher blocks after exactly `window` Opens.
+func TestReorderBackpressure(t *testing.T) {
+	const window = 4
+	r := NewReorder[int](window)
+	for i := 0; i < window; i++ {
+		if _, err := r.Open(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := r.Open(ctx); err == nil {
+		t.Fatalf("Open %d succeeded past a full window of %d", window+1, window)
+	}
+}
+
+// TestReorderCancel pins that both sides unblock on context cancellation.
+func TestReorderCancel(t *testing.T) {
+	r := NewReorder[int](1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := r.Next(ctx); err == nil {
+		t.Fatal("Next ignored a canceled context")
+	}
+	// A consumer stuck on an incomplete head cell must also unblock.
+	c, err := r.Open(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := r.Next(ctx2)
+		done <- err
+	}()
+	cancel2()
+	if err := <-done; err == nil {
+		t.Fatal("Next ignored cancellation while waiting on the head cell")
+	}
+	c.Complete(0) // abandoned cell: completion must not block
+}
+
+// TestReorderStress is the -race workout: many items, parallel workers
+// with jittered completion order, window much smaller than the stream.
+func TestReorderStress(t *testing.T) {
+	const (
+		n       = 5000
+		window  = 3
+		workers = 8
+	)
+	r := NewReorder[int](window)
+	tasks := make(chan struct {
+		idx  int
+		cell Cell[int]
+	}, workers)
+	var inFlight, maxInFlight atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(seed))
+			for tk := range tasks {
+				cur := inFlight.Add(1)
+				for {
+					old := maxInFlight.Load()
+					if cur <= old || maxInFlight.CompareAndSwap(old, cur) {
+						break
+					}
+				}
+				if rnd.Intn(8) == 0 {
+					time.Sleep(time.Duration(rnd.Intn(50)) * time.Microsecond)
+				}
+				tk.cell.Complete(tk.idx)
+				inFlight.Add(-1)
+			}
+		}(int64(w))
+	}
+	go func() {
+		defer r.Close()
+		defer close(tasks)
+		for i := 0; i < n; i++ {
+			c, err := r.Open(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tasks <- struct {
+				idx  int
+				cell Cell[int]
+			}{i, c}
+		}
+	}()
+	want := 0
+	for {
+		v, ok, err := r.Next(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if v != want {
+			t.Fatalf("out of order: got %d, want %d", v, want)
+		}
+		want++
+	}
+	wg.Wait()
+	if want != n {
+		t.Fatalf("consumed %d, want %d", want, n)
+	}
+	// The window plus the task channel and workers bound concurrency; the
+	// dispatcher can never run more than window+cap(tasks)+workers ahead.
+	if max := maxInFlight.Load(); max > window+workers+int64(cap(tasks)) {
+		t.Fatalf("in-flight peaked at %d, want <= %d", max, window+workers+cap(tasks))
+	}
+}

@@ -22,8 +22,6 @@ import (
 	"time"
 
 	"o2"
-	"o2/internal/ir"
-	"o2/internal/lang"
 	"o2/internal/obs"
 	"o2/internal/race"
 	"o2/internal/summary"
@@ -133,6 +131,10 @@ type Request struct {
 	// Files maps filename to minilang source; all files compile into one
 	// program.
 	Files map[string]string
+	// Sources is the typed alternative to Files (the o2.Source form every
+	// frontend shares); when set and Files is nil, the sources become the
+	// program's files. Duplicate names are a parse error at submission.
+	Sources []o2.Source
 	// Config is the analysis configuration.
 	Config o2.Config
 	// Timeout overrides Options.DefaultTimeout for this job (0 = use the
@@ -382,6 +384,13 @@ type Stats struct {
 type Scheduler struct {
 	opts  Options
 	queue chan *Job
+	// sem is the admission semaphore: exactly one token is held per
+	// queued job (released when a worker dequeues it), so a queue send
+	// under a token never blocks. Submit tries the token non-blocking
+	// (ErrQueueFull backpressure); SubmitWait blocks on it — the
+	// submit-side flow control the streaming frontends rely on.
+	sem  chan struct{}
+	stop chan struct{} // closed by Shutdown to unblock SubmitWait
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -408,6 +417,8 @@ func New(opts Options) *Scheduler {
 	s := &Scheduler{
 		opts:  opts,
 		queue: make(chan *Job, opts.QueueDepth),
+		sem:   make(chan struct{}, opts.QueueDepth),
+		stop:  make(chan struct{}),
 		jobs:  map[string]*Job{},
 		reqs:  map[string]Request{},
 	}
@@ -452,6 +463,30 @@ func cacheKey(req Request) string {
 // cache hit completes the job immediately — without entering the queue —
 // in microseconds.
 func (s *Scheduler) Submit(req Request) (*Job, error) {
+	return s.submit(context.Background(), req, false)
+}
+
+// SubmitWait admits a job like Submit, but blocks while the admission
+// queue is full until space frees, ctx ends (returning ctx's error), or
+// the scheduler shuts down. It is the submit-side flow control of the
+// streaming frontends: a corpus producer calls SubmitWait in a loop and
+// the bounded queue throttles it to the workers' pace instead of
+// forcing a retry loop around ErrQueueFull.
+func (s *Scheduler) SubmitWait(ctx context.Context, req Request) (*Job, error) {
+	return s.submit(ctx, req, true)
+}
+
+func (s *Scheduler) submit(ctx context.Context, req Request, wait bool) (*Job, error) {
+	if len(req.Files) == 0 && len(req.Sources) > 0 {
+		files := make(map[string]string, len(req.Sources))
+		for _, src := range req.Sources {
+			if _, dup := files[src.Name]; dup {
+				return nil, fmt.Errorf("%w: duplicate source %q", ErrParse, src.Name)
+			}
+			files[src.Name] = string(src.Bytes)
+		}
+		req.Files = files
+	}
 	if len(req.Files) == 0 {
 		return nil, fmt.Errorf("%w: no files", ErrParse)
 	}
@@ -483,11 +518,11 @@ func (s *Scheduler) Submit(req Request) (*Job, error) {
 	s.order = append(s.order, j.ID)
 	s.mu.Unlock()
 
-	// Cache lookup before admission: a hit never consumes a worker. A
-	// second lookup happens at dispatch (runJob) so that identical
-	// requests submitted back-to-back — before the first one finished —
-	// still hit once the first result lands. Misses are counted there,
-	// when a job actually runs.
+	// Cache lookup before admission: a hit never consumes a worker or a
+	// queue token. A second lookup happens at dispatch (runJob) so that
+	// identical requests submitted back-to-back — before the first one
+	// finished — still hit once the first result lands. Misses are
+	// counted there, when a job actually runs.
 	if s.cache != nil {
 		if sum, ok := s.cache.get(cacheKey(req)); ok {
 			s.submitted.Add(1)
@@ -498,27 +533,44 @@ func (s *Scheduler) Submit(req Request) (*Job, error) {
 		}
 	}
 
-	s.mu.Lock()
-	if s.closed { // Shutdown raced the cache lookup
+	// Acquire an admission token; holding one guarantees queue space.
+	drop := func(err error) (*Job, error) {
+		s.mu.Lock()
 		delete(s.jobs, j.ID)
 		s.mu.Unlock()
+		s.rejected.Add(1)
+		return nil, err
+	}
+	if wait {
+		select {
+		case s.sem <- struct{}{}:
+		case <-s.stop:
+			return drop(ErrShutdown)
+		case <-ctx.Done():
+			return drop(ctx.Err())
+		}
+	} else {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			return drop(ErrQueueFull)
+		}
+	}
+
+	s.mu.Lock()
+	if s.closed { // Shutdown raced the token acquisition
+		delete(s.jobs, j.ID)
+		s.mu.Unlock()
+		<-s.sem // hand the token back
 		s.rejected.Add(1)
 		return nil, ErrShutdown
 	}
 	s.reqs[j.ID] = req
-	select {
-	case s.queue <- j:
-		s.mu.Unlock()
-		s.submitted.Add(1)
-		s.log("job queued", j, "files", len(req.Files))
-		return j, nil
-	default:
-		delete(s.jobs, j.ID)
-		delete(s.reqs, j.ID)
-		s.mu.Unlock()
-		s.rejected.Add(1)
-		return nil, ErrQueueFull
-	}
+	s.queue <- j // never blocks: one token per queued job
+	s.mu.Unlock()
+	s.submitted.Add(1)
+	s.log("job queued", j, "files", len(req.Files))
+	return j, nil
 }
 
 // Get returns a job by ID.
@@ -664,6 +716,7 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 	}
 	s.closed = true
 	close(s.queue)
+	close(s.stop)
 	s.mu.Unlock()
 
 	drained := make(chan struct{})
@@ -694,6 +747,7 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
+		<-s.sem // dequeue releases the admission token
 		s.mu.Lock()
 		req, ok := s.reqs[j.ID]
 		delete(s.reqs, j.ID)
@@ -759,15 +813,12 @@ func (s *Scheduler) runJob(j *Job, req Request) {
 		// which Classify maps to the parse kind.
 		res, err = o2.AnalyzeIncremental(ctx, req.Files, cfg, s.units)
 	} else {
-		var prog *ir.Program
-		prog, err = lang.CompileFiles(req.Files, entriesOf(cfg))
-		if err != nil {
-			s.failed.Add(1)
-			j.finish(Failed, nil, fmt.Errorf("%w: %s", ErrParse, err))
-			s.log("job failed", j, "kind", string(KindParse), "error", err)
-			return
-		}
-		res, err = o2.Analyze(ctx, prog, cfg)
+		res, err = o2.AnalyzeSources(ctx, sourcesOf(req.Files), cfg)
+	}
+	if errors.Is(err, o2.ErrCompile) {
+		// Keep the scheduler's own parse sentinel on the job so clients
+		// branching on ErrParse keep working across both pipelines.
+		err = fmt.Errorf("%w: %v", ErrParse, err)
 	}
 	switch Classify(err) {
 	case KindNone:
@@ -789,12 +840,17 @@ func (s *Scheduler) runJob(j *Job, req Request) {
 	}
 }
 
-// entriesOf resolves the entry configuration the compile step should use
-// (mirrors o2's normalize defaulting without exporting it).
-func entriesOf(cfg o2.Config) (e ir.EntryConfig) {
-	e = cfg.Entries
-	if e.ThreadEntries == nil && e.EventEntries == nil && e.StartMethods == nil && e.JoinMethods == nil {
-		e = ir.DefaultEntryConfig()
+// sourcesOf lowers a Files map onto the canonical typed form, in sorted
+// name order so the resulting program is deterministic.
+func sourcesOf(files map[string]string) []o2.Source {
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
 	}
-	return e
+	sort.Strings(names)
+	srcs := make([]o2.Source, 0, len(names))
+	for _, n := range names {
+		srcs = append(srcs, o2.Source{Name: n, Bytes: []byte(files[n])})
+	}
+	return srcs
 }

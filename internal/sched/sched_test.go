@@ -477,3 +477,115 @@ func TestSchedulerStress(t *testing.T) {
 	}
 	t.Logf("stress: %+v", st)
 }
+
+func TestSubmitSources(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Shutdown(context.Background())
+
+	j, err := s.Submit(Request{
+		Sources: []o2.Source{{Name: "in.mini", Bytes: []byte(racySrc)}},
+		Config:  o2.DefaultConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Label != "in.mini" {
+		t.Fatalf("label = %q, want the source name", j.Label)
+	}
+	waitDone(t, j)
+	if j.State() != Done || len(j.Summary().Races) != 1 {
+		t.Fatalf("state=%s races=%d err=%v", j.State(), len(j.Summary().Races), j.Err())
+	}
+
+	_, err = s.Submit(Request{
+		Sources: []o2.Source{
+			{Name: "a.mini", Bytes: []byte(racySrc)},
+			{Name: "a.mini", Bytes: []byte(cleanSrc)},
+		},
+		Config: o2.DefaultConfig(),
+	})
+	if !errors.Is(err, ErrParse) {
+		t.Fatalf("duplicate source names: err = %v, want ErrParse", err)
+	}
+}
+
+// fullQueue builds a 1-worker, depth-1 scheduler whose worker is pinned
+// on a long job and whose queue token is held by a second job, so any
+// further admission must wait.
+func fullQueue(t *testing.T) (*Scheduler, *Job, *Job) {
+	t.Helper()
+	s := New(Options{Workers: 1, QueueDepth: 1, CacheEntries: -1})
+	blocker, err := s.Submit(Request{Files: map[string]string{"big.mini": genSource(320)}, Config: o2.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for blocker.State() == Queued {
+		time.Sleep(time.Millisecond)
+	}
+	filler, err := s.Submit(req(racySrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, blocker, filler
+}
+
+func TestSubmitWaitBlocksThenAdmits(t *testing.T) {
+	s, blocker, filler := fullQueue(t)
+	defer s.Shutdown(context.Background())
+
+	// A deadline-bound SubmitWait on a full queue gives up with the
+	// context's error — not ErrQueueFull, which is Submit's signal.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := s.SubmitWait(ctx, req(cleanSrc)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("SubmitWait(full queue, deadline) = %v, want DeadlineExceeded", err)
+	}
+
+	done := make(chan *Job, 1)
+	go func() {
+		j, err := s.SubmitWait(context.Background(), req(cleanSrc))
+		if err != nil {
+			t.Error(err)
+		}
+		done <- j
+	}()
+	select {
+	case <-done:
+		if blocker.State() == Running {
+			t.Fatal("SubmitWait returned while the queue was full")
+		}
+	case <-time.After(20 * time.Millisecond):
+	}
+	waitDone(t, blocker)
+	var waited *Job
+	select {
+	case waited = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("SubmitWait never unblocked after the queue drained")
+	}
+	if waited == nil {
+		t.Fatal("SubmitWait returned a nil job")
+	}
+	waitDone(t, filler)
+	waitDone(t, waited)
+	if waited.State() != Done {
+		t.Fatalf("waited job state=%s err=%v", waited.State(), waited.Err())
+	}
+}
+
+func TestSubmitWaitShutdownUnblocks(t *testing.T) {
+	s, _, _ := fullQueue(t)
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.SubmitWait(context.Background(), req(cleanSrc))
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; !errors.Is(err, ErrShutdown) {
+		t.Fatalf("SubmitWait during shutdown = %v, want ErrShutdown", err)
+	}
+}

@@ -2,6 +2,7 @@
 // `o2 serve` surface. Endpoints:
 //
 //	POST /analyze           submit minilang sources for analysis (optionally wait)
+//	POST /batch             stream an NDJSON corpus manifest; one NDJSON record per program
 //	GET  /jobs/{id}         poll a job (?trace=1 returns the Chrome trace of its run)
 //	GET  /jobs              list all jobs
 //	GET  /healthz           liveness
@@ -29,9 +30,11 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"time"
 
 	"o2"
+	"o2/internal/corpus"
 	"o2/internal/obs"
 	"o2/internal/sched"
 )
@@ -129,6 +132,7 @@ func New(s *sched.Scheduler, opts ...Option) *Server {
 	srv.reqTotal = srv.reg.Counter("server.requests")
 	srv.errTotal = srv.reg.Counter("server.errors")
 	srv.mux.HandleFunc("POST /analyze", srv.handleAnalyze)
+	srv.mux.HandleFunc("POST /batch", srv.handleBatch)
 	srv.mux.HandleFunc("GET /jobs/{id}", srv.handleJob)
 	srv.mux.HandleFunc("GET /jobs", srv.handleJobs)
 	srv.mux.HandleFunc("GET /healthz", srv.handleHealthz)
@@ -146,6 +150,14 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush passes through so streaming handlers (POST /batch) can push each
+// NDJSON record to the client as it lands.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // newRequestID returns a fresh opaque request ID (12 hex chars).
@@ -249,6 +261,75 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusAccepted, job.View())
 }
+
+// handleBatch streams a corpus through the analysis pipeline: the
+// request body is an NDJSON manifest of inline sources (one
+// {"name":..., "source":...} object per line; path entries are rejected
+// — a remote manifest must not read files off the serving host), the
+// response is NDJSON too — one schema-versioned record per program, in
+// input order, flushed as results land, with a terminal summary line
+// carrying totals and the stream-level error (an HTTP response has no
+// exit code). Configuration rides in query parameters, mirroring the
+// ConfigRequest fields: context, k, android, replicate_events, workers,
+// step_budget, time_budget_ms, max_shb_nodes — plus the pipeline shape:
+// jobs (parallel programs), window (reorder window), timeout_ms
+// (per-program deadline), run_stats=1 (attach RunStats per record).
+//
+// The endpoint bypasses the job scheduler and its result cache: a
+// corpus run is a bulk scan, and letting it flood the job table or
+// evict the interactive cache would hurt the /analyze path it shares
+// the process with.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	cr := ConfigRequest{
+		Context:         q.Get("context"),
+		K:               qInt(q.Get("k")),
+		Android:         qBool(q.Get("android")),
+		ReplicateEvents: qBool(q.Get("replicate_events")),
+		Workers:         qInt(q.Get("workers")),
+		StepBudget:      int64(qInt(q.Get("step_budget"))),
+		TimeBudgetMS:    int64(qInt(q.Get("time_budget_ms"))),
+		MaxSHBNodes:     qInt(q.Get("max_shb_nodes")),
+	}
+	cfg, err := cr.toConfig()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, sched.KindParse, "%s", err)
+		return
+	}
+	ccfg := o2.CorpusConfig{
+		Config:         cfg,
+		Workers:        qInt(q.Get("jobs")),
+		Window:         qInt(q.Get("window")),
+		ProgramTimeout: time.Duration(qInt(q.Get("timeout_ms"))) * time.Millisecond,
+		CollectStats:   qBool(q.Get("run_stats")),
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	cw := corpus.NewWriter(w)
+	stats, serr := o2.AnalyzeCorpus(r.Context(), corpus.InlineManifest(r.Body), ccfg, func(res o2.CorpusResult) error {
+		if err := cw.Write(corpus.NewRecord(res)); err != nil {
+			return err
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		return nil
+	})
+	// Headers are long gone; the summary line is the stream's verdict.
+	_ = cw.Write(corpus.NewSummary(stats, serr))
+	if fl != nil {
+		fl.Flush()
+	}
+}
+
+func qInt(s string) int {
+	n, _ := strconv.Atoi(s)
+	return n
+}
+
+func qBool(s string) bool { return s == "1" || s == "true" }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	job, err := s.sched.Get(r.PathValue("id"))

@@ -542,3 +542,121 @@ func TestWitnessInJobResult(t *testing.T) {
 		t.Fatal("witness has no spawn chain")
 	}
 }
+
+func TestBatchStreaming(t *testing.T) {
+	ts, _ := newTestServer(t, sched.Options{Workers: 2})
+
+	// Three manifest lines: a racy program, a corrupt one, a clean one.
+	// The response must carry one record per line, in manifest order,
+	// with the corrupt program isolated as an error record, plus the
+	// terminal summary line.
+	manifest := `{"name":"racy.mini","source":` + string(mustJSON(t, racySrc)) + `}
+{"name":"broken.mini","source":"class { nope"}
+{"name":"clean.mini","source":` + string(mustJSON(t, cleanSrc)) + `}
+`
+	resp, err := http.Post(ts.URL+"/batch?jobs=2&window=2", "application/x-ndjson", strings.NewReader(manifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d NDJSON lines, want 3 records + summary:\n%s", len(lines), body)
+	}
+
+	type rec struct {
+		Schema    int    `json:"schema"`
+		Index     int    `json:"index"`
+		Program   string `json:"program"`
+		ExitClass string `json:"exit_class"`
+		RaceCount int    `json:"race_count"`
+		Error     string `json:"error"`
+		Summary   bool   `json:"summary"`
+		Programs  int    `json:"programs"`
+		Failed    int    `json:"failed"`
+	}
+	var recs [4]rec
+	for i, l := range lines {
+		if err := json.Unmarshal([]byte(l), &recs[i]); err != nil {
+			t.Fatalf("line %d: %v\n%s", i, err, l)
+		}
+		if recs[i].Schema != 1 {
+			t.Fatalf("line %d: schema = %d", i, recs[i].Schema)
+		}
+	}
+	wants := []struct {
+		program, class string
+		races          int
+	}{
+		{"racy.mini", "races", 1},
+		{"broken.mini", "parse", 0},
+		{"clean.mini", "ok", 0},
+	}
+	for i, w := range wants {
+		r := recs[i]
+		if r.Index != i || r.Program != w.program || r.ExitClass != w.class || r.RaceCount != w.races {
+			t.Fatalf("record %d = %+v, want %+v", i, r, w)
+		}
+	}
+	if recs[1].Error == "" {
+		t.Fatal("parse record carries no error message")
+	}
+	sum := recs[3]
+	if !sum.Summary || sum.Programs != 3 || sum.Failed != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestBatchRejectsPathEntries(t *testing.T) {
+	ts, _ := newTestServer(t, sched.Options{Workers: 1})
+	resp, err := http.Post(ts.URL+"/batch", "application/x-ndjson",
+		strings.NewReader(`{"path":"/etc/passwd"}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	last := lines[len(lines)-1]
+	var sum struct {
+		Summary bool   `json:"summary"`
+		Error   string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(last), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Summary || !strings.Contains(sum.Error, "not allowed") {
+		t.Fatalf("summary = %+v, want a path-rejection error", sum)
+	}
+}
+
+func TestBatchBadConfig(t *testing.T) {
+	ts, _ := newTestServer(t, sched.Options{Workers: 1})
+	resp, err := http.Post(ts.URL+"/batch?context=bogus", "application/x-ndjson", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

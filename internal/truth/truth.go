@@ -18,6 +18,7 @@
 package truth
 
 import (
+	"context"
 	"embed"
 	"fmt"
 	"sort"
@@ -97,7 +98,13 @@ func (p *Program) Config() o2.Config {
 
 // Analyze runs the full pipeline on the program under its configuration.
 func (p *Program) Analyze() (*o2.Result, error) {
-	return o2.AnalyzeSource(p.File, p.Source, p.Config())
+	return o2.AnalyzeSourceCtx(context.Background(), p.File, p.Source, p.Config())
+}
+
+// AsSource returns the program in the typed form the streaming frontends
+// consume.
+func (p *Program) AsSource() o2.Source {
+	return o2.Source{Name: p.File, Bytes: []byte(p.Source)}
 }
 
 // ActualKeys analyzes the program and returns the canonical race keys.

@@ -11,11 +11,13 @@
 //  4. a hybrid happens-before + lockset race detector with the paper's
 //     three sound optimizations.
 //
-// The primary entry points are Analyze (programmatically built IR) and
-// AnalyzeSourceCtx (minilang text), both context-first: cancellation and
-// deadlines propagate into every pipeline stage. AnalyzeSource and
-// AnalyzeProgram are thin context.Background wrappers kept for
-// convenience.
+// The canonical entry points are context-first: Analyze (programmatically
+// built IR), AnalyzeSources / AnalyzeSourceCtx (minilang text as typed
+// Source values), and AnalyzeCorpus (a streamed corpus of independent
+// programs, analyzed in parallel with input-ordered emission).
+// Cancellation and deadlines propagate into every pipeline stage.
+// AnalyzeSource and AnalyzeProgram are thin context.Background legacy
+// wrappers kept for convenience.
 package o2
 
 import (
@@ -26,7 +28,6 @@ import (
 
 	"o2/internal/deadlock"
 	"o2/internal/ir"
-	"o2/internal/lang"
 	"o2/internal/obs"
 	"o2/internal/osa"
 	"o2/internal/oversync"
@@ -233,23 +234,26 @@ func entriesFingerprint(e ir.EntryConfig) string {
 		part(e.LockFuncs) + part(e.UnlockFuncs)
 }
 
-// AnalyzeSource compiles one minilang source and analyzes it.
+// AnalyzeSource is the legacy convenience wrapper over AnalyzeSourceCtx
+// with context.Background(): no cancellation, no deadline beyond
+// Config.TimeBudget. New code should call AnalyzeSourceCtx (or
+// AnalyzeSources for multi-file programs) and pass a real context.
 func AnalyzeSource(filename, src string, cfg Config) (*Result, error) {
 	return AnalyzeSourceCtx(context.Background(), filename, src, cfg)
 }
 
 // AnalyzeSourceCtx compiles one minilang source and analyzes it under a
-// context; see Analyze for the cancellation contract.
+// context; see Analyze for the cancellation contract. It is the
+// single-file form of AnalyzeSources, sharing its ErrCompile tagging of
+// front-end failures.
 func AnalyzeSourceCtx(ctx context.Context, filename, src string, cfg Config) (*Result, error) {
-	cfg = cfg.normalize()
-	prog, err := lang.Compile(filename, src, cfg.Entries)
-	if err != nil {
-		return nil, err
-	}
-	return Analyze(ctx, prog, cfg)
+	return AnalyzeSources(ctx, []Source{{Name: filename, Bytes: []byte(src)}}, cfg)
 }
 
-// AnalyzeProgram analyzes a finalized IR program without cancellation.
+// AnalyzeProgram is the legacy convenience wrapper over Analyze with
+// context.Background(): no cancellation or deadline beyond
+// Config.TimeBudget. New code should call Analyze and pass a real
+// context.
 func AnalyzeProgram(prog *ir.Program, cfg Config) (*Result, error) {
 	return Analyze(context.Background(), prog, cfg)
 }
