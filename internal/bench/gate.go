@@ -53,6 +53,11 @@ type GateReport struct {
 	// but computing it hard-fails if the streaming pipeline's race counts
 	// diverge from the eager path's.
 	Corpus *CorpusGateStats `json:"corpus,omitempty"`
+	// GoSync is the report-only channel-heavy workload section (see
+	// GoSyncGateStats). Timing-dependent, never golden-gated — but
+	// computing it hard-fails if a channel/WaitGroup-ordered handoff
+	// field races.
+	GoSync *GoSyncGateStats `json:"gosync,omitempty"`
 	// AllocBudgets are the hard per-preset per-phase heap-allocation
 	// ceilings, keyed "preset/phase" (phases: pta, detect). Unlike the
 	// byte-compared counters, allocation counts jitter slightly (GC
@@ -203,6 +208,17 @@ func RunGate(o Opts) (*GateReport, error) {
 		return nil, fmt.Errorf("bench gate: corpus: %w", err)
 	}
 	rep.Corpus = corpus
+	gsPreset, ok := workload.ByName("gosync")
+	if !ok {
+		return nil, fmt.Errorf("bench gate: unknown preset %q", "gosync")
+	}
+	gsRun := o
+	gsRun.Workers = 1
+	gs, err := RunGoSyncGate(RunPipeline(gsPreset, POPA, gsRun), gsPreset.Name)
+	if err != nil {
+		return nil, fmt.Errorf("bench gate: %w", err)
+	}
+	rep.GoSync = gs
 	return rep, nil
 }
 
@@ -318,6 +334,11 @@ func Gate(w io.Writer, o Opts, goldenPath, statsPath string, update bool) error 
 		fmt.Fprintf(w, "bench gate: corpus %d programs eager %.1f/s stream %.1f/s (workers=%d, races=%d) [report-only]\n",
 			rep.Corpus.Programs, rep.Corpus.EagerPerSec, rep.Corpus.StreamPerSec,
 			rep.Corpus.Workers, rep.Corpus.Races)
+	}
+	if rep.GoSync != nil {
+		fmt.Fprintf(w, "bench gate: gosync %-10s races=%-3d pairs=%d shb=%d nodes/%d edges wall=%v [report-only]\n",
+			rep.GoSync.Preset, rep.GoSync.Races, rep.GoSync.Pairs,
+			rep.GoSync.SHBNodes, rep.GoSync.SHBEdges, time.Duration(rep.GoSync.WallNS))
 	}
 	if rep.Eval != nil {
 		t := rep.Eval.Total

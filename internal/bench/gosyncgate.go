@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"o2/internal/shb"
+)
+
+// GoSyncGateStats is the report-only channel-heavy workload section of the
+// bench gate: the gosync preset (channel handoff pairs plus a WaitGroup
+// fan-in barrier, see workload.GoSync) run through the full pipeline.
+// Latency-dependent, so never golden-gated — but computing it hard-fails
+// if any channel- or WaitGroup-ordered handoff field races, i.e. if the
+// message-passing HB edges go missing at workload scale.
+type GoSyncGateStats struct {
+	Preset   string `json:"preset"`
+	Races    int    `json:"races"`
+	Pairs    int64  `json:"pairs_checked"`
+	SHBNodes int64  `json:"shb_nodes"`
+	SHBEdges int64  `json:"shb_edges"`
+	WallNS   int64  `json:"wall_ns"`
+}
+
+// goSyncOrderedFields are the workload fields whose accesses are race-free
+// only because of a send→recv or Done→Wait edge (see workload.Preset
+// ChanPairs/WgWorkers). A race on any of them is an HB soundness bug, not
+// a drift.
+var goSyncOrderedFields = []string{"payload", "wv"}
+
+// RunGoSyncGate checks the channel-heavy pipeline run and extracts its
+// report-only stats, enforcing the message-passing HB invariant.
+func RunGoSyncGate(p Pipeline, name string) (*GoSyncGateStats, error) {
+	if p.TimedOut || p.Detect.Report == nil {
+		return nil, fmt.Errorf("gosync gate: preset %s timed out", name)
+	}
+	rep := p.Detect.Report
+	st := &GoSyncGateStats{
+		Preset: name,
+		Races:  len(rep.Races),
+		Pairs:  rep.PairsChecked,
+		WallNS: int64(p.Total),
+	}
+	if g := p.Detect.Graph; g != nil {
+		st.SHBNodes = int64(len(g.Nodes))
+		for i := range g.Segs {
+			st.SHBEdges += int64(len(g.OutEdges(shb.SegID(i))))
+		}
+	}
+	for i := range rep.Races {
+		k := rep.Races[i].Key.String()
+		for _, f := range goSyncOrderedFields {
+			if strings.Contains(k, f) {
+				return nil, fmt.Errorf("gosync gate: race on channel/WaitGroup-ordered location %s (missing HB edge)", k)
+			}
+		}
+	}
+	return st, nil
+}

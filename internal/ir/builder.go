@@ -141,6 +141,34 @@ func (b *B) EventRegister(fp, arg string) *B {
 	return b
 }
 
+// ChanMake emits dst = chan(cap).
+func (b *B) ChanMake(dst string, cap int) *B {
+	b.emit(&ChanMake{base: base{b.pos}, Dst: b.V(dst), Cap: cap})
+	return b
+}
+
+// Send emits send(ch, val).
+func (b *B) Send(ch, val string) *B {
+	b.emit(&ChanSend{base{b.pos}, b.V(ch), b.V(val)})
+	return b
+}
+
+// Recv emits dst = recv(ch); pass dst == "" to discard the value.
+func (b *B) Recv(dst, ch string) *B {
+	var d *Var
+	if dst != "" {
+		d = b.V(dst)
+	}
+	b.emit(&ChanRecv{base{b.pos}, d, b.V(ch)})
+	return b
+}
+
+// CloseChan emits close(ch).
+func (b *B) CloseChan(ch string) *B {
+	b.emit(&ChanClose{base{b.pos}, b.V(ch)})
+	return b
+}
+
 // Lock emits monitorenter obj.
 func (b *B) Lock(obj string) *B {
 	b.emit(&MonitorEnter{base{b.pos}, b.V(obj)})

@@ -144,6 +144,53 @@ func (c *Call) String() string {
 	return b.String()
 }
 
+// ChanMake is "c = chan(cap)": it allocates a channel object with element
+// capacity Cap (0 = unbuffered/rendezvous). Channels are modeled as heap
+// objects of the pseudo-class "$chan" whose element slot is the synthetic
+// field "$elem"; Site shares the allocation-site namespace with Alloc.
+type ChanMake struct {
+	base
+	Dst  *Var
+	Cap  int
+	Site int // program-wide allocation-site ID, set by Finalize
+}
+
+func (c *ChanMake) String() string { return fmt.Sprintf("%s = chan(%d)", c.Dst, c.Cap) }
+
+// ChanSend is "send(c, v)": the value flows into the channel's "$elem"
+// slot, and the send happens-before every matching receive (Fava/Steffen
+// rule send_i → recv_i).
+type ChanSend struct {
+	base
+	Ch, Val *Var
+}
+
+func (s *ChanSend) String() string { return fmt.Sprintf("send(%s, %s)", s.Ch, s.Val) }
+
+// ChanRecv is "x = recv(c)" (Dst may be nil when the received value is
+// discarded): the value flows out of the channel's "$elem" slot.
+type ChanRecv struct {
+	base
+	Dst *Var // may be nil
+	Ch  *Var
+}
+
+func (r *ChanRecv) String() string {
+	if r.Dst == nil {
+		return fmt.Sprintf("recv(%s)", r.Ch)
+	}
+	return fmt.Sprintf("%s = recv(%s)", r.Dst, r.Ch)
+}
+
+// ChanClose is "close(c)": the close happens-before every receive that can
+// observe the closed channel (broadcast ordering).
+type ChanClose struct {
+	base
+	Ch *Var
+}
+
+func (c *ChanClose) String() string { return fmt.Sprintf("close(%s)", c.Ch) }
+
 // FuncAddr is "x = &f": x points to the function object of f.
 type FuncAddr struct {
 	base

@@ -249,6 +249,9 @@ func (p *Program) Finalize(entryCfg EntryConfig) error {
 			case *Alloc:
 				in.Site = alloc
 				alloc++
+			case *ChanMake:
+				in.Site = alloc
+				alloc++
 			case *Call:
 				in.Site = call
 				call++
@@ -314,6 +317,15 @@ type EntryConfig struct {
 	// "customized locks through configurations".
 	LockFuncs   []string // e.g. pthread_mutex_lock, spin_lock
 	UnlockFuncs []string // e.g. pthread_mutex_unlock, spin_unlock
+	// WgAddMethods / WgDoneMethods / WgWaitMethods are WaitGroup-style
+	// barrier operations (Go's sync.WaitGroup): every Done on an object
+	// happens-before the resumption of a Wait on the same object. A call
+	// is classified as a WaitGroup operation only when virtual dispatch
+	// resolves no user-defined target, so classes with real Add/Done/Wait
+	// methods keep ordinary call semantics.
+	WgAddMethods  []string // e.g. Add
+	WgDoneMethods []string // e.g. Done
+	WgWaitMethods []string // e.g. Wait
 }
 
 // DefaultEntryConfig matches the paper's Table 1 defaults.
@@ -327,6 +339,9 @@ func DefaultEntryConfig() EntryConfig {
 		NotifyMethods: []string{"notify", "notifyAll", "signal"},
 		LockFuncs:     []string{"pthread_mutex_lock", "spin_lock"},
 		UnlockFuncs:   []string{"pthread_mutex_unlock", "spin_unlock"},
+		WgAddMethods:  []string{"Add"},
+		WgDoneMethods: []string{"Done"},
+		WgWaitMethods: []string{"Wait"},
 	}
 }
 
@@ -356,6 +371,15 @@ func (c EntryConfig) IsUnlockFunc(m string) bool { return contains(c.UnlockFuncs
 
 // IsNotify reports whether simple method name m is a condition notify.
 func (c EntryConfig) IsNotify(m string) bool { return contains(c.NotifyMethods, m) }
+
+// IsWgAdd reports whether simple method name m is a WaitGroup Add.
+func (c EntryConfig) IsWgAdd(m string) bool { return contains(c.WgAddMethods, m) }
+
+// IsWgDone reports whether simple method name m is a WaitGroup Done.
+func (c EntryConfig) IsWgDone(m string) bool { return contains(c.WgDoneMethods, m) }
+
+// IsWgWait reports whether simple method name m is a WaitGroup Wait.
+func (c EntryConfig) IsWgWait(m string) bool { return contains(c.WgWaitMethods, m) }
 
 func contains(xs []string, x string) bool {
 	for _, y := range xs {

@@ -80,6 +80,27 @@ type WhileStmt struct {
 	Body []Stmt
 }
 
+// SelectArm is one guarded arm of a select statement: a channel operation
+// ("recv(c)" or "send(c, v)") and the body executed when it fires.
+type SelectArm struct {
+	Line int
+	Send bool   // true for send(Ch, Val) guards, false for recv(Ch)
+	Ch   string // channel variable name
+	Val  Expr   // send operand; nil for recv arms
+	Body []Stmt
+}
+
+// SelectStmt is "select { arm* [default { ... }] }": a nondeterministic
+// choice among channel operations. Like if/while branches, every arm is
+// retained by the flow-insensitive lowering (nondeterministic handler
+// dispatch); the default body is retained too.
+type SelectStmt struct {
+	stmtBase
+	Arms       []SelectArm
+	Default    []Stmt
+	HasDefault bool
+}
+
 // ReturnStmt is "return [x];".
 type ReturnStmt struct {
 	stmtBase

@@ -147,6 +147,45 @@ main {
   s2.start();
 }
 `,
+	// Channels, select and WaitGroup barriers (the go-sync surface).
+	`
+class WaitGroup { }
+class Data { field v; }
+class Worker {
+  field d; field c; field g;
+  Worker(d, c, g) { this.d = d; this.c = c; this.g = g; }
+  run() {
+    x = this.d;
+    x.v = this;
+    k = this.c;
+    send(k, x);
+    w = this.g;
+    w.Done();
+  }
+}
+main {
+  d = new Data();
+  c = chan();
+  e = chan(2);
+  wg = new WaitGroup();
+  wg.Add(1);
+  w = new Worker(d, c, wg);
+  w.start();
+  select {
+  recv(c) {
+    d.v = null;
+  }
+  send(e, d) {
+    q = d.v;
+  }
+  default {
+    close(e);
+  }
+  }
+  wg.Wait();
+  r = recv(c);
+}
+`,
 	// Degenerate but valid inputs.
 	"main { }",
 	"// only a comment\nmain { x = null; }",
@@ -159,6 +198,13 @@ main {
 	"class C } main {}",
 	"main { x.y.z = 1; }",
 	"func f( { }",
+	// Malformed channel/select inputs.
+	"main { select }",
+	"main { select { foo(c) { } } }",
+	"main { select { default { } default { } } }",
+	"main { c = chan(x); }",
+	"main { c = chan(-1); }",
+	"main { send(c); }",
 }
 
 // manyLocksSeed builds a program with 72 distinct lock allocation sites:

@@ -35,6 +35,7 @@ var keywords = map[string]bool{
 	"main": true, "func": true, "new": true, "sync": true,
 	"if": true, "else": true, "while": true, "return": true, "null": true,
 	"super": true, "volatile": true, "origin": true,
+	"select": true, "default": true,
 }
 
 type lexer struct {

@@ -3,6 +3,7 @@ package lang
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"o2/internal/ir"
 )
@@ -108,6 +109,29 @@ func (lw *lowerer) stmt(b *ir.B, s Stmt) error {
 		var err error
 		b.InLoop(func() { err = lw.stmts(b, s.Body) })
 		return err
+	case *SelectStmt:
+		// Ops-first lowering: every arm's guard operation is emitted (in
+		// arm order) before any arm body, then the bodies in arm order,
+		// then the default body. Flow-insensitively every guard may fire
+		// (nondeterministic handler dispatch, like event-loop origins),
+		// and keeping the guard ops adjacent — no data access interleaves
+		// them — makes the canonical race set invariant under arm
+		// permutation.
+		for _, arm := range s.Arms {
+			b.Line(arm.Line)
+			if arm.Send {
+				val := lw.operands(b, []Expr{arm.Val})[0]
+				b.Send(arm.Ch, val)
+			} else {
+				b.Recv("", arm.Ch)
+			}
+		}
+		for _, arm := range s.Arms {
+			if err := lw.stmts(b, arm.Body); err != nil {
+				return err
+			}
+		}
+		return lw.stmts(b, s.Default)
 	case *ReturnStmt:
 		switch v := s.Val.(type) {
 		case nil:
@@ -222,6 +246,48 @@ func (lw *lowerer) call(b *ir.B, dst string, c *CallExpr, line int) error {
 				return fmt.Errorf("%s:%d: event_register expects (fp, arg)", lw.file, line)
 			}
 			b.EventRegister(args[0], args[1])
+			return nil
+		case "chan":
+			// c = chan(cap): cap must be a non-negative integer literal;
+			// chan() is unbuffered.
+			capacity := 0
+			switch len(c.Args) {
+			case 0:
+			case 1:
+				lit, ok := c.Args[0].(IntLit)
+				if !ok {
+					return fmt.Errorf("%s:%d: chan capacity must be an integer literal", lw.file, line)
+				}
+				n, err := strconv.Atoi(lit.Text)
+				if err != nil || n < 0 {
+					return fmt.Errorf("%s:%d: bad chan capacity %q", lw.file, line, lit.Text)
+				}
+				capacity = n
+			default:
+				return fmt.Errorf("%s:%d: chan expects at most one capacity argument", lw.file, line)
+			}
+			if dst == "" {
+				dst = lw.temp()
+			}
+			b.ChanMake(dst, capacity)
+			return nil
+		case "send":
+			if len(args) != 2 {
+				return fmt.Errorf("%s:%d: send expects (chan, value)", lw.file, line)
+			}
+			b.Send(args[0], args[1])
+			return nil
+		case "recv":
+			if len(args) != 1 {
+				return fmt.Errorf("%s:%d: recv expects (chan)", lw.file, line)
+			}
+			b.Recv(dst, args[0])
+			return nil
+		case "close":
+			if len(args) != 1 {
+				return fmt.Errorf("%s:%d: close expects (chan)", lw.file, line)
+			}
+			b.CloseChan(args[0])
 			return nil
 		}
 		// pthread mutexes and the paper's "customized locks through

@@ -267,6 +267,76 @@ func (p *parser) stmt() (Stmt, error) {
 		}
 		return &WhileStmt{stmtBase{line}, body}, nil
 
+	case p.at(tKeyword, "select"):
+		p.next()
+		if _, err := p.expect(tPunct, "{"); err != nil {
+			return nil, err
+		}
+		st := &SelectStmt{stmtBase: stmtBase{line}}
+		for !p.accept(tPunct, "}") {
+			if p.at(tKeyword, "default") {
+				if st.HasDefault {
+					return nil, p.errf("duplicate default arm")
+				}
+				p.next()
+				body, err := p.block()
+				if err != nil {
+					return nil, err
+				}
+				st.Default, st.HasDefault = body, true
+				continue
+			}
+			armLine := p.cur().line
+			op, err := p.expect(tIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			arm := SelectArm{Line: armLine}
+			switch op.text {
+			case "recv":
+				if _, err := p.expect(tPunct, "("); err != nil {
+					return nil, err
+				}
+				ch, err := p.expect(tIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tPunct, ")"); err != nil {
+					return nil, err
+				}
+				arm.Ch = ch.text
+			case "send":
+				arm.Send = true
+				if _, err := p.expect(tPunct, "("); err != nil {
+					return nil, err
+				}
+				ch, err := p.expect(tIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tPunct, ","); err != nil {
+					return nil, err
+				}
+				v, err := p.operand()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tPunct, ")"); err != nil {
+					return nil, err
+				}
+				arm.Ch, arm.Val = ch.text, v
+			default:
+				return nil, p.errf("expected recv, send, or default select arm, got %q", op.text)
+			}
+			body, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			arm.Body = body
+			st.Arms = append(st.Arms, arm)
+		}
+		return st, nil
+
 	case p.at(tKeyword, "return"):
 		p.next()
 		st := &ReturnStmt{stmtBase: stmtBase{line}}

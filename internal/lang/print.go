@@ -183,6 +183,23 @@ func (p *printer) stmt(s Stmt, depth int) {
 		p.emit(st.Line, depth, "while (0) {")
 		p.stmts(st.Body, depth+1)
 		p.emit(0, depth, "}")
+	case *SelectStmt:
+		p.emit(st.Line, depth, "select {")
+		for _, arm := range st.Arms {
+			if arm.Send {
+				p.emit(arm.Line, depth, "send("+arm.Ch+", "+expr(arm.Val)+") {")
+			} else {
+				p.emit(arm.Line, depth, "recv("+arm.Ch+") {")
+			}
+			p.stmts(arm.Body, depth+1)
+			p.emit(0, depth, "}")
+		}
+		if st.HasDefault {
+			p.emit(0, depth, "default {")
+			p.stmts(st.Default, depth+1)
+			p.emit(0, depth, "}")
+		}
+		p.emit(0, depth, "}")
 	case *ReturnStmt:
 		if st.Val == nil {
 			p.emit(st.Line, depth, "return;")

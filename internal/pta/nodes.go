@@ -26,7 +26,15 @@ const (
 	// ObjHandle is a pthread_create/event_register handle; it doubles as
 	// the origin object of the spawned origin.
 	ObjHandle
+	// ObjChan is a channel created by "c = chan(cap)". Its element slot is
+	// the synthetic field ChanElemField; Cap records the declared capacity
+	// (0 = unbuffered rendezvous).
+	ObjChan
 )
+
+// ChanElemField is the synthetic field name modeling a channel's element
+// slot: send stores through it, recv loads from it.
+const ChanElemField = "$elem"
 
 // ObjInfo describes an abstract object: a heap allocation, a function
 // object, or a thread/event handle.
@@ -36,22 +44,26 @@ type ObjInfo struct {
 	Ctx   CtxID     // heap context
 	Alloc *ir.Alloc // heap objects only
 	Fn    *ir.Func  // ObjFunc: the function; ObjHandle: the entry function
+	Cap   int       // ObjChan: declared capacity (0 = unbuffered)
 	pos   ir.Pos
 }
 
 var (
 	funcClass   = &ir.Class{Name: "$func"}
 	handleClass = &ir.Class{Name: "$pthread"}
+	chanClass   = &ir.Class{Name: "$chan"}
 )
 
-// Class returns the allocated class (pseudo-classes for function and
-// handle objects).
+// Class returns the allocated class (pseudo-classes for function, handle
+// and channel objects).
 func (o *ObjInfo) Class() *ir.Class {
 	switch o.Kind {
 	case ObjFunc:
 		return funcClass
 	case ObjHandle:
 		return handleClass
+	case ObjChan:
+		return chanClass
 	}
 	return o.Alloc.Class
 }
@@ -148,6 +160,20 @@ func (h *heap) internHandleObj(site int, ctx CtxID, entry *ir.Func, pos ir.Pos) 
 	id := ObjID(len(h.objs))
 	h.objs = append(h.objs, ObjInfo{Kind: ObjHandle, Site: site, Ctx: ctx, Fn: entry, pos: pos})
 	h.handleIdx[k] = id
+	return id, true
+}
+
+// internChanObj returns the channel object for a ChanMake site under ctx.
+// ChanMake shares the allocation-site namespace with Alloc, so objIdx keys
+// never collide with heap objects.
+func (h *heap) internChanObj(in *ir.ChanMake, ctx CtxID) (ObjID, bool) {
+	k := objKey{in.Site, ctx}
+	if id, ok := h.objIdx[k]; ok {
+		return id, false
+	}
+	id := ObjID(len(h.objs))
+	h.objs = append(h.objs, ObjInfo{Kind: ObjChan, Site: in.Site, Ctx: ctx, Cap: in.Cap, pos: in.Pos()})
+	h.objIdx[k] = id
 	return id, true
 }
 

@@ -489,6 +489,28 @@ func (a *Analysis) genConstraints(id FnCtxID) {
 			a.addEdge(a.varNode(in.Src, ctx), a.staticNode(in.Class, in.Field))
 		case *ir.FuncAddr:
 			a.addObj(a.varNode(in.Dst, ctx), a.heap.internFuncObj(in.Target, in.Pos()))
+		case *ir.ChanMake:
+			obj, _ := a.heap.internChanObj(in, a.heapCtx(ctx))
+			a.addObj(a.varNode(in.Dst, ctx), obj)
+		case *ir.ChanSend:
+			// Value flow through the channel: send stores into the channel
+			// object's synthetic "$elem" slot, recv loads from it, so a
+			// pointer sent over a channel reaches every receiver that may
+			// share the channel (Fava/Steffen's communication semantics,
+			// flow-insensitively).
+			base := a.varNode(in.Ch, ctx)
+			src := a.varNode(in.Val, ctx)
+			a.stores[base] = append(a.stores[base], storeC{src, ChanElemField})
+			a.constraints++
+			a.replayObjs(base, func(o ObjID) { a.addEdge(src, a.fieldNode(o, ChanElemField)) })
+		case *ir.ChanRecv:
+			if in.Dst != nil {
+				base := a.varNode(in.Ch, ctx)
+				dst := a.varNode(in.Dst, ctx)
+				a.loads[base] = append(a.loads[base], loadC{dst, ChanElemField})
+				a.constraints++
+				a.replayObjs(base, func(o ObjID) { a.addEdge(a.fieldNode(o, ChanElemField), dst) })
+			}
 		case *ir.Call:
 			if in.Static != nil && in.Recv == nil {
 				calleeCtx := a.calleeCtx(ctx, in.Site, 0, in.Static)

@@ -46,6 +46,12 @@ func (w *Witness) Text() string {
 	default:
 		sb.WriteString("  ordering: partially ordered (reported due to replication)\n")
 	}
+	if len(w.Ordering.SyncEdges) > 0 {
+		sb.WriteString("            sync edges between the racing origins (none orders both accesses):\n")
+		for _, e := range w.Ordering.SyncEdges {
+			fmt.Fprintf(&sb, "              %s\n", e)
+		}
+	}
 	return sb.String()
 }
 

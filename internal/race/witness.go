@@ -2,6 +2,8 @@ package race
 
 import (
 	"encoding/json"
+	"fmt"
+	"sort"
 
 	"o2/internal/pta"
 	"o2/internal/shb"
@@ -84,13 +86,20 @@ const (
 
 // OrderEvidence is the happens-before-absence evidence: the raw HB
 // queries in both directions, the segment relation, the replication flag
-// and the verdict naming why the accesses are concurrent.
+// and the verdict naming why the accesses are concurrent. SyncEdges
+// lists the message-passing HB edges (notify→wait, channel send→recv /
+// rendezvous / close→recv, WaitGroup Done→Wait) that run directly
+// between the two racing segments: evidence that the origins do
+// synchronize, just not in a way that orders these two accesses. Spawn
+// and join edges are deliberately excluded — the spawn chain and the
+// verdict text already narrate those.
 type OrderEvidence struct {
-	HBAtoB      bool   `json:"hb_a_to_b"`
-	HBBtoA      bool   `json:"hb_b_to_a"`
-	SameSegment bool   `json:"same_segment"`
-	Replicated  bool   `json:"replicated_origin"`
-	Verdict     string `json:"verdict"`
+	HBAtoB      bool     `json:"hb_a_to_b"`
+	HBBtoA      bool     `json:"hb_b_to_a"`
+	SameSegment bool     `json:"same_segment"`
+	Replicated  bool     `json:"replicated_origin"`
+	Verdict     string   `json:"verdict"`
+	SyncEdges   []string `json:"sync_edges,omitempty"`
 }
 
 // BuildWitness derives the full witness for a reported race from the
@@ -126,6 +135,7 @@ func BuildWitness(a *pta.Analysis, g *shb.Graph, r *Race) *Witness {
 		HBBtoA:      g.HappensBefore(r.B.Node, r.A.Node),
 		SameSegment: na.Seg == nb.Seg,
 		Replicated:  a.Origins.Get(g.Origin(r.A.Node)).Replicated,
+		SyncEdges:   syncEdges(g, na.Seg, nb.Seg),
 	}
 	switch {
 	case ord.SameSegment && ord.Replicated:
@@ -186,6 +196,51 @@ func spawnChain(a *pta.Analysis, id pta.OriginID) []SpawnStep {
 		id = org.Parent
 	}
 	return chain
+}
+
+// syncEdgeKinds labels an inter-origin HB edge by its endpoint node
+// kinds. Only message-passing edges are named; spawn and join edges map
+// to nothing and are skipped by syncEdges.
+var syncEdgeKinds = map[[2]shb.NodeKind]string{
+	{shb.NNotify, shb.NWait}:        "notify-wait",
+	{shb.NChanSend, shb.NChanRecv}:  "chan-send-recv",
+	{shb.NChanRecv, shb.NChanSend}:  "chan-rendezvous",
+	{shb.NChanClose, shb.NChanRecv}: "chan-close-recv",
+	{shb.NWgDone, shb.NWgWait}:      "wg-done-wait",
+}
+
+// syncEdges collects the message-passing HB edges running directly
+// between the two racing segments, rendered "kind from-pos -> to-pos",
+// deduplicated (replayed call contexts can revisit one source edge) and
+// sorted for byte-stable JSON. nil when the accesses share a segment or
+// no such edge exists, so the field marshals away and witnesses for
+// spawn/join-only programs are unchanged.
+func syncEdges(g *shb.Graph, segA, segB shb.SegID) []string {
+	if segA == segB {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	collect := func(from, to shb.SegID) {
+		for _, e := range g.OutEdges(from) {
+			if g.Nodes[e.To].Seg != to {
+				continue
+			}
+			kind, ok := syncEdgeKinds[[2]shb.NodeKind{g.Nodes[e.From].Kind, g.Nodes[e.To].Kind}]
+			if !ok {
+				continue
+			}
+			s := fmt.Sprintf("%s %s -> %s", kind, g.Nodes[e.From].Instr.Pos(), g.Nodes[e.To].Instr.Pos())
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	collect(segA, segB)
+	collect(segB, segA)
+	sort.Strings(out)
+	return out
 }
 
 // intersectSorted intersects two sorted string slices. The result is

@@ -36,12 +36,21 @@ const (
 	NUnlock
 	NEntry // origin-entry invocation in the parent (spawn point)
 	NJoin
-	NWait   // condition wait on an object
-	NNotify // condition notify on an object
+	NWait      // condition wait on an object
+	NNotify    // condition notify on an object
+	NChanSend  // channel send
+	NChanRecv  // channel receive
+	NChanClose // channel close
+	NWgAdd     // WaitGroup Add (barrier arm; no edges of its own)
+	NWgDone    // WaitGroup Done
+	NWgWait    // WaitGroup Wait
 )
 
 func (k NodeKind) String() string {
-	return [...]string{"read", "write", "lock", "unlock", "entry", "join", "wait", "notify"}[k]
+	return [...]string{
+		"read", "write", "lock", "unlock", "entry", "join", "wait", "notify",
+		"chan-send", "chan-recv", "chan-close", "wg-add", "wg-done", "wg-wait",
+	}[k]
 }
 
 // SegID identifies a segment (origin instance trace).
@@ -160,11 +169,20 @@ func BuildCtx(ctx context.Context, a *pta.Analysis, cfg Config) (*Graph, error) 
 		}
 	}
 	g.connectCondVars()
-	// Inter-origin edges were appended out of order (joins, notifies);
-	// reachability requires each segment's out-list sorted by source node.
+	g.connectChannels()
+	g.connectWaitGroups()
+	// Inter-origin edges were appended out of order (joins, notifies,
+	// channel and WaitGroup barriers); reachability requires each segment's
+	// out-list sorted by source node. To is the tie-breaker so the order of
+	// edges sharing a source is independent of map iteration order.
 	for segID := range g.out {
 		es := g.out[segID]
-		sort.Slice(es, func(i, j int) bool { return es[i].From < es[j].From })
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].From != es[j].From {
+				return es[i].From < es[j].From
+			}
+			return es[i].To < es[j].To
+		})
 	}
 	if cfg.Obs != nil {
 		edges := 0
@@ -199,6 +217,91 @@ func (g *Graph) connectCondVars() {
 			for _, wn := range waits[obj] {
 				if g.Nodes[nn].Seg != g.Nodes[wn].Seg {
 					g.addEdge(nn, wn)
+				}
+			}
+		}
+	}
+}
+
+// connectChannels adds the channel happens-before edges of Fava/Steffen's
+// semantics, statically over-approximated:
+//
+//   - every send on a channel happens-before every receive on the same
+//     channel in a different segment (send_i → recv_i collapses to
+//     send → recv once indices are abstracted away);
+//   - for unbuffered channels (cap 0) the rendezvous also orders the
+//     receive before the send's continuation (recv → send), so code before
+//     either endpoint happens-before code after the other;
+//   - every close happens-before every receive on the same channel in a
+//     different segment (receives from a closed channel observe the close,
+//     a broadcast ordering).
+//
+// The bounded-queue backpressure rule recv_{i-cap} → send_i is deliberately
+// NOT materialized for cap ≥ 1: with send/recv indices abstracted to one
+// node set it would degenerate to recv → send on every buffered channel,
+// claiming orderings a buffered send does not provide and hiding real
+// races. The rule is kept only where the static abstraction is exact —
+// cap = 0, where i-cap = i is the rendezvous itself.
+func (g *Graph) connectChannels() {
+	sends := map[pta.ObjID][]int{}
+	recvs := map[pta.ObjID][]int{}
+	closes := map[pta.ObjID][]int{}
+	for id, n := range g.Nodes {
+		switch n.Kind {
+		case NChanSend:
+			sends[n.Key.Obj] = append(sends[n.Key.Obj], id)
+		case NChanRecv:
+			recvs[n.Key.Obj] = append(recvs[n.Key.Obj], id)
+		case NChanClose:
+			closes[n.Key.Obj] = append(closes[n.Key.Obj], id)
+		}
+	}
+	for obj, ss := range sends {
+		rendezvous := g.a.Obj(obj).Cap == 0
+		for _, sn := range ss {
+			for _, rn := range recvs[obj] {
+				if g.Nodes[sn].Seg == g.Nodes[rn].Seg {
+					continue
+				}
+				g.addEdge(sn, rn)
+				if rendezvous {
+					g.addEdge(rn, sn)
+				}
+			}
+		}
+	}
+	for obj, cs := range closes {
+		for _, cn := range cs {
+			for _, rn := range recvs[obj] {
+				if g.Nodes[cn].Seg != g.Nodes[rn].Seg {
+					g.addEdge(cn, rn)
+				}
+			}
+		}
+	}
+}
+
+// connectWaitGroups adds the barrier edges: every Done on a WaitGroup
+// object happens-before the resumption of every Wait on the same object in
+// a different segment — Wait joins the happens-before of all matched
+// Dones. Add nodes participate in the trace (they bump the sync clock) but
+// carry no edges: the counter value is not tracked statically.
+func (g *Graph) connectWaitGroups() {
+	dones := map[pta.ObjID][]int{}
+	waits := map[pta.ObjID][]int{}
+	for id, n := range g.Nodes {
+		switch n.Kind {
+		case NWgDone:
+			dones[n.Key.Obj] = append(dones[n.Key.Obj], id)
+		case NWgWait:
+			waits[n.Key.Obj] = append(waits[n.Key.Obj], id)
+		}
+	}
+	for obj, ds := range dones {
+		for _, dn := range ds {
+			for _, wn := range waits[obj] {
+				if g.Nodes[dn].Seg != g.Nodes[wn].Seg {
+					g.addEdge(dn, wn)
 				}
 			}
 		}
@@ -416,6 +519,18 @@ func (b *builder) walk(fn pta.FnCtxID) {
 			}
 			b.node(NUnlock, osa.Key{}, in, fc.Fn)
 			b.syncClock++
+		case *ir.ChanSend:
+			// Channel operations create inter-origin edges, so the sync
+			// clock advances: a callee replayed after a send can carry new
+			// happens-before and must not dedup against its pre-send replay.
+			b.syncClock++
+			b.chanNode(NChanSend, fc, in, in.Ch)
+		case *ir.ChanRecv:
+			b.syncClock++
+			b.chanNode(NChanRecv, fc, in, in.Ch)
+		case *ir.ChanClose:
+			b.syncClock++
+			b.chanNode(NChanClose, fc, in, in.Ch)
 		case *ir.Call, *ir.Alloc:
 			if c, ok := in.(*ir.Call); ok && c.Recv != nil && c.Static == nil {
 				ent := b.a.Cfg.Entries
@@ -429,6 +544,15 @@ func (b *builder) walk(fn pta.FnCtxID) {
 				case ent.IsNotify(c.Method):
 					b.syncClock++
 					b.condNode(NNotify, fc, c)
+					continue
+				}
+				if kind, ok := wgKind(ent, c.Method); ok && len(b.a.CG.EdgesAt(fn, idx)) == 0 {
+					// WaitGroup barrier: the call resolved to no user-defined
+					// target (the receiver is an ambient WaitGroup object),
+					// so model it as a barrier node. Classes defining real
+					// Add/Done/Wait methods dispatch normally above.
+					b.syncClock++
+					b.wgNode(kind, fc, c)
 					continue
 				}
 			}
@@ -465,6 +589,40 @@ func (b *builder) condNode(kind NodeKind, fc pta.FnCtx, in *ir.Call) {
 	pts := b.a.PointsTo(in.Recv, fc.Ctx)
 	pts.ForEach(func(o uint32) {
 		b.node(kind, osa.Key{Obj: pta.ObjID(o), Field: "$monitor"}, in, fc.Fn)
+	})
+}
+
+// wgKind classifies a WaitGroup method name, if it is one.
+func wgKind(ent ir.EntryConfig, method string) (NodeKind, bool) {
+	switch {
+	case ent.IsWgAdd(method):
+		return NWgAdd, true
+	case ent.IsWgDone(method):
+		return NWgDone, true
+	case ent.IsWgWait(method):
+		return NWgWait, true
+	}
+	return 0, false
+}
+
+// wgNode records a WaitGroup barrier node per object the receiver may
+// point to; Build connects Done → Wait afterwards.
+func (b *builder) wgNode(kind NodeKind, fc pta.FnCtx, in *ir.Call) {
+	pts := b.a.PointsTo(in.Recv, fc.Ctx)
+	pts.ForEach(func(o uint32) {
+		b.node(kind, osa.Key{Obj: pta.ObjID(o), Field: "$wg"}, in, fc.Fn)
+	})
+}
+
+// chanNode records a channel-operation node per channel object the operand
+// may point to; Build connects the channel edges afterwards.
+func (b *builder) chanNode(kind NodeKind, fc pta.FnCtx, in ir.Instr, ch *ir.Var) {
+	pts := b.a.PointsTo(ch, fc.Ctx)
+	pts.ForEach(func(o uint32) {
+		if b.a.Obj(pta.ObjID(o)).Kind != pta.ObjChan {
+			return
+		}
+		b.node(kind, osa.Key{Obj: pta.ObjID(o), Field: "$chan"}, in, fc.Fn)
 	})
 }
 

@@ -24,7 +24,10 @@ import (
 // Schema versions the summary format. It participates in every store
 // key and in the scheduler's whole-program cache key, so a build with a
 // different summary shape can never replay (or serve) stale results.
-const Schema = 1
+//
+// v2: fragments carry channel ops (OpChanMake/Send/Recv/Close) and the
+// fact tables count channel allocations and constraints.
+const Schema = 2
 
 // Key derives the store key of a unit under one analysis config. The
 // closure digest already folds together the unit's own canonical
@@ -94,6 +97,17 @@ func Derive(u *unit.Unit, fn *ir.Func, frag *unit.Frag) *Summary {
 			s.Constraints++
 		case *ir.FuncAddr:
 			s.Constraints++
+		case *ir.ChanMake:
+			// A channel is an abstract heap object with one synthetic
+			// element-slot constraint source, mirroring the solver.
+			s.Allocs++
+			s.Constraints++
+		case *ir.ChanSend:
+			s.Constraints++
+		case *ir.ChanRecv:
+			if in.Dst != nil {
+				s.Constraints++
+			}
 		case *ir.MonitorEnter:
 			s.Locks++
 		case *ir.MonitorExit:

@@ -55,6 +55,42 @@ func ablations() []ablationCase {
 			"s @ join_partial.mini:15 join_partial.mini:17",
 			"v @ join_partial.mini:10 join_partial.mini:28",
 		}},
+		// go-sync: the channel and WaitGroup HB edges are what suppress the
+		// payload races; NoHB also drops spawn edges, so the constructor-vs-
+		// run field handoffs reappear alongside them.
+		{"gosync_chan_unbuffered_hb", noHB, []string{
+			"c @ gosync_chan_unbuffered_hb.mini:5 gosync_chan_unbuffered_hb.mini:9",
+			"d @ gosync_chan_unbuffered_hb.mini:5 gosync_chan_unbuffered_hb.mini:7",
+			"v @ gosync_chan_unbuffered_hb.mini:8 gosync_chan_unbuffered_hb.mini:19",
+		}},
+		{"gosync_chan_close_hb", noHB, []string{
+			"c @ gosync_chan_close_hb.mini:5 gosync_chan_close_hb.mini:9",
+			"d @ gosync_chan_close_hb.mini:5 gosync_chan_close_hb.mini:7",
+			"v @ gosync_chan_close_hb.mini:8 gosync_chan_close_hb.mini:19",
+		}},
+		{"gosync_wg_fanin", noHB, []string{
+			"a @ gosync_wg_fanin.mini:12 gosync_wg_fanin.mini:38",
+			"b @ gosync_wg_fanin.mini:23 gosync_wg_fanin.mini:39",
+			"r @ gosync_wg_fanin.mini:9 gosync_wg_fanin.mini:11",
+			"r @ gosync_wg_fanin.mini:20 gosync_wg_fanin.mini:22",
+			"w @ gosync_wg_fanin.mini:9 gosync_wg_fanin.mini:13",
+			"w @ gosync_wg_fanin.mini:20 gosync_wg_fanin.mini:24",
+		}},
+		{"gosync_select_ordered", noHB, []string{
+			"a @ gosync_select_ordered.mini:11 gosync_select_ordered.mini:37",
+			"b @ gosync_select_ordered.mini:22 gosync_select_ordered.mini:40",
+			"c @ gosync_select_ordered.mini:8 gosync_select_ordered.mini:12",
+			"c @ gosync_select_ordered.mini:19 gosync_select_ordered.mini:23",
+			"g @ gosync_select_ordered.mini:8 gosync_select_ordered.mini:10",
+			"g @ gosync_select_ordered.mini:19 gosync_select_ordered.mini:21",
+		}},
+		{"gosync_chan_ping_pong", noHB, []string{
+			"c @ gosync_chan_ping_pong.mini:6 gosync_chan_ping_pong.mini:8",
+			"d @ gosync_chan_ping_pong.mini:6 gosync_chan_ping_pong.mini:10",
+			"r @ gosync_chan_ping_pong.mini:6 gosync_chan_ping_pong.mini:12",
+			"v @ gosync_chan_ping_pong.mini:11 gosync_chan_ping_pong.mini:22",
+			"v @ gosync_chan_ping_pong.mini:11 gosync_chan_ping_pong.mini:25",
+		}},
 		// event-serialized: the Android dispatch lock is what suppresses these.
 		{"android_two_handlers", noAndroid, []string{
 			"q @ android_two_handlers.mini:7 android_two_handlers.mini:15",

@@ -63,6 +63,8 @@ func FuzzIncremental(f *testing.F) {
 		"thread_counter": true, "event_two_handlers": true,
 		"figure2_origins": true, "mixed_thread_event": true,
 		"lock_partial": true, "array_basic": true,
+		"gosync_chan_ping_pong": true, "gosync_select_ordered": true,
+		"gosync_uber_double_done": true,
 	}
 	for i := range corpus {
 		if p := &corpus[i]; seeds[p.Name] {

@@ -42,6 +42,8 @@ func FuzzMetamorphic(f *testing.F) {
 		"thread_counter": true, "event_two_handlers": true,
 		"figure2_origins": true, "array_basic": true,
 		"join_partial": true, "fp_flag_protocol": true,
+		"gosync_select_arm_race": true, "gosync_chan_race_before_recv": true,
+		"gosync_wg_fanin": true,
 	}
 	for i := range corpus {
 		if p := &corpus[i]; seeds[p.Name] {

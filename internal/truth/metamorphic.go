@@ -37,6 +37,8 @@ func Transforms() []Transform {
 		{Name: "reorder-decls", Apply: reorderDecls},
 		{Name: "wrap-blocks", Apply: wrapBlocks},
 		{Name: "permute-dispatch", Apply: permuteDispatch},
+		{Name: "permute-select-arms", Apply: permuteSelectArms},
+		{Name: "rename-channel-vars", Apply: renameChannelVars},
 	}
 }
 
@@ -90,101 +92,10 @@ func renameIdents(f *lang.File, entries ir.EntryConfig) {
 			fd.Params[i] = p + "_mr"
 		}
 		// First pass: every assigned-to variable is a local.
-		var collect func(body []lang.Stmt)
-		collect = func(body []lang.Stmt) {
-			for _, s := range body {
-				switch st := s.(type) {
-				case *lang.AssignStmt:
-					if v, ok := st.Lhs.(lang.VarRef); ok {
-						locals[v.Name] = v.Name + "_mr"
-					}
-				case *lang.SyncStmt:
-					collect(st.Body)
-				case *lang.IfStmt:
-					collect(st.Then)
-					collect(st.Else)
-				case *lang.WhileStmt:
-					collect(st.Body)
-				}
-			}
-		}
-		collect(fd.Body)
-		mapName := func(n string) string {
-			if r, ok := locals[n]; ok {
-				return r
-			}
-			return n
-		}
-		var rw func(body []lang.Stmt)
-		rwExpr := func(e lang.Expr) lang.Expr {
-			switch x := e.(type) {
-			case lang.VarRef:
-				return lang.VarRef{Name: mapName(x.Name)}
-			case lang.FieldRef:
-				return lang.FieldRef{Base: mapName(x.Base), Field: x.Field}
-			case lang.IndexRef:
-				return lang.IndexRef{Base: mapName(x.Base)}
-			case lang.FuncAddrExpr:
-				if r, ok := funcs[x.Name]; ok {
-					return lang.FuncAddrExpr{Name: r}
-				}
-				return x
-			default:
-				return e
-			}
-		}
-		rwCall := func(c *lang.CallExpr) {
-			if c.Recv != "" && c.Recv != "this" {
-				c.Recv = mapName(c.Recv)
-			} else if c.Recv == "" {
-				if r, ok := funcs[c.Method]; ok {
-					c.Method = r
-				}
-			}
-			for i := range c.Args {
-				c.Args[i] = rwExpr(c.Args[i])
-			}
-		}
-		rw = func(body []lang.Stmt) {
-			for _, s := range body {
-				switch st := s.(type) {
-				case *lang.AssignStmt:
-					switch l := st.Lhs.(type) {
-					case lang.VarRef:
-						st.Lhs = lang.VarRef{Name: mapName(l.Name)}
-					case lang.FieldRef:
-						st.Lhs = lang.FieldRef{Base: mapName(l.Base), Field: l.Field}
-					case lang.IndexRef:
-						st.Lhs = lang.IndexRef{Base: mapName(l.Base)}
-					}
-					switch r := st.Rhs.(type) {
-					case *lang.CallExpr:
-						rwCall(r)
-					case *lang.NewExpr:
-						for i := range r.Args {
-							r.Args[i] = rwExpr(r.Args[i])
-						}
-					default:
-						st.Rhs = rwExpr(st.Rhs)
-					}
-				case *lang.CallStmt:
-					rwCall(st.Call)
-				case *lang.SyncStmt:
-					st.Obj = mapName(st.Obj)
-					rw(st.Body)
-				case *lang.IfStmt:
-					rw(st.Then)
-					rw(st.Else)
-				case *lang.WhileStmt:
-					rw(st.Body)
-				case *lang.ReturnStmt:
-					if st.Val != nil {
-						st.Val = rwExpr(st.Val)
-					}
-				}
-			}
-		}
-		rw(fd.Body)
+		collectAssigned(fd.Body, func(name string) {
+			locals[name] = name + "_mr"
+		})
+		rewriteLocals(fd, locals, funcs)
 	}
 	for _, fd := range f.Funcs {
 		if r, ok := funcs[fd.Name]; ok {
@@ -197,6 +108,122 @@ func renameIdents(f *lang.File, entries ir.EntryConfig) {
 			rename(m)
 		}
 	}
+}
+
+// collectAssigned calls fn with the name of every variable assigned to
+// in body, recursing into every nested block.
+func collectAssigned(body []lang.Stmt, fn func(string)) {
+	for _, s := range body {
+		switch st := s.(type) {
+		case *lang.AssignStmt:
+			if v, ok := st.Lhs.(lang.VarRef); ok {
+				fn(v.Name)
+			}
+		case *lang.SyncStmt:
+			collectAssigned(st.Body, fn)
+		case *lang.IfStmt:
+			collectAssigned(st.Then, fn)
+			collectAssigned(st.Else, fn)
+		case *lang.WhileStmt:
+			collectAssigned(st.Body, fn)
+		case *lang.SelectStmt:
+			for i := range st.Arms {
+				collectAssigned(st.Arms[i].Body, fn)
+			}
+			collectAssigned(st.Default, fn)
+		}
+	}
+}
+
+// rewriteLocals substitutes local variable names per locals (and free
+// function names per funcs) throughout fd's body, including select arm
+// channels and operands.
+func rewriteLocals(fd *lang.FuncDecl, locals, funcs map[string]string) {
+	mapName := func(n string) string {
+		if r, ok := locals[n]; ok {
+			return r
+		}
+		return n
+	}
+	var rw func(body []lang.Stmt)
+	rwExpr := func(e lang.Expr) lang.Expr {
+		switch x := e.(type) {
+		case lang.VarRef:
+			return lang.VarRef{Name: mapName(x.Name)}
+		case lang.FieldRef:
+			return lang.FieldRef{Base: mapName(x.Base), Field: x.Field}
+		case lang.IndexRef:
+			return lang.IndexRef{Base: mapName(x.Base)}
+		case lang.FuncAddrExpr:
+			if r, ok := funcs[x.Name]; ok {
+				return lang.FuncAddrExpr{Name: r}
+			}
+			return x
+		default:
+			return e
+		}
+	}
+	rwCall := func(c *lang.CallExpr) {
+		if c.Recv != "" && c.Recv != "this" {
+			c.Recv = mapName(c.Recv)
+		} else if c.Recv == "" {
+			if r, ok := funcs[c.Method]; ok {
+				c.Method = r
+			}
+		}
+		for i := range c.Args {
+			c.Args[i] = rwExpr(c.Args[i])
+		}
+	}
+	rw = func(body []lang.Stmt) {
+		for _, s := range body {
+			switch st := s.(type) {
+			case *lang.AssignStmt:
+				switch l := st.Lhs.(type) {
+				case lang.VarRef:
+					st.Lhs = lang.VarRef{Name: mapName(l.Name)}
+				case lang.FieldRef:
+					st.Lhs = lang.FieldRef{Base: mapName(l.Base), Field: l.Field}
+				case lang.IndexRef:
+					st.Lhs = lang.IndexRef{Base: mapName(l.Base)}
+				}
+				switch r := st.Rhs.(type) {
+				case *lang.CallExpr:
+					rwCall(r)
+				case *lang.NewExpr:
+					for i := range r.Args {
+						r.Args[i] = rwExpr(r.Args[i])
+					}
+				default:
+					st.Rhs = rwExpr(st.Rhs)
+				}
+			case *lang.CallStmt:
+				rwCall(st.Call)
+			case *lang.SyncStmt:
+				st.Obj = mapName(st.Obj)
+				rw(st.Body)
+			case *lang.IfStmt:
+				rw(st.Then)
+				rw(st.Else)
+			case *lang.WhileStmt:
+				rw(st.Body)
+			case *lang.SelectStmt:
+				for i := range st.Arms {
+					st.Arms[i].Ch = mapName(st.Arms[i].Ch)
+					if st.Arms[i].Val != nil {
+						st.Arms[i].Val = rwExpr(st.Arms[i].Val)
+					}
+					rw(st.Arms[i].Body)
+				}
+				rw(st.Default)
+			case *lang.ReturnStmt:
+				if st.Val != nil {
+					st.Val = rwExpr(st.Val)
+				}
+			}
+		}
+	}
+	rw(fd.Body)
 }
 
 // ---- reorder-decls ----
@@ -260,9 +287,103 @@ func hasReturn(body []lang.Stmt) bool {
 			if hasReturn(st.Body) {
 				return true
 			}
+		case *lang.SelectStmt:
+			for i := range st.Arms {
+				if hasReturn(st.Arms[i].Body) {
+					return true
+				}
+			}
+			if hasReturn(st.Default) {
+				return true
+			}
 		}
 	}
 	return false
+}
+
+// ---- permute-select-arms ----
+
+// permuteSelectArms reverses the arm order of every select statement.
+// Select dispatch is nondeterministic: which ready arm fires does not
+// depend on the order the arms are written, so the canonical race set
+// must be invariant under any arm permutation (the lowering guarantees
+// this by emitting all guard operations before any arm body).
+func permuteSelectArms(f *lang.File, entries ir.EntryConfig) {
+	eachDecl(f, func(fd *lang.FuncDecl) { permuteSelectsIn(fd.Body) })
+}
+
+func permuteSelectsIn(body []lang.Stmt) {
+	for _, s := range body {
+		switch st := s.(type) {
+		case *lang.SyncStmt:
+			permuteSelectsIn(st.Body)
+		case *lang.IfStmt:
+			permuteSelectsIn(st.Then)
+			permuteSelectsIn(st.Else)
+		case *lang.WhileStmt:
+			permuteSelectsIn(st.Body)
+		case *lang.SelectStmt:
+			reverse(st.Arms)
+			for i := range st.Arms {
+				permuteSelectsIn(st.Arms[i].Body)
+			}
+			permuteSelectsIn(st.Default)
+		}
+	}
+}
+
+// ---- rename-channel-vars ----
+
+// renameChannelVars renames exactly the variables bound by a chan(...)
+// builtin to a "_ch"-suffixed form, touching every reference: send/recv
+// /close arguments, select arm guards, constructor arguments and field
+// stores. Channel identity in the analysis is the abstract object, not
+// the variable name, so the report must not move.
+func renameChannelVars(f *lang.File, entries ir.EntryConfig) {
+	eachDecl(f, func(fd *lang.FuncDecl) {
+		locals := map[string]string{}
+		var scan func(body []lang.Stmt)
+		scan = func(body []lang.Stmt) {
+			for _, s := range body {
+				switch st := s.(type) {
+				case *lang.AssignStmt:
+					if v, ok := st.Lhs.(lang.VarRef); ok {
+						if c, ok := st.Rhs.(*lang.CallExpr); ok && c.Recv == "" && c.Method == "chan" {
+							locals[v.Name] = v.Name + "_ch"
+						}
+					}
+				case *lang.SyncStmt:
+					scan(st.Body)
+				case *lang.IfStmt:
+					scan(st.Then)
+					scan(st.Else)
+				case *lang.WhileStmt:
+					scan(st.Body)
+				case *lang.SelectStmt:
+					for i := range st.Arms {
+						scan(st.Arms[i].Body)
+					}
+					scan(st.Default)
+				}
+			}
+		}
+		scan(fd.Body)
+		if len(locals) > 0 {
+			rewriteLocals(fd, locals, nil)
+		}
+	})
+}
+
+// eachDecl visits every function and method declaration in the file.
+func eachDecl(f *lang.File, fn func(*lang.FuncDecl)) {
+	for _, fd := range f.Funcs {
+		fn(fd)
+	}
+	for _, cd := range f.Classes {
+		for _, m := range cd.Methods {
+			fn(m)
+		}
+	}
 }
 
 // ---- permute-dispatch ----

@@ -120,10 +120,12 @@ func ScoreProgram(name, category string, expected, actual []report.RaceKey) Prog
 	return ps
 }
 
-// BuildEval aggregates program scores into the versioned report.
-// Categories appear in canonical Categories order, restricted to those
-// present; programs keep their given order (the corpus is sorted by
-// name).
+// BuildEval aggregates program scores into the versioned report. Every
+// canonical category appears in Categories order — including categories
+// with zero programs or zero findings, which report an explicit zeroed
+// row instead of silently vanishing (a gate that never sees a category
+// cannot notice its corpus slice was dropped); programs keep their
+// given order (the corpus is sorted by name).
 func BuildEval(programs []ProgramScore) *EvalReport {
 	r := &EvalReport{Schema: EvalSchemaVersion, Programs: programs}
 	type agg struct{ tp, fp, fn, n int }
@@ -146,7 +148,7 @@ func BuildEval(programs []ProgramScore) *EvalReport {
 	for _, cat := range Categories {
 		a := byCat[cat]
 		if a == nil {
-			continue
+			a = &agg{}
 		}
 		r.Categories = append(r.Categories, CategoryScore{
 			Category: cat, Programs: a.n, Score: mkScore(a.tp, a.fp, a.fn),
@@ -234,6 +236,9 @@ func (r *EvalReport) CheckAgainstBaseline(baseline *EvalReport) error {
 	}
 	base := map[string]CategoryScore{}
 	for _, c := range baseline.Categories {
+		if c.Programs == 0 {
+			continue // zeroed row: its precision 1.0 is vacuous, not achieved
+		}
 		base[c.Category] = c
 	}
 	for _, c := range r.Categories {

@@ -117,20 +117,56 @@ func TestBuildEvalAggregates(t *testing.T) {
 	if rep.Schema != EvalSchemaVersion {
 		t.Errorf("schema = %d", rep.Schema)
 	}
-	// Canonical categories first (in Categories order), extras appended.
+	// Every canonical category appears (in Categories order, zeroed rows
+	// for categories with no programs), extras appended after.
 	var order []string
+	byCat := map[string]CategoryScore{}
 	for _, c := range rep.Categories {
 		order = append(order, c.Category)
+		byCat[c.Category] = c
 	}
-	if got := strings.Join(order, ","); got != "thread,known-fp,custom" {
-		t.Errorf("category order = %s", got)
+	want := strings.Join(Categories, ",") + ",custom"
+	if got := strings.Join(order, ","); got != want {
+		t.Errorf("category order = %s, want %s", got, want)
 	}
-	th := rep.Categories[0]
+	th := byCat["thread"]
 	if th.Programs != 2 || th.TP != 3 || th.FP != 1 || th.Precision != 0.75 {
 		t.Errorf("thread agg = %+v", th)
 	}
+	// A canonical category with no programs reports an explicit zero row.
+	if z := byCat["go-sync"]; z.Programs != 0 || z.TP != 0 || z.FP != 0 || z.FN != 0 {
+		t.Errorf("empty category row = %+v, want zeroed", z)
+	}
 	if rep.Total.TP != 4 || rep.Total.FP != 3 || rep.Total.FN != 1 {
 		t.Errorf("total = %+v", rep.Total)
+	}
+}
+
+// TestEvalReportPinsAllCategories pins the full canonical category list
+// in the EvalReport JSON: a category must appear in every report even
+// when it scores zero findings, so a silently-dropped corpus slice (or
+// a renamed category) fails loudly here and in the baseline diff.
+func TestEvalReportPinsAllCategories(t *testing.T) {
+	pinned := []string{
+		"figure", "thread", "event", "mixed", "array",
+		"lock-protected", "join-ordered", "origin-local", "event-serialized",
+		"known-fp", "go-sync",
+	}
+	if got := strings.Join(Categories, ","); got != strings.Join(pinned, ",") {
+		t.Fatalf("canonical category list changed:\n got %s\nwant %s\n(update this pin and regenerate baseline.json deliberately)", got, strings.Join(pinned, ","))
+	}
+	rep := BuildEval([]ProgramScore{{Name: "a", Category: "thread", TP: 1}})
+	data, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cat := range pinned {
+		if !strings.Contains(string(data), `"category": "`+cat+`"`) {
+			t.Errorf("category %q missing from eval JSON", cat)
+		}
+	}
+	if len(rep.Categories) != len(pinned) {
+		t.Errorf("report has %d categories, want %d", len(rep.Categories), len(pinned))
 	}
 }
 

@@ -58,10 +58,15 @@ func Baseline() (*EvalReport, error) { return ParseEval(baselineJSON) }
 //	                 to report (infeasible paths, unknown locks, value
 //	                 protocols) — these programs keep the precision axis
 //	                 honest
+//	go-sync          Go-style message passing: channel send/recv/close,
+//	                 select dispatch and WaitGroup barriers as HB edges,
+//	                 including the racy misuse patterns from Uber's field
+//	                 study (mutate-after-send, loop-variable capture,
+//	                 mismatched Done/Wait)
 var Categories = []string{
 	"figure", "thread", "event", "mixed", "array",
 	"lock-protected", "join-ordered", "origin-local", "event-serialized",
-	"known-fp",
+	"known-fp", "go-sync",
 }
 
 // Program is one labeled corpus entry.

@@ -38,6 +38,10 @@ const (
 	OpMonEnter
 	OpMonExit
 	OpRet
+	OpChanMake
+	OpChanSend
+	OpChanRecv
+	OpChanClose
 )
 
 // FragInstr is one serialized instruction. Field use by op:
@@ -59,6 +63,10 @@ const (
 //	OpMonEnter     monitorenter A
 //	OpMonExit      monitorexit A
 //	OpRet          return A ("" = void; folds the $ret copy)
+//	OpChanMake     Dst = chan(Cap)
+//	OpChanSend     send(A, B)
+//	OpChanRecv     [Dst =] recv(A)
+//	OpChanClose    close(A)
 type FragInstr struct {
 	Op     Op       `json:"op"`
 	Dst    string   `json:"dst,omitempty"`
@@ -68,6 +76,7 @@ type FragInstr struct {
 	Args   []string `json:"args,omitempty"`
 	Rel    int      `json:"rel"` // line offset from the declaration line
 	InLoop bool     `json:"in_loop,omitempty"`
+	Cap    int      `json:"cap,omitempty"` // OpChanMake capacity
 }
 
 // Frag is a serialized function body.
@@ -116,6 +125,18 @@ func EncodeBody(fn *ir.Func, baseLine int) (*Frag, error) {
 			fr.add(FragInstr{Op: OpMonEnter, A: in.Obj.Name, Rel: rel})
 		case *ir.MonitorExit:
 			fr.add(FragInstr{Op: OpMonExit, A: in.Obj.Name, Rel: rel})
+		case *ir.ChanMake:
+			fr.add(FragInstr{Op: OpChanMake, Dst: in.Dst.Name, Cap: in.Cap, Rel: rel})
+		case *ir.ChanSend:
+			fr.add(FragInstr{Op: OpChanSend, A: in.Ch.Name, B: in.Val.Name, Rel: rel})
+		case *ir.ChanRecv:
+			fi := FragInstr{Op: OpChanRecv, A: in.Ch.Name, Rel: rel}
+			if in.Dst != nil {
+				fi.Dst = in.Dst.Name
+			}
+			fr.add(fi)
+		case *ir.ChanClose:
+			fr.add(FragInstr{Op: OpChanClose, A: in.Ch.Name, Rel: rel})
 		case *ir.Return:
 			if in.Val != nil {
 				// A bare Return with a value (no preceding $ret copy)
@@ -241,6 +262,14 @@ func decodeInstr(prog *ir.Program, lookup func(string) *ir.Func, b *ir.B, fi Fra
 		b.Unlock(fi.A)
 	case OpRet:
 		b.Ret(fi.A)
+	case OpChanMake:
+		b.ChanMake(fi.Dst, fi.Cap)
+	case OpChanSend:
+		b.Send(fi.A, fi.B)
+	case OpChanRecv:
+		b.Recv(fi.Dst, fi.A)
+	case OpChanClose:
+		b.CloseChan(fi.A)
 	case OpBuiltin:
 		switch fi.Name {
 		case "pthread_create":

@@ -28,7 +28,10 @@ import (
 // canonical unit rendering, the dependency rules or the fragment
 // encoding change shape, so stale summaries can never be replayed
 // across format revisions.
-const FormatVersion = 1
+//
+// v2: channel/select constructs (chan/send/recv/close builtins, select
+// statements) joined the canonical rendering and the fragment codec.
+const FormatVersion = 2
 
 // Kind classifies a unit.
 type Kind uint8
@@ -307,7 +310,8 @@ func (x *extractor) bodyDeps(u *Unit, add func(string)) {
 		}
 		if c.Recv == "" {
 			switch c.Method {
-			case "pthread_create", "pthread_join", "event_register":
+			case "pthread_create", "pthread_join", "event_register",
+				"chan", "send", "recv", "close":
 				return // builtins shadow declarations
 			}
 			if (x.entries.IsLockFunc(c.Method) || x.entries.IsUnlockFunc(c.Method)) && len(c.Args) == 1 {
@@ -446,6 +450,11 @@ func walkStmts(body []lang.Stmt, fn func(lang.Stmt)) {
 			walkStmts(st.Else, fn)
 		case *lang.WhileStmt:
 			walkStmts(st.Body, fn)
+		case *lang.SelectStmt:
+			for _, arm := range st.Arms {
+				walkStmts(arm.Body, fn)
+			}
+			walkStmts(st.Default, fn)
 		}
 	}
 }

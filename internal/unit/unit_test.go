@@ -250,10 +250,30 @@ func helper(p) {
 	}
 	return null;
 }
+func pump(c, p) {
+	send(c, p);
+	v = recv(c);
+	select {
+	recv(c) {
+		v = recv(c);
+	}
+	send(c, p) {
+		recv(c);
+	}
+	default {
+		close(c);
+	}
+	}
+	return v;
+}
 main {
 	n = new Node(null);
 	w = new W(n);
 	w.start();
+	c = chan(2);
+	d = chan();
+	q = pump(c, n);
+	close(d);
 	pthread_join(w);
 }
 `

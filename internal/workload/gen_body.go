@@ -341,6 +341,35 @@ func (g *gen) buildMain(workers, events []*ir.Class) {
 			b.Call("", "cc"+bx, "start")
 		}
 	}
+	if p.ChanPairs > 0 {
+		for i := 0; i < p.ChanPairs; i++ {
+			bx := fmt.Sprintf("gbox%d", i)
+			ch := fmt.Sprintf("gch%d", i)
+			b.At(g.pos()).New(bx, g.prog.Class("ChanBox"))
+			b.ChanMake(ch, 0)
+			b.New("gp"+bx, g.prog.Class("ChanProducer"), bx, ch)
+			b.Call("", "gp"+bx, "start")
+			b.New("gc"+bx, g.prog.Class("ChanConsumer"), bx, ch)
+			b.Call("", "gc"+bx, "start")
+		}
+	}
+	if p.WgWorkers > 0 {
+		b.At(g.pos()).New("wgrp", g.prog.Class("WaitGroup"))
+		b.Call("", "wgrp", "Add")
+		var wboxes []string
+		for i := 0; i < p.WgWorkers; i++ {
+			wx := fmt.Sprintf("wbox%d", i)
+			b.At(g.pos()).New(wx, g.prog.Class("WgBox"))
+			b.New("ww"+wx, g.prog.Class("WgWorker"), wx, "wgrp")
+			b.Call("", "ww"+wx, "start")
+			wboxes = append(wboxes, wx)
+		}
+		b.At(g.pos()).Call("", "wgrp", "Wait")
+		for _, wx := range wboxes {
+			// After the barrier: ordered with every worker's write.
+			b.Load("tmp", wx, "wv")
+		}
+	}
 	if p.LockInversions > 0 {
 		for i := 0; i < p.LockInversions; i++ {
 			la := fmt.Sprintf("ila%d", i)

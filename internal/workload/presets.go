@@ -170,7 +170,29 @@ func ByName(name string) (Preset, bool) {
 	if p := Linux(); p.Name == name {
 		return p, true
 	}
+	if p := GoSync(); p.Name == name {
+		return p, true
+	}
 	return Preset{}, false
+}
+
+// GoSync models a Go-style message-passing server: channel handoff pairs
+// and a WaitGroup fan-in barrier dominate the synchronization, with only a
+// modest mutex-protected core. It drives the channel/WaitGroup HB rules at
+// workload scale — every handoff is race-free only because of a
+// send→recv or Done→Wait edge.
+func GoSync() Preset {
+	p := base("gosync", 601)
+	p.Workers = 6
+	p.Events = 2
+	p.ChanPairs = 10
+	p.WgWorkers = 12
+	p.CondPairs = 1
+	p.LockFrac = 0.7
+	p.UtilDepth = 3
+	p.FactoryDepth = 4
+	p.Reps = 2
+	return p
 }
 
 // Linux models the paper's Linux-kernel configuration (§5.4): hundreds of

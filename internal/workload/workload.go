@@ -80,6 +80,13 @@ type Preset struct {
 	VolatileFields int // volatile fields on Shared, written by every origin (never races)
 	CondPairs      int // producer/consumer thread pairs ordered by notify→wait
 	LockInversions int // worker pairs acquiring two locks in opposite order
+
+	// Go-style message passing: ChanPairs producer/consumer thread pairs
+	// hand a payload over an unbuffered channel (send→recv HB, never a
+	// race); WgWorkers threads each write a private box before Done() and
+	// main reads every box after Wait() (Done→Wait barrier, never a race).
+	ChanPairs int
+	WgWorkers int
 }
 
 // KLOC estimates the source size the preset stands in for (display only).
@@ -207,6 +214,52 @@ func (g *gen) buildSyncExtras() {
 		crb.Call("", "c", "wait")
 		crb.Load("x", "this", "box")
 		crb.Load("r", "x", "payload") // after wait: no race
+	}
+	if p.ChanPairs > 0 {
+		box := g.prog.Class("ChanBox")
+		box.Fields = []string{"payload"}
+		prod := g.prog.Class("ChanProducer")
+		prod.Fields = []string{"box", "ch"}
+		pi := g.prog.NewFunc(prod, "init", "b", "c")
+		pb := g.nb(pi)
+		pb.Store("this", "box", "b")
+		pb.Store("this", "ch", "c")
+		pr := g.prog.NewFunc(prod, "run")
+		prb := g.nb(pr)
+		prb.Load("x", "this", "box")
+		prb.Store("x", "payload", "this") // before send: ordered
+		prb.Load("c", "this", "ch")
+		prb.Send("c", "x")
+
+		cons := g.prog.Class("ChanConsumer")
+		cons.Fields = []string{"box", "ch"}
+		ci := g.prog.NewFunc(cons, "init", "b", "c")
+		cb := g.nb(ci)
+		cb.Store("this", "box", "b")
+		cb.Store("this", "ch", "c")
+		cr := g.prog.NewFunc(cons, "run")
+		crb := g.nb(cr)
+		crb.Load("c", "this", "ch")
+		crb.Recv("r", "c")
+		crb.Load("x", "this", "box")
+		crb.Load("q", "x", "payload") // after recv: no race
+	}
+	if p.WgWorkers > 0 {
+		g.prog.Class("WaitGroup") // no methods: calls classify as wg ops
+		wbox := g.prog.Class("WgBox")
+		wbox.Fields = []string{"wv"}
+		ww := g.prog.Class("WgWorker")
+		ww.Fields = []string{"box", "wg"}
+		wi := g.prog.NewFunc(ww, "init", "b", "w")
+		wb := g.nb(wi)
+		wb.Store("this", "box", "b")
+		wb.Store("this", "wg", "w")
+		wr := g.prog.NewFunc(ww, "run")
+		wrb := g.nb(wr)
+		wrb.Load("x", "this", "box")
+		wrb.Store("x", "wv", "this") // private box: workers never collide
+		wrb.Load("w", "this", "wg")
+		wrb.Call("", "w", "Done")
 	}
 	if p.LockInversions > 0 {
 		g.prog.Class("InvData").Fields = []string{"guarded"}

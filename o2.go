@@ -231,7 +231,8 @@ func entriesFingerprint(e ir.EntryConfig) string {
 	}
 	return part(e.ThreadEntries) + part(e.EventEntries) + part(e.StartMethods) +
 		part(e.JoinMethods) + part(e.WaitMethods) + part(e.NotifyMethods) +
-		part(e.LockFuncs) + part(e.UnlockFuncs)
+		part(e.LockFuncs) + part(e.UnlockFuncs) +
+		part(e.WgAddMethods) + part(e.WgDoneMethods) + part(e.WgWaitMethods)
 }
 
 // AnalyzeSource is the legacy convenience wrapper over AnalyzeSourceCtx
