@@ -401,6 +401,67 @@ func BenchmarkParallelDetectObs(b *testing.B) {
 			}
 		}
 	})
+	// The flight-recorder hooks (live progress on the cancelStride tick,
+	// per-origin pair attribution) follow the same contract: with
+	// Options.Progress and Options.Attr nil they reduce to one nil check
+	// per stride tick / per tallied pair and must track the plain
+	// disabled variant; enabled they pay the per-stride atomics and the
+	// worker-local tallies.
+	b.Run("progress-disabled", func(b *testing.B) {
+		opts := race.O2Options()
+		opts.Workers = 4
+		var p *obs.Progress
+		for i := 0; i < b.N; i++ {
+			opts.Progress = p
+			race.Detect(a, sh, g, opts)
+			_ = p.Snapshot()
+		}
+	})
+	b.Run("progress-enabled", func(b *testing.B) {
+		opts := race.O2Options()
+		opts.Workers = 4
+		for i := 0; i < b.N; i++ {
+			opts.Progress = obs.NewProgress()
+			opts.Attr = race.NewAttribution(a.Origins.Len())
+			race.Detect(a, sh, g, opts)
+		}
+	})
+}
+
+// TestDetectProgressDisabledAllocFree pins the allocation cost of the
+// disabled flight-recorder path: a sequential Detect with Progress and
+// Attr nil must allocate exactly as little as it did before the hooks
+// existed. The detect hot path is allocation-free by construction (the
+// pair buffer is reused across groups), so the budget is a handful of
+// fixed setup allocations — any per-pair or per-stride allocation from
+// the progress/attribution plumbing blows it immediately.
+func TestDetectProgressDisabledAllocFree(t *testing.T) {
+	entries := ir.DefaultEntryConfig()
+	p, ok := workload.ByName("avrora")
+	if !ok {
+		t.Fatal("avrora preset missing")
+	}
+	prog := workload.Build(p, entries)
+	a := pta.New(prog, pta.Config{Policy: bench.POPA, Entries: entries, ReplicateEvents: true})
+	if err := a.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	sh := osa.Analyze(a)
+	g := shb.Build(a, shb.Config{})
+	opts := race.O2Options()
+	opts.Workers = 1
+	race.Detect(a, sh, g, opts) // warm the reach cache and lockset canon
+	allocs := testing.AllocsPerRun(10, func() {
+		race.Detect(a, sh, g, opts)
+	})
+	// Report + group bookkeeping for the warm run; measured ~68 on a quiet
+	// run, pinned with headroom against process-global noise. A single
+	// per-pair allocation would add hundreds (avrora checks >200 pairs)
+	// and trip the pin at once.
+	const budget = 96
+	if allocs > budget {
+		t.Fatalf("sequential Detect with progress disabled: %.0f allocs/run > budget %d", allocs, budget)
+	}
 }
 
 // benchSource builds the scheduler benchmarks' minilang input: n racy

@@ -111,6 +111,42 @@ telemetry() {
 	python3 -m json.tool "$dir/trace.json" >/dev/null || { echo "telemetry: trace JSON invalid" >&2; exit 1; }
 	grep -q '"schema"' "$dir/witness.json" || { echo "telemetry: witness missing schema stamp" >&2; exit 1; }
 	grep -q '"ph"' "$dir/trace.json" || { echo "telemetry: trace has no events" >&2; exit 1; }
+
+	# Progress-event stream: every interleaved line must be well-formed
+	# JSON and at least one must be a schema-tagged progress record.
+	rc=0
+	go run ./cmd/o2 batch -stream -progress-interval 1ns \
+		testdata/smoke_racy.mini testdata/smoke_clean.mini \
+		>"$dir/progress.ndjson" 2>/dev/null || rc=$?
+	[ "$rc" -eq 1 ] || { echo "telemetry: progress stream exit=$rc, want 1" >&2; exit 1; }
+	while IFS= read -r line; do
+		printf '%s\n' "$line" | python3 -m json.tool >/dev/null || { echo "telemetry: bad progress-stream record" >&2; exit 1; }
+	done <"$dir/progress.ndjson"
+	grep -q '"progress":true' "$dir/progress.ndjson" || { echo "telemetry: stream has no progress records" >&2; exit 1; }
+
+	# Introspection report on the zookeeper preset: well-formed, carries
+	# the per-origin top-K, and its deterministic projection (run-dependent
+	# wall/byte/cache fields stripped) is byte-identical across two runs.
+	rc=0
+	go run ./cmd/o2 analyze -preset zookeeper -stats-json "$dir/zk1.json" >/dev/null || rc=$?
+	[ "$rc" -eq 1 ] || { echo "telemetry: zookeeper exit=$rc, want 1" >&2; exit 1; }
+	go run ./cmd/o2 analyze -preset zookeeper -stats-json "$dir/zk2.json" >/dev/null || true
+	python3 -m json.tool "$dir/zk1.json" >/dev/null || { echo "telemetry: stats JSON invalid" >&2; exit 1; }
+	grep -q '"introspection"' "$dir/zk1.json" || { echo "telemetry: stats missing introspection section" >&2; exit 1; }
+	grep -q '"top_k"' "$dir/zk1.json" || { echo "telemetry: introspection missing top-K attribution" >&2; exit 1; }
+	python3 -c "
+import json, sys
+def det(path):
+    i = json.load(open(path))['introspection']
+    for k in ('pta_wall_ns','shb_wall_ns','detect_wall_ns','arena_bytes','reach_hits','reach_misses'):
+        i.pop(k, None)
+    for c in i.get('top_k', []):
+        for k in ('pta_share_ns','shb_share_ns','detect_share_ns','arena_bytes'):
+            c.pop(k, None)
+    return json.dumps(i, sort_keys=True)
+sys.exit(0 if det('$dir/zk1.json') == det('$dir/zk2.json') else 1)
+" || { echo "telemetry: introspection projection differs across runs" >&2; exit 1; }
+
 	trap - EXIT
 	rm -rf "$dir"
 	echo "telemetry: ok"
@@ -118,7 +154,9 @@ telemetry() {
 
 # Minimum statement coverage per observability-critical package. Floors
 # sit ~15 points under current coverage (obs 91%, race 84%, lockset 94%)
-# so they catch untested growth without flaking on minor refactors.
+# so they catch untested growth without flaking on minor refactors. The
+# obs floor covers the flight-recorder additions (progress snapshots,
+# introspection ranking, exposition parsing) alongside the registry.
 cover() {
 	for spec in internal/obs:75 internal/race:70 internal/lockset:80; do
 		pkg=${spec%:*}

@@ -9,12 +9,14 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"time"
 
 	"o2"
 	"o2/internal/lang"
 	"o2/internal/obs"
 	"o2/internal/race"
 	"o2/internal/summary"
+	"o2/internal/workload"
 )
 
 // runAnalyze is the classic single-program CLI (also reachable as
@@ -42,11 +44,13 @@ func runAnalyze(args []string) int {
 	dumpIR := fs.Bool("dump-ir", false, "dump the lowered IR and exit")
 	incremental := fs.Bool("incremental", false, "analyze through per-unit summary reuse (identical report; reuse stats under -stats)")
 	oversyncF := fs.Bool("oversync", false, "also report lock regions guarding only origin-local data")
+	preset := fs.String("preset", "", "analyze a built-in benchmark preset (e.g. zookeeper) instead of source files")
+	progressF := fs.Bool("progress", false, "stream live phase/pair progress to stderr while the analysis runs")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
 
-	if fs.NArg() == 0 {
+	if fs.NArg() == 0 && *preset == "" {
 		fmt.Fprintln(os.Stderr, "usage: o2 [flags] file.mini ...")
 		fs.PrintDefaults()
 		return exitUsage
@@ -95,12 +99,37 @@ func runAnalyze(args []string) int {
 		return fail(exitUsage, err)
 	}
 	cfg.Policy = pol
+	if *progressF {
+		stop := startProgress(&cfg)
+		defer stop()
+	}
+
+	var res *o2.Result
+	if *preset != "" {
+		p, ok := workload.ByName(*preset)
+		if !ok {
+			return fail(exitUsage, fmt.Errorf("unknown preset %q", *preset))
+		}
+		prog := workload.Build(p, cfg.Entries)
+		if *dumpIR {
+			prog.Print(os.Stdout)
+			return exitOK
+		}
+		res, err = o2.AnalyzeProgram(prog, cfg)
+		if err != nil {
+			return fail(exitCode(err), err)
+		}
+		return reportAnalyze(res, analyzeOutput{
+			statsJSON: *statsJSON, traceOut: *traceOut, traceSpans: *traceSpans, reg: reg,
+			origins: *origins, sharing: *sharing, stats: *stats, deadlocks: *deadlocks,
+			oversync: *oversyncF, explain: *explain, explainJSON: *explainJSON, asJSON: *asJSON,
+		})
+	}
 
 	files, err := readFiles(fs.Args())
 	if err != nil {
 		return fail(exitUsage, err)
 	}
-	var res *o2.Result
 	switch {
 	case *incremental && !*dumpIR:
 		// One-shot incremental run against a fresh store: every unit is a
@@ -131,28 +160,85 @@ func runAnalyze(args []string) int {
 		}
 	}
 
-	if *statsJSON != "" {
-		if err := res.RunStats.WriteFile(*statsJSON); err != nil {
+	return reportAnalyze(res, analyzeOutput{
+		statsJSON: *statsJSON, traceOut: *traceOut, traceSpans: *traceSpans, reg: reg,
+		origins: *origins, sharing: *sharing, stats: *stats, deadlocks: *deadlocks,
+		oversync: *oversyncF, explain: *explain, explainJSON: *explainJSON, asJSON: *asJSON,
+	})
+}
+
+// startProgress wires a live Progress into cfg and spawns a ticker that
+// repaints one status line on stderr until the returned stop function
+// runs (which prints the final snapshot and a newline). Progress never
+// alters analysis results; it only feeds this display.
+func startProgress(cfg *o2.Config) (stop func()) {
+	p := obs.NewProgress()
+	cfg.Progress = p
+	paint := func(nl string) {
+		snap := p.Snapshot()
+		fmt.Fprintf(os.Stderr, "\r\x1b[K%-6s %5.1f%%  pairs %d/%d  races %d%s",
+			snap.Phase, snap.Percent, snap.PairsDone, snap.PairsTotal, snap.Races, nl)
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				paint("")
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+		paint("\n")
+	}
+}
+
+// analyzeOutput carries the report-rendering flags shared by the file
+// and preset frontends of `o2 analyze`.
+type analyzeOutput struct {
+	statsJSON, traceOut          string
+	traceSpans                   bool
+	reg                          *obs.Registry
+	origins, sharing, stats      bool
+	deadlocks, oversync          bool
+	explain, explainJSON, asJSON bool
+}
+
+// reportAnalyze renders every requested view of a finished analysis and
+// returns the process exit code.
+func reportAnalyze(res *o2.Result, out analyzeOutput) int {
+	statsJSON, traceOut, traceSpans, reg := out.statsJSON, out.traceOut, out.traceSpans, out.reg
+
+	if statsJSON != "" {
+		if err := res.RunStats.WriteFile(statsJSON); err != nil {
 			return fail(exitInternal, err)
 		}
 	}
-	if *traceOut != "" {
-		if err := res.RunStats.WriteTraceFile(*traceOut); err != nil {
+	if traceOut != "" {
+		if err := res.RunStats.WriteTraceFile(traceOut); err != nil {
 			return fail(exitInternal, err)
 		}
 	}
-	if *traceSpans {
+	if traceSpans {
 		reg.WriteSpans(os.Stderr)
 	}
 
-	if *origins {
+	if out.origins {
 		fmt.Println("origins:")
 		for _, org := range res.Analysis.Origins.Origins {
 			fmt.Printf("  %s attrs=%s\n", org, res.Analysis.OriginAttrs(org.ID))
 		}
 		fmt.Println()
 	}
-	if *sharing {
+	if out.sharing {
 		fmt.Printf("origin-shared locations (%d):\n", len(res.Sharing.Shared))
 		for _, key := range res.Sharing.Shared {
 			origins := res.Sharing.OriginsOf(key)
@@ -165,7 +251,7 @@ func runAnalyze(args []string) int {
 		}
 		fmt.Println()
 	}
-	if *stats {
+	if out.stats {
 		st := res.Analysis.Stats()
 		fmt.Printf("stats: %s\n", st)
 		fmt.Printf("times: pta=%v osa=%v shb=%v detect=%v total=%v\n",
@@ -179,7 +265,7 @@ func runAnalyze(args []string) int {
 		fmt.Println()
 	}
 
-	if *deadlocks {
+	if out.deadlocks {
 		rep := res.Deadlocks()
 		fmt.Printf("deadlock analysis: %d lock-order edges, %d warnings\n", rep.Edges, len(rep.Warnings))
 		for _, w := range rep.Warnings {
@@ -187,7 +273,7 @@ func runAnalyze(args []string) int {
 		}
 		fmt.Println()
 	}
-	if *oversyncF {
+	if out.oversync {
 		rep := res.OverSync()
 		fmt.Printf("over-synchronization: %d regions, %d useful, %d unnecessary\n",
 			rep.Regions, rep.UsefulRegions, len(rep.Warnings))
@@ -198,7 +284,7 @@ func runAnalyze(args []string) int {
 	}
 
 	races := res.Races()
-	if *explainJSON {
+	if out.explainJSON {
 		// The machine-readable witness report: one versioned Witness per
 		// race (origin spawn chains, lockset derivation, HB-absence
 		// evidence). Byte-stable for a fixed input — golden-tested over
@@ -213,7 +299,7 @@ func runAnalyze(args []string) int {
 		}
 		return exitOK
 	}
-	if *asJSON {
+	if out.asJSON {
 		type jsonAccess struct {
 			Op     string `json:"op"`
 			Pos    string `json:"pos"`
@@ -243,7 +329,7 @@ func runAnalyze(args []string) int {
 			fmt.Println("no races detected")
 		}
 		for i, r := range races {
-			if *explain {
+			if out.explain {
 				fmt.Printf("race #%d %s\n", i+1, race.Explain(res.Analysis, res.Graph, &r))
 			} else {
 				fmt.Printf("race #%d %s\n", i+1, r.String())

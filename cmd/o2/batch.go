@@ -44,6 +44,7 @@ func runBatch(args []string) int {
 	incremental := fs.Bool("incremental", false, "reuse per-unit summaries across programs (two-level cache)")
 	stream := fs.Bool("stream", false, "emit one NDJSON record per program, in input order")
 	runStats := fs.Bool("run-stats", false, "with -stream: attach the full RunStats report to every record")
+	progressEvery := fs.Duration("progress-interval", 0, "with -stream: interleave a schema-tagged progress record at most this often (0 = off)")
 	asJSON := fs.Bool("json", false, "emit the aggregate report as JSON (eager mode)")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -89,11 +90,12 @@ func runBatch(args []string) int {
 
 	if *stream {
 		return runBatchStream(it, cfg, batchStreamOpts{
-			jobs:        *jobs,
-			window:      *window,
-			timeout:     *jobTimeout,
-			incremental: *incremental,
-			runStats:    *runStats,
+			jobs:          *jobs,
+			window:        *window,
+			timeout:       *jobTimeout,
+			incremental:   *incremental,
+			runStats:      *runStats,
+			progressEvery: *progressEvery,
 		})
 	}
 	return runBatchEager(it, cfg, batchEagerOpts{
@@ -210,10 +212,11 @@ func runBatchEager(it corpus.Iterator, cfg o2.Config, opts batchEagerOpts) int {
 }
 
 type batchStreamOpts struct {
-	jobs, window int
-	timeout      time.Duration
-	incremental  bool
-	runStats     bool
+	jobs, window  int
+	timeout       time.Duration
+	incremental   bool
+	runStats      bool
+	progressEvery time.Duration
 }
 
 // runBatchStream pipes the corpus through the streaming pipeline and
@@ -236,6 +239,12 @@ func runBatchStream(it corpus.Iterator, cfg o2.Config, opts batchStreamOpts) int
 
 	worst := exitOK
 	w := corpus.NewWriter(os.Stdout)
+	// Progress records interleave with result records on the same single
+	// emit goroutine, so the NDJSON stream stays strictly ordered; the
+	// interval throttles them to at most one per completed program.
+	start := time.Now()
+	lastProg := start
+	done, racesSoFar := 0, int64(0)
 	stats, err := o2.AnalyzeCorpus(context.Background(), it, ccfg, func(cr o2.CorpusResult) error {
 		rec := corpus.NewRecord(cr)
 		if !opts.runStats {
@@ -244,7 +253,25 @@ func runBatchStream(it corpus.Iterator, cfg o2.Config, opts batchStreamOpts) int
 		if code := classExit(rec.ExitClass); code > worst {
 			worst = code
 		}
-		return w.Write(rec)
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+		done++
+		racesSoFar += int64(rec.RaceCount)
+		if opts.progressEvery > 0 && time.Since(lastProg) >= opts.progressEvery {
+			lastProg = time.Now()
+			pr := &corpus.ProgressRecord{
+				Schema:     corpus.RecordSchema,
+				IsProgress: true,
+				Done:       done,
+				Index:      cr.Index,
+				Program:    cr.Name,
+				Races:      racesSoFar,
+				WallNS:     int64(time.Since(start)),
+			}
+			return w.Write(pr)
+		}
+		return nil
 	})
 	if err != nil {
 		return fail(exitCode(err), err)

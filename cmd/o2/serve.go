@@ -53,6 +53,7 @@ func runServe(args []string) int {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
 	logFormat := fs.String("log-format", "text", "structured-log format: json, text, none")
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	pprofF := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling; do not enable on untrusted networks)")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -75,7 +76,11 @@ func runServe(args []string) int {
 		UnitCacheEntries: *unitCache,
 		Log:              logger,
 	})
-	srv := server.New(s, server.WithLogger(logger))
+	srvOpts := []server.Option{server.WithLogger(logger)}
+	if *pprofF {
+		srvOpts = append(srvOpts, server.WithPprof())
+	}
+	srv := server.New(s, srvOpts...)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

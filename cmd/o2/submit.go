@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"o2/internal/obs"
 	"o2/internal/sched"
 	"o2/internal/server"
 )
@@ -55,7 +56,24 @@ func runSubmit(args []string) int {
 		if !bytes.Contains(body, []byte("# TYPE ")) {
 			return fail(exitInternal, fmt.Errorf("metrics: exposition has no # TYPE lines:\n%s", body))
 		}
+		fams, err := obs.ParsePromText(body)
+		if err != nil {
+			return fail(exitInternal, fmt.Errorf("metrics: %w", err))
+		}
 		os.Stdout.Write(body)
+		// Histogram families are bucket dumps in the raw exposition; append
+		// one rendered summary line each (count, sum, quantile estimates
+		// interpolated from the buckets). Emitted as comments so the output
+		// stays a valid exposition for downstream scrapers.
+		for i := range fams {
+			f := &fams[i]
+			hs, ok := f.Histogram()
+			if !ok {
+				continue
+			}
+			fmt.Printf("# hist %s count=%g sum=%g p50=%g p90=%g p99=%g\n",
+				f.Name, hs.Count, hs.Sum, hs.Quantile(0.5), hs.Quantile(0.9), hs.Quantile(0.99))
+		}
 		return exitOK
 	}
 

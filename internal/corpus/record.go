@@ -91,6 +91,10 @@ type Record struct {
 	WallNS    int64         `json:"wall_ns"`
 	Stats     *PhaseStats   `json:"stats,omitempty"`
 	RunStats  *obs.RunStats `json:"run_stats,omitempty"` // full observability report (opt-in)
+	// RequestID correlates server-streamed records with the originating
+	// HTTP request (honored or minted X-Request-ID); empty for local
+	// streams.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // NewRecord projects one streamed program outcome onto its wire record.
@@ -150,6 +154,42 @@ type Summary struct {
 	Races     int    `json:"races"`
 	WallNS    int64  `json:"wall_ns"`
 	Error     string `json:"error,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// ProgressRecord is a periodic progress line interleaved into a streamed
+// batch (schema-tagged with "progress": true so consumers filtering for
+// result records can skip it). Index/Program identify the most recently
+// completed input; Done counts completed programs so far. For job-level
+// event streams (GET /jobs/{id}/events) the same shape carries the
+// per-job phase snapshot instead, with Total == 0.
+type ProgressRecord struct {
+	Schema     int     `json:"schema"`
+	IsProgress bool    `json:"progress"`
+	Done       int     `json:"done"`
+	Total      int     `json:"total,omitempty"`
+	Index      int     `json:"index,omitempty"`
+	Program    string  `json:"program,omitempty"`
+	Phase      string  `json:"phase,omitempty"`
+	Percent    float64 `json:"percent"`
+	PairsDone  int64   `json:"pairs_done,omitempty"`
+	PairsTotal int64   `json:"pairs_total,omitempty"`
+	Races      int64   `json:"races"`
+	WallNS     int64   `json:"wall_ns"`
+	RequestID  string  `json:"request_id,omitempty"`
+}
+
+// NewProgress projects a live progress snapshot onto the wire record.
+func NewProgress(snap obs.ProgressSnapshot) *ProgressRecord {
+	return &ProgressRecord{
+		Schema:     RecordSchema,
+		IsProgress: true,
+		Phase:      snap.Phase,
+		Percent:    snap.Percent,
+		PairsDone:  snap.PairsDone,
+		PairsTotal: snap.PairsTotal,
+		Races:      snap.Races,
+	}
 }
 
 // NewSummary folds corpus stats (and a stream-level error, if any) into

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestRankOrigins(t *testing.T) {
+	costs := []OriginCost{
+		{ID: 0, Origin: "O0(main)", Pairs: 10, SHBNodes: 5},
+		{ID: 1, Origin: "O1", Pairs: 100, SHBNodes: 50, SHBEdges: 20},
+		{ID: 2, Origin: "O2", CGNodes: 170},
+		{ID: 3, Origin: "O3", Accesses: 170},
+	}
+	ranked := RankOrigins(costs)
+	if len(ranked) != 4 {
+		t.Fatalf("len = %d", len(ranked))
+	}
+	// O1 dominates; O2 and O3 tie at 170 and must break on the smaller ID.
+	if ranked[0].ID != 1 || ranked[0].Score != 170 {
+		t.Fatalf("ranked[0] = %+v", ranked[0])
+	}
+	if ranked[1].ID != 2 || ranked[2].ID != 3 {
+		t.Fatalf("tie broke wrong: %d then %d", ranked[1].ID, ranked[2].ID)
+	}
+	if ranked[3].ID != 0 || ranked[3].Score != 15 {
+		t.Fatalf("ranked[3] = %+v", ranked[3])
+	}
+}
+
+func TestRankOriginsTruncatesToTopK(t *testing.T) {
+	costs := make([]OriginCost, IntrospectionTopK+7)
+	for i := range costs {
+		costs[i] = OriginCost{ID: i, Pairs: int64(i)}
+	}
+	ranked := RankOrigins(costs)
+	if len(ranked) != IntrospectionTopK {
+		t.Fatalf("len = %d, want %d", len(ranked), IntrospectionTopK)
+	}
+	if ranked[0].ID != IntrospectionTopK+6 {
+		t.Fatalf("top = %+v", ranked[0])
+	}
+}
+
+func TestIntrospectionDeterministic(t *testing.T) {
+	var nilIn *Introspection
+	if nilIn.Deterministic() != nil {
+		t.Fatal("nil projection not nil")
+	}
+
+	in := &Introspection{
+		Schema:  IntrospectionSchema,
+		Origins: 3,
+		TopK: []OriginCost{{
+			ID: 1, Origin: "O1", Pairs: 7, Score: 7,
+			PTAShareNS: 100, SHBShareNS: 200, DetectShareNS: 300, ArenaBytes: 400,
+		}},
+		TotalPairs:  7,
+		ReachHits:   5,
+		ReachMisses: 2,
+		PTAWallNS:   1000, SHBWallNS: 2000, DetectWallNS: 3000, ArenaBytes: 4000,
+	}
+	det := in.Deterministic()
+
+	// The projection zeroes every run-dependent field but leaves the
+	// original untouched.
+	if in.PTAWallNS != 1000 || in.TopK[0].PTAShareNS != 100 || in.ReachHits != 5 {
+		t.Fatalf("projection mutated the source: %+v", in)
+	}
+	raw, err := json.Marshal(det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &top); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"pta_wall_ns", "shb_wall_ns", "detect_wall_ns", "arena_bytes", "reach_hits", "reach_misses"} {
+		if _, ok := top[key]; ok {
+			t.Errorf("run-dependent key %q survived the projection", key)
+		}
+	}
+	if det.TopK[0].Pairs != 7 || det.TopK[0].Score != 7 {
+		t.Fatalf("counts lost: %+v", det.TopK[0])
+	}
+	if det.TopK[0].PTAShareNS != 0 || det.TopK[0].ArenaBytes != 0 {
+		t.Fatalf("per-origin shares survived: %+v", det.TopK[0])
+	}
+}

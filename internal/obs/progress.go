@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Progress is a live, lock-free snapshot of a running analysis: the
+// current phase, a coarse completion percentage, the number of candidate
+// pairs examined so far and the number of races found. It follows the
+// package's nil-safe design — a nil *Progress discards every update, so
+// the detection hot loop holds one unconditionally and pays a single nil
+// check when progress reporting is disabled.
+//
+// Writers are the pipeline phases (SetPhase) and the detection workers,
+// which batch pair counts locally and flush on the cancel-poll stride
+// (AddPairs); readers are progress streams (the /jobs/{id}/events
+// handler, `o2 analyze -progress`, batch progress records) calling
+// Snapshot concurrently. All fields are independent atomics: a snapshot
+// is not a consistent cut, which is fine for a monotonically advancing
+// progress display.
+type Progress struct {
+	phase    atomic.Pointer[string]
+	phasePct atomic.Uint64 // float64 bits: completion floor of the current phase
+	pairs    atomic.Int64
+	total    atomic.Int64 // estimated candidate pairs; 0 while unknown
+	races    atomic.Int64
+}
+
+// NewProgress returns an enabled progress tracker.
+func NewProgress() *Progress { return &Progress{} }
+
+// Enabled reports whether updates are recorded.
+func (p *Progress) Enabled() bool { return p != nil }
+
+// SetPhase records entry into a pipeline phase together with the
+// completion floor (percent, 0–100) that reaching this phase represents.
+// Within the phase, pair progress interpolates from the floor toward 100.
+// No-op on nil.
+func (p *Progress) SetPhase(name string, floorPct float64) {
+	if p == nil {
+		return
+	}
+	p.phase.Store(&name)
+	p.phasePct.Store(math.Float64bits(floorPct))
+}
+
+// SetPairsTotal records the estimated total number of candidate pairs
+// (the denominator of the detect-phase percentage). No-op on nil.
+func (p *Progress) SetPairsTotal(n int64) {
+	if p == nil {
+		return
+	}
+	p.total.Store(n)
+}
+
+// AddPairs adds a batch of examined candidate pairs. Workers accumulate
+// locally and flush here on the cancel-poll stride, so the hot loop
+// touches no shared cache line per pair. No-op on nil.
+func (p *Progress) AddPairs(n int64) {
+	if p == nil {
+		return
+	}
+	p.pairs.Add(n)
+}
+
+// AddRaces adds newly found races. No-op on nil.
+func (p *Progress) AddRaces(n int64) {
+	if p == nil {
+		return
+	}
+	p.races.Add(n)
+}
+
+// ProgressSnapshot is one frozen observation of a Progress, the payload
+// of a progress event (see docs/observability.md for the NDJSON schema
+// it is embedded in).
+type ProgressSnapshot struct {
+	Phase      string  `json:"phase"`
+	Percent    float64 `json:"percent"`
+	PairsDone  int64   `json:"pairs_done"`
+	PairsTotal int64   `json:"pairs_total,omitempty"`
+	Races      int64   `json:"races"`
+}
+
+// Snapshot freezes the current progress. On a nil Progress it returns a
+// zero snapshot (empty phase, 0%). The percentage is the phase floor,
+// advanced toward 100 by the examined-pairs fraction once a total
+// estimate is known, and clamped to [floor, 100].
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	var s ProgressSnapshot
+	if ph := p.phase.Load(); ph != nil {
+		s.Phase = *ph
+	}
+	s.PairsDone = p.pairs.Load()
+	s.PairsTotal = p.total.Load()
+	s.Races = p.races.Load()
+	floor := math.Float64frombits(p.phasePct.Load())
+	s.Percent = floor
+	if s.PairsTotal > 0 {
+		frac := float64(s.PairsDone) / float64(s.PairsTotal)
+		if frac > 1 {
+			frac = 1
+		}
+		s.Percent = floor + (100-floor)*frac
+	}
+	if s.Percent > 100 {
+		s.Percent = 100
+	}
+	return s
+}

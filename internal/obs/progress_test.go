@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestProgressNilSafety(t *testing.T) {
+	var p *Progress
+	p.SetPhase("pta", 5)
+	p.SetPairsTotal(100)
+	p.AddPairs(10)
+	p.AddRaces(1)
+	if p.Enabled() {
+		t.Fatal("nil Progress reports enabled")
+	}
+	if snap := p.Snapshot(); snap != (ProgressSnapshot{}) {
+		t.Fatalf("nil snapshot = %+v, want zero", snap)
+	}
+}
+
+func TestProgressPercentModel(t *testing.T) {
+	p := NewProgress()
+	if !p.Enabled() {
+		t.Fatal("fresh Progress not enabled")
+	}
+	if snap := p.Snapshot(); snap.Phase != "" || snap.Percent != 0 {
+		t.Fatalf("fresh snapshot = %+v", snap)
+	}
+
+	p.SetPhase("detect", 65)
+	snap := p.Snapshot()
+	if snap.Phase != "detect" || snap.Percent != 65 {
+		t.Fatalf("phase floor snapshot = %+v", snap)
+	}
+
+	// With a known total, percent interpolates from the floor to 100.
+	p.SetPairsTotal(200)
+	p.AddPairs(100)
+	snap = p.Snapshot()
+	if snap.PairsDone != 100 || snap.PairsTotal != 200 {
+		t.Fatalf("pair counts = %+v", snap)
+	}
+	if want := 65 + (100-65)*0.5; snap.Percent != want {
+		t.Fatalf("percent = %v, want %v", snap.Percent, want)
+	}
+
+	// Overshooting the total clamps at 100, never beyond.
+	p.AddPairs(500)
+	if snap = p.Snapshot(); snap.Percent != 100 {
+		t.Fatalf("overshoot percent = %v, want 100", snap.Percent)
+	}
+
+	p.SetPhase("done", 100)
+	p.AddRaces(3)
+	snap = p.Snapshot()
+	if snap.Phase != "done" || snap.Percent != 100 || snap.Races != 3 {
+		t.Fatalf("final snapshot = %+v", snap)
+	}
+}
+
+// TestProgressConcurrent hammers one Progress from writer goroutines
+// (phase changes, pair and race increments) while readers take
+// snapshots — the lock-free update path must be clean under -race and
+// every observed snapshot internally consistent.
+func TestProgressConcurrent(t *testing.T) {
+	p := NewProgress()
+	p.SetPairsTotal(64 * 1000)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.AddPairs(1)
+				if i%100 == 0 {
+					p.SetPhase("detect", 65)
+					p.AddRaces(1)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				snap := p.Snapshot()
+				if snap.Percent < 0 || snap.Percent > 100 {
+					t.Errorf("percent out of range: %v", snap.Percent)
+					return
+				}
+				if snap.PairsDone > snap.PairsTotal {
+					t.Errorf("pairs done %d > total %d", snap.PairsDone, snap.PairsTotal)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	snap := p.Snapshot()
+	if snap.PairsDone != 4000 {
+		t.Fatalf("pairs done = %d, want 4000", snap.PairsDone)
+	}
+	if snap.Races != 40 {
+		t.Fatalf("races = %d, want 40", snap.Races)
+	}
+}
+
+// TestHistogramObserveWithSnapshotReads interleaves concurrent Observe
+// calls with registry snapshots and progress reads — the combination the
+// live /metrics and /jobs/{id}/events endpoints exercise against an
+// in-flight analysis.
+func TestHistogramObserveWithSnapshotReads(t *testing.T) {
+	reg := New()
+	h := reg.Histogram("test.sizes", SizeBuckets)
+	p := NewProgress()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(float64(i % 100))
+				p.AddPairs(1)
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = reg.Snapshot()
+				_ = p.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+
+	hs, ok := reg.Snapshot().Hists["test.sizes"]
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if hs.Count != 2000 {
+		t.Fatalf("count = %d, want 2000", hs.Count)
+	}
+}

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the read side of prom.go: a small parser for the
+// Prometheus text exposition format (version 0.0.4), used by the
+// `o2 submit -metrics` scraper to render histogram families as
+// count/sum/quantile summaries instead of raw bucket series. It parses
+// the subset the exposition side emits — `# TYPE` comments, scalar
+// samples, and `{le="..."}`-labeled histogram buckets — and tolerates
+// arbitrary label sets on samples (labels beyond `le` are kept verbatim
+// as part of the sample name).
+
+// PromSample is one sample line: the metric name including any label
+// block except a parsed-out `le`, and the value.
+type PromSample struct {
+	Name  string  // name plus labels, e.g. `o2_sched_jobs{state="done"}`
+	LE    float64 // histogram bucket bound; NaN when the sample has no le label
+	Value float64
+}
+
+// PromFamily is one metric family in appearance order: its `# TYPE`
+// declaration and the samples that follow it.
+type PromFamily struct {
+	Name    string // base metric name from the TYPE line
+	Type    string // "counter", "gauge", "histogram", or "untyped"
+	Samples []PromSample
+}
+
+// ParsePromText parses a text exposition into families, preserving the
+// order of `# TYPE` declarations. Samples preceding any TYPE line, or
+// belonging to a different base name, are attached to an "untyped"
+// family. Malformed sample lines return an error.
+func ParsePromText(data []byte) ([]PromFamily, error) {
+	var fams []PromFamily
+	byName := map[string]int{} // base name → index in fams
+	family := func(base, typ string) *PromFamily {
+		if i, ok := byName[base]; ok {
+			return &fams[i]
+		}
+		fams = append(fams, PromFamily{Name: base, Type: typ})
+		byName[base] = len(fams) - 1
+		return &fams[len(fams)-1]
+	}
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				family(fields[2], fields[3])
+			}
+			continue // HELP and other comments are ignored
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("prom parse: line %d: no value: %q", ln+1, line)
+		}
+		val, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("prom parse: line %d: bad value %q", ln+1, line[sp+1:])
+		}
+		name := strings.TrimSpace(line[:sp])
+		s := PromSample{Name: name, LE: math.NaN(), Value: val}
+		base := name
+		if br := strings.IndexByte(name, '{'); br >= 0 {
+			base = name[:br]
+			if le, rest, ok := extractLE(name[br:]); ok {
+				s.LE = le
+				s.Name = base + rest
+			}
+		}
+		// Histogram samples carry the family's base name plus a suffix.
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(base, suf)
+			if trimmed != base {
+				if _, ok := byName[trimmed]; ok {
+					base = trimmed
+					break
+				}
+			}
+		}
+		fam := family(base, "untyped")
+		fam.Samples = append(fam.Samples, s)
+	}
+	return fams, nil
+}
+
+// extractLE pulls the le label out of a label block like
+// `{le="0.05"}` or `{le="+Inf"}`, returning the bound, the label block
+// with le removed (empty when le was the only label), and whether an le
+// label was present.
+func extractLE(labels string) (float64, string, bool) {
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var kept []string
+	le, found := math.NaN(), false
+	for _, part := range strings.Split(inner, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if ok && strings.TrimSpace(k) == "le" {
+			raw := strings.Trim(strings.TrimSpace(v), `"`)
+			if raw == "+Inf" {
+				le, found = math.Inf(1), true
+				continue
+			}
+			if f, err := strconv.ParseFloat(raw, 64); err == nil {
+				le, found = f, true
+				continue
+			}
+		}
+		if strings.TrimSpace(part) != "" {
+			kept = append(kept, part)
+		}
+	}
+	if !found {
+		return math.NaN(), labels, false
+	}
+	if len(kept) == 0 {
+		return le, "", true
+	}
+	return le, "{" + strings.Join(kept, ",") + "}", true
+}
+
+// PromBucket is one cumulative histogram bucket.
+type PromBucket struct {
+	LE    float64 // upper bound; +Inf for the last bucket
+	Count float64 // cumulative count at or below LE
+}
+
+// HistSummary is a parsed histogram family reduced to its summary
+// statistics.
+type HistSummary struct {
+	Count   float64
+	Sum     float64
+	Buckets []PromBucket // sorted by LE ascending, cumulative
+}
+
+// Histogram reduces a histogram family's samples into a HistSummary.
+// Returns false when the family is not a histogram or has no buckets.
+func (f *PromFamily) Histogram() (HistSummary, bool) {
+	if f.Type != "histogram" {
+		return HistSummary{}, false
+	}
+	var hs HistSummary
+	for _, s := range f.Samples {
+		switch {
+		case !math.IsNaN(s.LE):
+			hs.Buckets = append(hs.Buckets, PromBucket{LE: s.LE, Count: s.Value})
+		case strings.HasSuffix(s.Name, "_sum"):
+			hs.Sum = s.Value
+		case strings.HasSuffix(s.Name, "_count"):
+			hs.Count = s.Value
+		}
+	}
+	if len(hs.Buckets) == 0 {
+		return HistSummary{}, false
+	}
+	sort.Slice(hs.Buckets, func(i, j int) bool { return hs.Buckets[i].LE < hs.Buckets[j].LE })
+	return hs, true
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) from the cumulative
+// buckets by linear interpolation inside the bounding bucket — the same
+// estimate Prometheus's histogram_quantile produces. Values in the +Inf
+// bucket clamp to the highest finite bound. Returns NaN on an empty
+// histogram.
+func (hs HistSummary) Quantile(q float64) float64 {
+	n := len(hs.Buckets)
+	if n == 0 || hs.Buckets[n-1].Count == 0 {
+		return math.NaN()
+	}
+	total := hs.Buckets[n-1].Count
+	target := q * total
+	i := sort.Search(n, func(i int) bool { return hs.Buckets[i].Count >= target })
+	if i == n {
+		i = n - 1
+	}
+	b := hs.Buckets[i]
+	if math.IsInf(b.LE, 1) {
+		if i == 0 {
+			return math.NaN() // all mass in +Inf with no finite bound
+		}
+		return hs.Buckets[i-1].LE
+	}
+	lo, cumLo := 0.0, 0.0
+	if i > 0 {
+		lo, cumLo = hs.Buckets[i-1].LE, hs.Buckets[i-1].Count
+	}
+	inBucket := b.Count - cumLo
+	if inBucket <= 0 {
+		return b.LE
+	}
+	return lo + (b.LE-lo)*(target-cumLo)/inBucket
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestParsePromTextRoundTrip feeds the registry's own exposition back
+// through the parser — the exact path `o2 submit -metrics` drives.
+func TestParsePromTextRoundTrip(t *testing.T) {
+	reg := New()
+	reg.Counter("race.pairs_checked").Add(42)
+	reg.SetGauge("shb.nodes", 7)
+	h := reg.Histogram("server.request_seconds", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	fams, err := ParsePromText(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*PromFamily{}
+	for i := range fams {
+		byName[fams[i].Name] = &fams[i]
+	}
+
+	c, ok := byName["o2_race_pairs_checked"]
+	if !ok || c.Type != "counter" || len(c.Samples) != 1 || c.Samples[0].Value != 42 {
+		t.Fatalf("counter family = %+v", c)
+	}
+	g, ok := byName["o2_shb_nodes"]
+	if !ok || g.Type != "gauge" || g.Samples[0].Value != 7 {
+		t.Fatalf("gauge family = %+v", g)
+	}
+
+	f, ok := byName["o2_server_request_seconds"]
+	if !ok || f.Type != "histogram" {
+		t.Fatalf("histogram family = %+v", f)
+	}
+	hs, ok := f.Histogram()
+	if !ok {
+		t.Fatal("family did not summarize as a histogram")
+	}
+	if hs.Count != 4 {
+		t.Fatalf("count = %v, want 4", hs.Count)
+	}
+	if want := 0.05 + 0.5 + 5 + 50; math.Abs(hs.Sum-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", hs.Sum, want)
+	}
+	if len(hs.Buckets) != 4 || !math.IsInf(hs.Buckets[3].LE, 1) {
+		t.Fatalf("buckets = %+v", hs.Buckets)
+	}
+}
+
+func TestHistSummaryQuantile(t *testing.T) {
+	hs := HistSummary{
+		Count: 10,
+		Buckets: []PromBucket{
+			{LE: 1, Count: 4},
+			{LE: 2, Count: 8},
+			{LE: 4, Count: 10},
+			{LE: math.Inf(1), Count: 10},
+		},
+	}
+	// p50 lands in the (1,2] bucket: rank 5 of 10, one of four
+	// observations into the bucket -> 1 + (5-4)/4 * (2-1).
+	if q := hs.Quantile(0.5); math.Abs(q-1.25) > 1e-9 {
+		t.Fatalf("p50 = %v, want 1.25", q)
+	}
+	// p100 clamps to the highest finite bound even though the rank falls
+	// in the +Inf bucket.
+	if q := hs.Quantile(1); q != 4 {
+		t.Fatalf("p100 = %v, want 4", q)
+	}
+	// Empty summaries have no quantiles.
+	if q := (HistSummary{}).Quantile(0.5); !math.IsNaN(q) {
+		t.Fatalf("empty p50 = %v, want NaN", q)
+	}
+}
+
+func TestParsePromTextMalformed(t *testing.T) {
+	if _, err := ParsePromText([]byte("o2_x not_a_number\n")); err == nil {
+		t.Fatal("bad sample value parsed")
+	}
+}

@@ -26,6 +26,10 @@ type RunStats struct {
 	Gauges   map[string]int64          `json:"gauges,omitempty"`
 	Rates    map[string]float64        `json:"rates,omitempty"`
 	Hists    map[string]HistogramStats `json:"histograms,omitempty"`
+	// Introspection is the per-origin cost-attribution section (its own
+	// schema, see introspect.go), attached by the driver after the
+	// pipeline settles rather than collected through the registry.
+	Introspection *Introspection `json:"introspection,omitempty"`
 }
 
 // PhaseStats is one span in the report tree.
@@ -192,6 +196,7 @@ func (rs *RunStats) Deterministic() *RunStats {
 		}
 		out.Rates[k] = v
 	}
+	out.Introspection = rs.Introspection.Deterministic()
 	return out
 }
 

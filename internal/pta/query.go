@@ -163,6 +163,31 @@ func (a *Analysis) ReachableFuncs() []*ir.Func {
 	return out
 }
 
+// OriginCGNodes returns, indexed by OriginID, the number of call-graph
+// nodes (contexted functions) running under each origin's context — the
+// per-origin measure of pointer-analysis and call-graph work. Contexts
+// that cannot be attributed (non-KOrigin policies, unresolved chains)
+// land on MainOrigin, so the counts always sum to the call-graph size.
+func (a *Analysis) OriginCGNodes() []int64 {
+	out := make([]int64, a.Origins.Len())
+	if len(out) == 0 {
+		return out
+	}
+	cache := map[CtxID]OriginID{}
+	for _, fc := range a.CG.nodes {
+		id, ok := cache[fc.Ctx]
+		if !ok {
+			id = MainOrigin
+			if o, attributed := a.OriginOfCtx(fc.Ctx); attributed {
+				id = o
+			}
+			cache[fc.Ctx] = id
+		}
+		out[id]++
+	}
+	return out
+}
+
 // MainNode returns the call-graph node of the program entry.
 func (a *Analysis) MainNode() FnCtxID {
 	id, _ := a.CG.Lookup(a.Prog.Main, EmptyCtx)

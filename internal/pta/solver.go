@@ -221,6 +221,14 @@ func (a *Analysis) recordObs() {
 	reg.SetGauge("pta.cg_nodes", int64(st.CGNodes))
 	reg.SetGauge("pta.cg_edges", int64(st.CGEdges))
 	reg.SetGauge("pta.origins", int64(st.Origins))
+	// Distribution of non-empty points-to set sizes: the quantity that
+	// governs both precision (aliasing resolution) and propagation cost.
+	h := reg.Histogram("pta.points_to_size", obs.SizeBuckets)
+	for i := range a.pts {
+		if n := a.pts[i].Len(); n > 0 {
+			h.Observe(float64(n))
+		}
+	}
 }
 
 func (a *Analysis) budget() bool {

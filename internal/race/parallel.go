@@ -102,6 +102,10 @@ func detectParallel(a *pta.Analysis, g *shb.Graph, opt Options, rep *Report, grp
 			// by the merger; later appends only write past every
 			// published view's capacity (see checkGroup).
 			var buf []racePair
+			// Per-worker origin tally, merged additively on exit so the
+			// attribution totals are worker-count independent.
+			tally := opt.newTally()
+			defer opt.Attr.merge(tally)
 			for {
 				if bud.stopped() {
 					return
@@ -110,7 +114,7 @@ func detectParallel(a *pta.Analysis, g *shb.Graph, opt Options, rep *Report, grp
 				if i >= len(keys) {
 					return
 				}
-				results[i], buf = checkGroup(a, g, keys[i], grp.group(i), opt, bud, buf)
+				results[i], buf = checkGroup(a, g, keys[i], grp.group(i), opt, bud, buf, tally)
 				feed.Push(int32(i))
 			}
 		}(w)
@@ -127,7 +131,7 @@ func detectParallel(a *pta.Analysis, g *shb.Graph, opt Options, rep *Report, grp
 		if i, ok := feed.Pop(); ok {
 			completed[i] = true
 			for nextMerge < len(keys) && completed[nextMerge] {
-				mergeGroup(rep, g, keys[nextMerge], &results[nextMerge], seen)
+				mergeGroup(rep, g, keys[nextMerge], &results[nextMerge], seen, opt.Attr, opt.Progress)
 				nextMerge++
 			}
 			continue
@@ -138,7 +142,7 @@ func detectParallel(a *pta.Analysis, g *shb.Graph, opt Options, rep *Report, grp
 			// unchecked groups hold zero results, so this is exactly the
 			// sequential stop-at-trip semantics.
 			for ; nextMerge < len(keys); nextMerge++ {
-				mergeGroup(rep, g, keys[nextMerge], &results[nextMerge], seen)
+				mergeGroup(rep, g, keys[nextMerge], &results[nextMerge], seen, opt.Attr, opt.Progress)
 			}
 			break
 		}
@@ -149,5 +153,10 @@ func detectParallel(a *pta.Analysis, g *shb.Graph, opt Options, rep *Report, grp
 			runtime.Gosched()
 		}
 	}
+	// The merge can complete while the last workers are still between
+	// their final feed.Push and returning; wait for them so the deferred
+	// per-worker tally merges (and busy-time adds) are all visible before
+	// the caller reads Attr or the utilization gauge.
+	wg.Wait()
 	return busyNS.Load()
 }

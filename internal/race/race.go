@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"o2/internal/ir"
@@ -64,6 +65,84 @@ type Options struct {
 	// disables observability; the pairwise hot loop then costs the same
 	// as an uninstrumented build (see BenchmarkParallelDetectObs).
 	Obs *obs.Registry
+	// Progress, when set, receives live detection progress: the total
+	// candidate-pair estimate up front, then examined-pair and race
+	// counts flushed on the cancelStride tick (never per pair). Nil
+	// disables progress; like Obs, the disabled hot path is one branch
+	// per stride.
+	Progress *obs.Progress
+	// Attr, when set, receives per-origin pair/HB-query/race counts for
+	// the driver's Introspection section (see NewAttribution). Nil
+	// disables attribution.
+	Attr *Attribution
+}
+
+// Attribution accumulates per-origin detection counts, indexed by
+// pta.OriginID: candidate pairs and happens-before queries involving
+// each origin (a pair counts once per distinct participating origin) and
+// deduplicated races. Counts merge additively from worker-local tallies,
+// so they are identical at any worker count. Allocate with
+// NewAttribution sized to the origin table.
+type Attribution struct {
+	Pairs     []int64
+	HBQueries []int64
+	// Races is updated only on the (single-threaded) merge path, in
+	// deterministic group order.
+	Races []int64
+
+	mu sync.Mutex // guards Pairs/HBQueries during worker merges
+}
+
+// NewAttribution returns an attribution sink for numOrigins origins.
+func NewAttribution(numOrigins int) *Attribution {
+	return &Attribution{
+		Pairs:     make([]int64, numOrigins),
+		HBQueries: make([]int64, numOrigins),
+		Races:     make([]int64, numOrigins),
+	}
+}
+
+// merge folds one worker-local tally in under the lock.
+func (at *Attribution) merge(t *originTally) {
+	if at == nil || t == nil {
+		return
+	}
+	at.mu.Lock()
+	for i, v := range t.pairs {
+		at.Pairs[i] += v
+	}
+	for i, v := range t.hbq {
+		at.HBQueries[i] += v
+	}
+	at.mu.Unlock()
+}
+
+// originTally is one worker's private per-origin counters; merged into
+// the shared Attribution when the worker exits, so the hot loop touches
+// no shared state.
+type originTally struct {
+	pairs, hbq []int64
+}
+
+func (opt *Options) newTally() *originTally {
+	if opt.Attr == nil {
+		return nil
+	}
+	return &originTally{
+		pairs: make([]int64, len(opt.Attr.Pairs)),
+		hbq:   make([]int64, len(opt.Attr.HBQueries)),
+	}
+}
+
+// tallyPair credits a pair to each distinct participating origin.
+func tallyPair(cnt []int64, g *shb.Graph, an, bn int) {
+	oa, ob := g.Origin(an), g.Origin(bn)
+	if int(oa) < len(cnt) {
+		cnt[oa]++
+	}
+	if ob != oa && int(ob) < len(cnt) {
+		cnt[ob]++
+	}
 }
 
 // O2Options is the full-optimization configuration.
@@ -166,6 +245,16 @@ func DetectCtx(ctx context.Context, a *pta.Analysis, sharing *osa.Result, g *shb
 	bud.latch = latch
 	defer stopWatch()
 	grp := collect(a, g, sharing, opt, rep, bud)
+	if opt.Progress != nil {
+		// The pairwise loop over group i iterates n·(n+1)/2 ticks — the
+		// exact denominator of the examined-pair progress fraction.
+		var total int64
+		for i := range grp.keys {
+			n := int64(grp.off[i+1] - grp.off[i])
+			total += n * (n + 1) / 2
+		}
+		opt.Progress.SetPairsTotal(total)
+	}
 
 	workers := opt.Workers
 	if workers <= 0 {
@@ -230,14 +319,16 @@ func (rep *Report) recordObs(reg *obs.Registry, workers int, busyNS int64) {
 func detectSequential(a *pta.Analysis, g *shb.Graph, opt Options, rep *Report, grp *grouped, bud *pairBudget) {
 	seen := map[raceSig]bool{}
 	var buf []racePair
+	tally := opt.newTally()
 	for i, k := range grp.keys {
 		if bud.stopped() {
 			break
 		}
 		var gr groupResult
-		gr, buf = checkGroup(a, g, k, grp.group(i), opt, bud, buf[:0])
-		mergeGroup(rep, g, k, &gr, seen)
+		gr, buf = checkGroup(a, g, k, grp.group(i), opt, bud, buf[:0], tally)
+		mergeGroup(rep, g, k, &gr, seen, opt.Attr, opt.Progress)
 	}
+	opt.Attr.merge(tally)
 }
 
 // racePair is a racing access pair in compact form: the two SHB node IDs.
@@ -264,20 +355,31 @@ type groupResult struct {
 
 // mergeGroup folds one group's result into the report, deduplicating
 // races by signature in encounter order and materializing a Race struct
-// only for the first pair of each signature.
-func mergeGroup(rep *Report, g *shb.Graph, k osa.Key, gr *groupResult, seen map[raceSig]bool) {
+// only for the first pair of each signature. It runs single-threaded (the
+// sequential loop or the parallel streaming merger) in deterministic
+// group order, so the attribution and progress race counts it updates
+// are deterministic too.
+func mergeGroup(rep *Report, g *shb.Graph, k osa.Key, gr *groupResult, seen map[raceSig]bool, attr *Attribution, prog *obs.Progress) {
 	rep.Representatives += gr.reps
 	rep.PairsChecked += gr.pairs
 	rep.HBQueries += gr.hbq
 	rep.LockChecks += gr.locks
 	rep.SkippedReadRead += gr.skipRR
 	rep.SkippedSameSeg += gr.skipSameSeg
+	newRaces := int64(0)
 	for _, p := range gr.rp {
 		sig := sigOfNodes(g, k, int(p.a), int(p.b))
 		if !seen[sig] {
 			seen[sig] = true
 			rep.Races = append(rep.Races, Race{Key: k, A: accessNode(g, int(p.a)), B: accessNode(g, int(p.b))})
+			newRaces++
+			if attr != nil {
+				tallyPair(attr.Races, g, int(p.a), int(p.b))
+			}
 		}
+	}
+	if newRaces > 0 {
+		prog.AddRaces(newRaces)
 	}
 }
 
@@ -301,16 +403,25 @@ const cancelStride = 64
 // the grown arena is returned for reuse. The view stays valid while the
 // caller appends to the arena afterwards: later appends write past the
 // view's capacity (or into a reallocated array), never into it.
-func checkGroup(a *pta.Analysis, g *shb.Graph, k osa.Key, accs []acc, opt Options, bud *pairBudget, buf []racePair) (groupResult, []racePair) {
+func checkGroup(a *pta.Analysis, g *shb.Graph, k osa.Key, accs []acc, opt Options, bud *pairBudget, buf []racePair, tally *originTally) (groupResult, []racePair) {
 	gr := groupResult{reps: len(accs)}
 	lo := len(buf)
-	tick := 0
+	tick, flushed := 0, 0
 	for i := 0; i < len(accs); i++ {
 		for j := i; j < len(accs); j++ {
 			tick++
-			if tick&(cancelStride-1) == 0 && bud.canceled() {
-				gr.rp = buf[lo:len(buf):len(buf)]
-				return gr, buf
+			if tick&(cancelStride-1) == 0 {
+				// The cancel-poll stride doubles as the progress flush
+				// point: examined-pair deltas are batched locally so the
+				// hot loop never touches the shared Progress per pair.
+				if opt.Progress != nil {
+					opt.Progress.AddPairs(int64(tick - flushed))
+					flushed = tick
+				}
+				if bud.canceled() {
+					gr.rp = buf[lo:len(buf):len(buf)]
+					return gr, buf
+				}
 			}
 			x, y := accs[i], accs[j]
 			if i == j && !selfRace(a, g, x) {
@@ -327,15 +438,22 @@ func checkGroup(a *pta.Analysis, g *shb.Graph, k osa.Key, accs []acc, opt Option
 				continue
 			}
 			if !bud.take() {
+				flushProgress(opt.Progress, tick, flushed)
 				gr.rp = buf[lo:len(buf):len(buf)]
 				return gr, buf
 			}
 			gr.pairs++
+			if tally != nil {
+				tallyPair(tally.pairs, g, x.node, y.node)
+			}
 			if !opt.NoLockset && commonLock(g, x, y, opt, &gr) {
 				continue
 			}
 			if !opt.NoHB && sx != sy {
 				gr.hbq++
+				if tally != nil {
+					tallyPair(tally.hbq, g, x.node, y.node)
+				}
 				ordered := false
 				if opt.HBCache {
 					ordered = g.HappensBefore(x.node, y.node) || g.HappensBefore(y.node, x.node)
@@ -349,8 +467,16 @@ func checkGroup(a *pta.Analysis, g *shb.Graph, k osa.Key, accs []acc, opt Option
 			buf = append(buf, racePair{int32(x.node), int32(y.node)})
 		}
 	}
+	flushProgress(opt.Progress, tick, flushed)
 	gr.rp = buf[lo:len(buf):len(buf)]
 	return gr, buf
+}
+
+// flushProgress publishes the unflushed examined-pair delta on group exit.
+func flushProgress(p *obs.Progress, tick, flushed int) {
+	if p != nil && tick != flushed {
+		p.AddPairs(int64(tick - flushed))
+	}
 }
 
 type acc struct {

@@ -263,6 +263,16 @@ type Job struct {
 	finished time.Time
 	cancel   context.CancelFunc
 	done     chan struct{}
+	progress *obs.Progress
+}
+
+// Progress returns the job's live progress tracker (nil until the job
+// starts running; obs.Progress is nil-safe, so callers may snapshot the
+// result unconditionally).
+func (j *Job) Progress() *obs.Progress {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.progress
 }
 
 // State returns the job's current lifecycle state.
@@ -773,6 +783,7 @@ func (s *Scheduler) runJob(j *Job, req Request) {
 	// stage (and its logs) can be correlated with the HTTP request.
 	ctx = WithRequestID(ctx, req.RequestID)
 
+	prog := obs.NewProgress()
 	j.mu.Lock()
 	if j.state != Queued {
 		j.mu.Unlock()
@@ -781,6 +792,7 @@ func (s *Scheduler) runJob(j *Job, req Request) {
 	j.state = Running
 	j.started = time.Now()
 	j.cancel = cancel
+	j.progress = prog
 	j.mu.Unlock()
 	s.log("job started", j)
 
@@ -803,6 +815,7 @@ func (s *Scheduler) runJob(j *Job, req Request) {
 	} else {
 		cfg.Obs = nil
 	}
+	cfg.Progress = prog
 
 	var res *o2.Result
 	var err error

@@ -4,10 +4,12 @@
 //	POST /analyze           submit minilang sources for analysis (optionally wait)
 //	POST /batch             stream an NDJSON corpus manifest; one NDJSON record per program
 //	GET  /jobs/{id}         poll a job (?trace=1 returns the Chrome trace of its run)
+//	GET  /jobs/{id}/events  stream live progress heartbeats as NDJSON (chunked)
 //	GET  /jobs              list all jobs
 //	GET  /healthz           liveness
 //	GET  /statsz            scheduler + cache counters, uptime, build info, obs snapshot
 //	GET  /metrics           Prometheus text exposition (dependency-free)
+//	GET  /debug/pprof/...   runtime profiles (only with WithPprof / `o2 serve -pprof`)
 //
 // Every request is wrapped by a thin middleware: a request ID is honored
 // from X-Request-ID or generated, echoed back in the response header,
@@ -29,6 +31,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime/debug"
 	"strconv"
 	"time"
@@ -104,6 +107,8 @@ type Server struct {
 	reqSeconds *obs.Histogram
 	reqTotal   *obs.Counter
 	errTotal   *obs.Counter
+
+	pprof bool
 }
 
 // Option configures optional server behavior; see WithLogger and
@@ -118,6 +123,11 @@ func WithLogger(l *slog.Logger) Option { return func(s *Server) { s.log = l } }
 // metrics instead of the private one New creates — useful when embedding
 // the handler into a process that already owns a registry.
 func WithRegistry(r *obs.Registry) Option { return func(s *Server) { s.reg = r } }
+
+// WithPprof mounts net/http/pprof's profile handlers under /debug/pprof/.
+// Off by default: profiles expose process internals, so the surface is
+// opt-in (`o2 serve -pprof`).
+func WithPprof() Option { return func(s *Server) { s.pprof = true } }
 
 // New builds the handler over s.
 func New(s *sched.Scheduler, opts ...Option) *Server {
@@ -134,10 +144,18 @@ func New(s *sched.Scheduler, opts ...Option) *Server {
 	srv.mux.HandleFunc("POST /analyze", srv.handleAnalyze)
 	srv.mux.HandleFunc("POST /batch", srv.handleBatch)
 	srv.mux.HandleFunc("GET /jobs/{id}", srv.handleJob)
+	srv.mux.HandleFunc("GET /jobs/{id}/events", srv.handleJobEvents)
 	srv.mux.HandleFunc("GET /jobs", srv.handleJobs)
 	srv.mux.HandleFunc("GET /healthz", srv.handleHealthz)
 	srv.mux.HandleFunc("GET /statsz", srv.handleStatsz)
 	srv.mux.HandleFunc("GET /metrics", srv.handleMetrics)
+	if srv.pprof {
+		srv.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		srv.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		srv.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		srv.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		srv.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return srv
 }
 
@@ -308,8 +326,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	fl, _ := w.(http.Flusher)
 	cw := corpus.NewWriter(w)
+	// Every record of the stream carries the request ID the middleware
+	// honored or minted, so multiplexed consumers can attribute lines to
+	// the originating upload.
+	reqID := sched.RequestIDFrom(r.Context())
 	stats, serr := o2.AnalyzeCorpus(r.Context(), corpus.InlineManifest(r.Body), ccfg, func(res o2.CorpusResult) error {
-		if err := cw.Write(corpus.NewRecord(res)); err != nil {
+		rec := corpus.NewRecord(res)
+		rec.RequestID = reqID
+		if err := cw.Write(rec); err != nil {
 			return err
 		}
 		if fl != nil {
@@ -318,7 +342,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	// Headers are long gone; the summary line is the stream's verdict.
-	_ = cw.Write(corpus.NewSummary(stats, serr))
+	sum := corpus.NewSummary(stats, serr)
+	sum.RequestID = reqID
+	_ = cw.Write(sum)
 	if fl != nil {
 		fl.Flush()
 	}
@@ -350,6 +376,67 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, job.View())
+}
+
+// handleJobEvents streams a job's live progress as chunked NDJSON: one
+// schema-tagged progress heartbeat (corpus.ProgressRecord, "progress":
+// true) per interval — immediately on connect, then every interval_ms
+// query-param milliseconds (default 500, floor 10) — terminated by the
+// job's final view as the last line once it reaches a terminal state.
+// Consumers filter on the "progress" tag; the terminal line is the same
+// object GET /jobs/{id} returns. The stream also ends when the client
+// disconnects; the job keeps running server-side.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	job, err := s.sched.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "", "unknown job %q", r.PathValue("id"))
+		return
+	}
+	interval := time.Duration(qInt(r.URL.Query().Get("interval_ms"))) * time.Millisecond
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	cw := corpus.NewWriter(w)
+	reqID := sched.RequestIDFrom(r.Context())
+	emit := func() error {
+		rec := corpus.NewProgress(job.Progress().Snapshot())
+		rec.WallNS = int64(job.Wall())
+		rec.RequestID = reqID
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		return nil
+	}
+	if err := emit(); err != nil {
+		return
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-job.Done():
+			_ = cw.Write(job.View())
+			if fl != nil {
+				fl.Flush()
+			}
+			return
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+			if err := emit(); err != nil {
+				return
+			}
+		}
+	}
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {

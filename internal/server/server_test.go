@@ -660,3 +660,165 @@ func mustJSON(t *testing.T, v any) []byte {
 	}
 	return b
 }
+
+// TestJobEventsStream: GET /jobs/{id}/events must deliver at least two
+// well-formed progress heartbeats for an in-flight job before the
+// terminal job-view record, each carrying the request ID.
+func TestJobEventsStream(t *testing.T) {
+	ts, _ := newTestServer(t, sched.Options{Workers: 1, CacheEntries: -1})
+
+	resp, raw := postAnalyze(t, ts.URL, AnalyzeRequest{Source: genSource(250)})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %s: %s", resp.Status, raw)
+	}
+	var view sched.View
+	if err := json.Unmarshal(raw, &view); err != nil {
+		t.Fatal(err)
+	}
+
+	req, err := http.NewRequest("GET", ts.URL+"/jobs/"+view.ID+"/events?interval_ms=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "evt-req-7")
+	er, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer er.Body.Close()
+	if er.StatusCode != http.StatusOK {
+		t.Fatalf("events status %s", er.Status)
+	}
+	if ct := er.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	body, err := io.ReadAll(er.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("got %d NDJSON lines, want >=2 heartbeats + terminal view:\n%s", len(lines), body)
+	}
+
+	type event struct {
+		Schema     int     `json:"schema"`
+		IsProgress bool    `json:"progress"`
+		Phase      string  `json:"phase"`
+		Percent    float64 `json:"percent"`
+		RequestID  string  `json:"request_id"`
+		State      string  `json:"state"`
+	}
+	heartbeats := 0
+	for i, l := range lines[:len(lines)-1] {
+		var ev event
+		if err := json.Unmarshal([]byte(l), &ev); err != nil {
+			t.Fatalf("line %d: %v\n%s", i, err, l)
+		}
+		if !ev.IsProgress {
+			t.Fatalf("line %d is not a progress heartbeat:\n%s", i, l)
+		}
+		if ev.Schema != 1 {
+			t.Fatalf("heartbeat schema = %d", ev.Schema)
+		}
+		if ev.Percent < 0 || ev.Percent > 100 {
+			t.Fatalf("heartbeat percent = %v", ev.Percent)
+		}
+		if ev.RequestID != "evt-req-7" {
+			t.Fatalf("heartbeat request_id = %q", ev.RequestID)
+		}
+		heartbeats++
+	}
+	if heartbeats < 2 {
+		t.Fatalf("only %d heartbeats before the terminal record", heartbeats)
+	}
+	var term event
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &term); err != nil {
+		t.Fatal(err)
+	}
+	if term.IsProgress || term.State != string(sched.Done) {
+		t.Fatalf("terminal line = %s", lines[len(lines)-1])
+	}
+}
+
+func TestJobEventsUnknownJob(t *testing.T) {
+	ts, _ := newTestServer(t, sched.Options{Workers: 1})
+	resp, err := http.Get(ts.URL + "/jobs/nope/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestBatchStreamRequestID: every record of a streamed batch (and the
+// terminal summary) must carry the originating request's ID.
+func TestBatchStreamRequestID(t *testing.T) {
+	ts, _ := newTestServer(t, sched.Options{Workers: 1})
+	manifest := `{"name":"racy.mini","source":` + string(mustJSON(t, racySrc)) + `}` + "\n"
+	req, err := http.NewRequest("POST", ts.URL+"/batch", strings.NewReader(manifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	req.Header.Set("X-Request-ID", "batch-req-9")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines:\n%s", len(lines), body)
+	}
+	for i, l := range lines {
+		var rec struct {
+			RequestID string `json:"request_id"`
+		}
+		if err := json.Unmarshal([]byte(l), &rec); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if rec.RequestID != "batch-req-9" {
+			t.Fatalf("line %d request_id = %q, want batch-req-9\n%s", i, rec.RequestID, l)
+		}
+	}
+}
+
+// TestPprofGated: the pprof handlers exist only behind WithPprof.
+func TestPprofGated(t *testing.T) {
+	ts, _ := newTestServer(t, sched.Options{Workers: 1})
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ungated pprof status = %d, want 404", resp.StatusCode)
+	}
+
+	s := sched.New(sched.Options{Workers: 1})
+	pts := httptest.NewServer(New(s, WithPprof()))
+	t.Cleanup(func() {
+		pts.Close()
+		s.Shutdown(context.Background())
+	})
+	resp, err = http.Get(pts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gated pprof status = %d, want 200", resp.StatusCode)
+	}
+	if !bytes.Contains(body, []byte("profile")) {
+		t.Fatalf("pprof index body unexpected:\n%.200s", body)
+	}
+}

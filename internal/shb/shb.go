@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"unsafe"
 
 	"o2/internal/ir"
 	"o2/internal/lockset"
@@ -194,6 +195,18 @@ func BuildCtx(ctx context.Context, a *pta.Analysis, cfg Config) (*Graph, error) 
 		cfg.Obs.SetGauge("shb.segments", int64(len(g.Segs)))
 		cfg.Obs.SetGauge("shb.regions", int64(g.Regions))
 		cfg.Obs.SetGauge("shb.locksets", int64(g.Locksets.Len()))
+		// Distributions behind precision and reachability cost: how many
+		// inter-origin edges leave each segment, and how large the interned
+		// locksets are (big locksets mean expensive intersections and weak
+		// lock discipline).
+		fanout := cfg.Obs.Histogram("shb.segment_fanout", obs.SizeBuckets)
+		for _, seg := range g.Segs {
+			fanout.Observe(float64(len(g.out[seg.ID])))
+		}
+		lsize := cfg.Obs.Histogram("shb.lockset_size", obs.SizeBuckets)
+		for id := 0; id < g.Locksets.Len(); id++ {
+			lsize.Observe(float64(len(g.Locksets.Set(lockset.ID(id)))))
+		}
 	}
 	return g, nil
 }
@@ -324,6 +337,53 @@ func (g *Graph) Seg(id SegID) *Segment { return g.Segs[id] }
 
 // Origin returns the origin of a node.
 func (g *Graph) Origin(n int) pta.OriginID { return g.Segs[g.Nodes[n].Seg].Origin }
+
+// OriginGraphCost is the share of the graph owned by one origin, used by
+// the driver's Introspection section.
+type OriginGraphCost struct {
+	Nodes    int64
+	Edges    int64 // inter-origin edges leaving this origin's segments
+	Segments int64
+	ByKind   map[string]int64 // node counts keyed by NodeKind.String()
+}
+
+// CountByOrigin aggregates graph size per origin, indexed by OriginID up
+// to numOrigins. The scan is deterministic (slice order, not map order).
+func (g *Graph) CountByOrigin(numOrigins int) []OriginGraphCost {
+	out := make([]OriginGraphCost, numOrigins)
+	for _, nd := range g.Nodes {
+		o := g.Segs[nd.Seg].Origin
+		if int(o) >= numOrigins {
+			continue
+		}
+		c := &out[o]
+		c.Nodes++
+		if c.ByKind == nil {
+			c.ByKind = map[string]int64{}
+		}
+		c.ByKind[nd.Kind.String()]++
+	}
+	for _, seg := range g.Segs {
+		if int(seg.Origin) >= numOrigins {
+			continue
+		}
+		out[seg.Origin].Segments++
+		out[seg.Origin].Edges += int64(len(g.out[seg.ID]))
+	}
+	return out
+}
+
+// MemBytes estimates the graph's arena footprint: node, edge (out + in
+// mirrors) and segment storage. It deliberately ignores map headers and
+// the lockset table, which are small next to the node arena.
+func (g *Graph) MemBytes() int64 {
+	bytes := int64(len(g.Nodes)) * int64(unsafe.Sizeof(Node{}))
+	for _, es := range g.out {
+		bytes += 2 * int64(len(es)) * int64(unsafe.Sizeof(Edge{}))
+	}
+	bytes += int64(len(g.Segs)) * int64(unsafe.Sizeof(Segment{}))
+	return bytes
+}
 
 func (g *Graph) String() string {
 	return fmt.Sprintf("shb{%d nodes, %d segments, %d locksets}", len(g.Nodes), len(g.Segs), g.Locksets.Len())

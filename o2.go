@@ -108,9 +108,16 @@ type Config struct {
 	MaxSHBNodes int
 	// Obs enables the observability layer: every phase runs under a span,
 	// the pipeline publishes its counters into the registry, and
-	// Result.RunStats carries the frozen report. Nil disables collection
-	// at near-zero cost (see internal/obs).
+	// Result.RunStats carries the frozen report (including the per-origin
+	// Introspection section). Nil disables collection at near-zero cost
+	// (see internal/obs).
 	Obs *obs.Registry
+	// Progress, when set, receives live pipeline progress: phase
+	// transitions from the driver and examined-pair/race counts flushed
+	// from the detection hot loop on its cancel-poll stride. Readers call
+	// Progress.Snapshot concurrently (see internal/obs). Progress never
+	// alters results and, like Obs, is excluded from Fingerprint.
+	Progress *obs.Progress
 }
 
 // DefaultConfig is the paper's main configuration: 1-origin OPA with all
@@ -191,12 +198,18 @@ func (c Config) normalize() Config {
 	base := c.Detector
 	base.Workers = 0
 	base.Obs = nil
+	base.Progress = nil
+	base.Attr = nil
 	if base == (race.Options{}) {
 		workers := c.Detector.Workers
 		obsReg := c.Detector.Obs
+		prog := c.Detector.Progress
+		attr := c.Detector.Attr
 		c.Detector = race.O2Options()
 		c.Detector.Workers = workers
 		c.Detector.Obs = obsReg
+		c.Detector.Progress = prog
+		c.Detector.Attr = attr
 	}
 	if c.Workers != 0 {
 		c.Detector.Workers = c.Workers
@@ -204,16 +217,19 @@ func (c Config) normalize() Config {
 	if c.Obs != nil {
 		c.Detector.Obs = c.Obs
 	}
+	if c.Progress != nil {
+		c.Detector.Progress = c.Progress
+	}
 	return c
 }
 
 // Fingerprint returns a stable string identifying every configuration
 // field that can change the analysis report: policy, entry points, event
-// treatment, detector optimizations and budgets. Worker count and the
-// observability registry are deliberately excluded — the report is
-// identical for every worker count, and observability never alters
-// results. The batch scheduler keys its result cache on
-// (source hash, Fingerprint).
+// treatment, detector optimizations and budgets. Worker count, the
+// observability registry and the progress tracker are deliberately
+// excluded — the report is identical for every worker count, and
+// observability never alters results. The batch scheduler keys its
+// result cache on (source hash, Fingerprint).
 func (c Config) Fingerprint() string {
 	n := c.normalize()
 	d := n.Detector
@@ -281,6 +297,9 @@ func Analyze(ctx context.Context, prog *ir.Program, cfg Config) (*Result, error)
 
 	root := cfg.Obs.StartSpan("analyze")
 	defer root.End()
+	// Phase floors for the progress percentage: entering a phase jumps to
+	// its floor, and detect interpolates toward 100 by examined pairs.
+	cfg.Progress.SetPhase("pta", 5)
 	t0 := time.Now()
 	a := pta.New(prog, pta.Config{
 		Policy:          cfg.Policy,
@@ -294,22 +313,31 @@ func Analyze(ctx context.Context, prog *ir.Program, cfg Config) (*Result, error)
 	if err := a.SolveCtx(ctx); err != nil {
 		return nil, err
 	}
+	if cfg.Obs != nil && cfg.Detector.Attr == nil {
+		// Collect per-origin pair/HB/race counts for the Introspection
+		// section whenever observability is on.
+		cfg.Detector.Attr = race.NewAttribution(a.Origins.Len())
+	}
 	t1 := time.Now()
+	cfg.Progress.SetPhase("osa", 45)
 	sharing, err := osa.AnalyzeCtx(ctx, a, cfg.Obs)
 	if err != nil {
 		return nil, err
 	}
 	t2 := time.Now()
+	cfg.Progress.SetPhase("shb", 55)
 	g, err := shb.BuildCtx(ctx, a, shb.Config{AndroidEvents: cfg.Android, MaxNodes: cfg.MaxSHBNodes, Obs: cfg.Obs})
 	if err != nil {
 		return nil, err
 	}
 	t3 := time.Now()
+	cfg.Progress.SetPhase("detect", 65)
 	rep, err := race.DetectCtx(ctx, a, sharing, g, cfg.Detector)
 	if err != nil {
 		return nil, err
 	}
 	t4 := time.Now()
+	cfg.Progress.SetPhase("done", 100)
 	root.End() // idempotent; close before snapshotting so the span is final
 
 	res := &Result{
@@ -325,7 +353,10 @@ func Analyze(ctx context.Context, prog *ir.Program, cfg Config) (*Result, error)
 		DetectTime: t4.Sub(t3),
 	}
 	if cfg.Obs != nil {
+		in := buildIntrospection(res, cfg.Detector.Attr)
+		publishIntrospection(cfg.Obs, in)
 		res.RunStats = cfg.Obs.Snapshot()
+		res.RunStats.Introspection = in
 	}
 	return res, nil
 }

@@ -69,7 +69,7 @@ func TestRunStatsShape(t *testing.T) {
 	if err := json.Unmarshal(data, &top); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"schema", "phases", "counters", "gauges", "rates"} {
+	for _, key := range []string{"schema", "phases", "counters", "gauges", "rates", "introspection"} {
 		if _, ok := top[key]; !ok {
 			t.Errorf("report missing top-level key %q", key)
 		}
